@@ -1,0 +1,208 @@
+package prism
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"prism/internal/protocol"
+	"prism/internal/transport"
+)
+
+// tamper wraps a server handler and rewrites selected replies — the
+// malicious adversarial model of §3.2 (skip, replace, inject).
+func tamper(mutate func(req, reply any) any) func(transport.Handler) transport.Handler {
+	return func(inner transport.Handler) transport.Handler {
+		return transport.HandlerFunc(func(ctx context.Context, req any) (any, error) {
+			reply, err := inner.Handle(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			if out := mutate(req, reply); out != nil {
+				return out, nil
+			}
+			return reply, nil
+		})
+	}
+}
+
+// TestMaliciousPSIReplacedCellDetected: server copies cell 0's result
+// over cell 1 (the "replace result of i-th shares by j-th" attack of
+// §5.2). PSI verification must fail.
+func TestMaliciousPSIReplacedCellDetected(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	sys.interceptServer(0, tamper(func(req, reply any) any {
+		if r, ok := reply.(protocol.PSIReply); ok {
+			out := append([]uint64(nil), r.Out...)
+			out[1] = out[0]
+			return protocol.PSIReply{Out: out, Stats: r.Stats}
+		}
+		return nil
+	}))
+	defer sys.restoreServer(0)
+	_, err := sys.PSI(context.Background())
+	if !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("err = %v, want ErrVerificationFailed", err)
+	}
+}
+
+// TestMaliciousPSIInjectedValueDetected: server forges a cell to claim a
+// non-common value is common (fake tuple injection).
+func TestMaliciousPSIInjectedValueDetected(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	sys.interceptServer(1, tamper(func(req, reply any) any {
+		if r, ok := reply.(protocol.PSIReply); ok {
+			out := append([]uint64(nil), r.Out...)
+			for i := range out {
+				out[i] = 1 // force "common" on every cell
+			}
+			return protocol.PSIReply{Out: out, Stats: r.Stats}
+		}
+		return nil
+	}))
+	defer sys.restoreServer(1)
+	_, err := sys.PSI(context.Background())
+	if !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("err = %v, want ErrVerificationFailed", err)
+	}
+}
+
+// TestMaliciousCountTamperDetected: the count verification (Eq. 1
+// alignment) must catch a server permuting/altering the count vector.
+func TestMaliciousCountTamperDetected(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	sys.interceptServer(0, tamper(func(req, reply any) any {
+		if r, ok := reply.(protocol.CountReply); ok {
+			out := append([]uint64(nil), r.Out...)
+			// Swap two cells: inflates/deflates nothing but moves mass.
+			out[0], out[2] = out[2], out[0]
+			return protocol.CountReply{Out: out, Vout: r.Vout, Stats: r.Stats}
+		}
+		return nil
+	}))
+	defer sys.restoreServer(0)
+	_, err := sys.PSICount(context.Background())
+	if !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("err = %v, want ErrVerificationFailed", err)
+	}
+}
+
+// TestMaliciousAggTamperDetected: a server that fabricates aggregation
+// shares must trip the dual-copy sum verification.
+func TestMaliciousAggTamperDetected(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	sys.interceptServer(2, tamper(func(req, reply any) any {
+		if r, ok := reply.(protocol.AggReply); ok {
+			for col, v := range r.Sums {
+				vv := append([]uint64(nil), v...)
+				vv[0] += 17 // nudge one share
+				r.Sums[col] = vv
+			}
+			return r
+		}
+		return nil
+	}))
+	defer sys.restoreServer(2)
+	_, err := sys.PSISum(context.Background(), "cost")
+	if !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("err = %v, want ErrVerificationFailed", err)
+	}
+}
+
+// TestMaliciousAggSkipDetected: a lazy server reuses cell 0's share for
+// every cell (skipping work). The independently-permuted verification
+// copy cannot stay consistent.
+func TestMaliciousAggSkipDetected(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	sys.interceptServer(0, tamper(func(req, reply any) any {
+		if r, ok := reply.(protocol.AggReply); ok {
+			for col, v := range r.Sums {
+				vv := make([]uint64, len(v))
+				for i := range vv {
+					vv[i] = v[0]
+				}
+				r.Sums[col] = vv
+			}
+			return r
+		}
+		return nil
+	}))
+	defer sys.restoreServer(0)
+	_, err := sys.PSISum(context.Background(), "cost")
+	if !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("err = %v, want ErrVerificationFailed", err)
+	}
+}
+
+// TestMaliciousExtremeValueDetected: tampering the announced max so that
+// it decodes below an owner's own value must be caught by the local
+// consistency check.
+func TestMaliciousExtremeValueDetected(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	sys.interceptServer(0, tamper(func(req, reply any) any {
+		if r, ok := reply.(protocol.ExtremeFetchReply); ok && r.Ready {
+			// Zero this server's value share: the reconstructed masked
+			// value becomes the other share alone — effectively random.
+			vs := make([][]byte, len(r.ValueShares))
+			for i := range vs {
+				vs[i] = []byte{0}
+			}
+			return protocol.ExtremeFetchReply{
+				Ready: true, ValueShares: vs,
+				IndexShare: r.IndexShare, HasIndex: r.HasIndex,
+			}
+		}
+		return nil
+	}))
+	defer sys.restoreServer(0)
+	_, err := sys.PSIMax(context.Background(), "age")
+	if err == nil {
+		t.Fatal("tampered max accepted")
+	}
+}
+
+// TestMaliciousClaimForgeryDetected: a server fabricating fpos shares
+// produces non-bit reconstructions with overwhelming probability.
+func TestMaliciousClaimForgeryDetected(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	sys.interceptServer(1, tamper(func(req, reply any) any {
+		if r, ok := reply.(protocol.ClaimFetchReply); ok && r.Ready {
+			fp := append([]uint16(nil), r.Fpos...)
+			for i := range fp {
+				fp[i] = uint16((uint64(fp[i]) + 7) % 113)
+			}
+			return protocol.ClaimFetchReply{Ready: true, Fpos: fp}
+		}
+		return nil
+	}))
+	defer sys.restoreServer(1)
+	_, err := sys.PSIMax(context.Background(), "age")
+	if err == nil {
+		t.Fatal("forged claims accepted")
+	}
+}
+
+// TestHonestRunStillVerifies: with interception removed, everything
+// passes again (no false positives after restore).
+func TestHonestRunStillVerifies(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	sys.interceptServer(0, tamper(func(req, reply any) any {
+		if r, ok := reply.(protocol.PSIReply); ok {
+			out := append([]uint64(nil), r.Out...)
+			out[0] = 99
+			return protocol.PSIReply{Out: out, Stats: r.Stats}
+		}
+		return nil
+	}))
+	if _, err := sys.PSI(context.Background()); !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("tampering not detected: %v", err)
+	}
+	sys.restoreServer(0)
+	res, err := sys.PSI(context.Background())
+	if err != nil {
+		t.Fatalf("honest run fails after restore: %v", err)
+	}
+	if len(res.Values) != 1 || res.Values[0] != "Cancer" {
+		t.Fatalf("honest result wrong: %v", res.Values)
+	}
+}

@@ -1,0 +1,130 @@
+// Command prism-bench regenerates every table and figure of the paper's
+// evaluation section (§8). See DESIGN.md §5 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	prism-bench -exp all                 # quick scale (laptop friendly)
+//	prism-bench -exp exp1 -paper         # Figure 3 at the paper's sizes
+//	prism-bench -exp exp4                # Figure 5 (100M-leaf tree)
+//	prism-bench -exp exp2 -csv out/      # also write CSV series
+//
+// Experiments: exp1 table12 exp2 exp3 exp4 sharegen table13 all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prism/internal/benchx"
+	"prism/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|all")
+		paper   = flag.Bool("paper", false, "use the paper's full sizes (5M/20M domains; needs ~16GB RAM)")
+		domain  = flag.Uint64("domain", 0, "override: single domain size")
+		owners  = flag.Int("owners", 0, "override: owner count for exp1/exp3/table12/sharegen")
+		csvDir  = flag.String("csv", "", "also write CSV files to this directory")
+		diskDir = flag.String("disk", "", "disk-backed share stores for exp1 fetch timing (default: temp dir)")
+	)
+	flag.Parse()
+
+	sc := benchx.QuickScale()
+	if *paper {
+		sc = benchx.PaperScale()
+	}
+	if *domain != 0 {
+		sc.Domains = []uint64{*domain}
+	}
+	if *owners != 0 {
+		sc.Owners = *owners
+	}
+	if *diskDir != "" {
+		sc.DiskDir = *diskDir
+	} else {
+		tmp, err := os.MkdirTemp("", "prism-bench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		sc.DiskDir = tmp
+	}
+
+	ctx := context.Background()
+	run := func(name string, fn func() ([]*report.Table, error)) {
+		fmt.Printf("\n### %s\n", name)
+		tables, err := fn()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		for i, tb := range tables {
+			tb.Render(os.Stdout)
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fatal(err)
+				}
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s-%d.csv", name, i))
+				f, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				tb.CSV(f)
+				f.Close()
+				fmt.Printf("(csv: %s)\n", path)
+			}
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	matched := false
+	if want("exp1") {
+		matched = true
+		run("exp1", func() ([]*report.Table, error) { return benchx.Exp1(ctx, sc) })
+	}
+	if want("table12") {
+		matched = true
+		run("table12", func() ([]*report.Table, error) { return benchx.Table12(ctx, sc) })
+	}
+	if want("exp2") {
+		matched = true
+		run("exp2", func() ([]*report.Table, error) { return benchx.Exp2(ctx, sc) })
+	}
+	if want("exp3") {
+		matched = true
+		run("exp3", func() ([]*report.Table, error) { return benchx.Exp3(ctx, sc) })
+	}
+	if want("exp4") {
+		matched = true
+		run("exp4", func() ([]*report.Table, error) { return benchx.Exp4(sc), nil })
+	}
+	if want("sharegen") {
+		matched = true
+		run("sharegen", func() ([]*report.Table, error) { return benchx.ShareGen(ctx, sc) })
+	}
+	if want("table13") {
+		matched = true
+		run("table13", func() ([]*report.Table, error) { return benchx.Table13(ctx, sc) })
+	}
+	if want("fanout") {
+		matched = true
+		run("fanout", func() ([]*report.Table, error) { return benchx.FanoutAblation(sc), nil })
+	}
+	if want("diskablation") {
+		matched = true
+		run("diskablation", func() ([]*report.Table, error) { return benchx.DiskAblation(ctx, sc) })
+	}
+	if !matched {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prism-bench:", err)
+	os.Exit(1)
+}

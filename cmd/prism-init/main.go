@@ -1,0 +1,78 @@
+// Command prism-init is the initiator (paper §3.2 entity 3): it
+// generates all protocol parameters once and writes per-entity view
+// files that the servers, owners and announcer load at startup.
+//
+//	prism-init -owners 3 -domain 1000000 -maxagg 100000 -out ./views
+//
+// produces ./views/{owner.view, server-0.view, server-1.view,
+// server-2.view, announcer.view}. View files contain secrets; distribute
+// them over secure channels.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prism/internal/params"
+	"prism/internal/prg"
+	"prism/internal/viewio"
+)
+
+func main() {
+	var (
+		owners = flag.Int("owners", 3, "number of DB owners (m)")
+		domain = flag.Uint64("domain", 1_000_000, "domain size b = |Dom(A_c)|")
+		delta  = flag.Uint64("delta", 0, "additive-group prime δ (0 = paper default 113)")
+		maxAgg = flag.Uint64("maxagg", 1<<20, "bound on aggregation values (sizes Q)")
+		seed   = flag.String("seed", "", "hex seed for deterministic generation (empty = fresh entropy)")
+		out    = flag.String("out", ".", "output directory for view files")
+	)
+	flag.Parse()
+
+	var s prg.Seed
+	if *seed != "" {
+		raw, err := hex.DecodeString(*seed)
+		if err != nil || len(raw) == 0 {
+			fatal(fmt.Errorf("bad -seed: %v", err))
+		}
+		copy(s[:], raw)
+	}
+	sys, err := params.Generate(params.Config{
+		NumOwners:  *owners,
+		DomainSize: *domain,
+		Delta:      *delta,
+		MaxAgg:     *maxAgg,
+		Seed:       s,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := viewio.Save(filepath.Join(*out, "owner.view"), sys.ForOwner()); err != nil {
+		fatal(err)
+	}
+	for phi := 0; phi < params.NumServers; phi++ {
+		v, err := sys.ForServer(phi)
+		if err != nil {
+			fatal(err)
+		}
+		if err := viewio.Save(filepath.Join(*out, fmt.Sprintf("server-%d.view", phi)), v); err != nil {
+			fatal(err)
+		}
+	}
+	if err := viewio.Save(filepath.Join(*out, "announcer.view"), sys.ForAnnouncer()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("prism-init: wrote views for %d owners, domain %d (δ=%d, η=%d, η'=%d) to %s\n",
+		*owners, *domain, sys.Delta, sys.Eta, sys.EtaPrime, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prism-init:", err)
+	os.Exit(1)
+}

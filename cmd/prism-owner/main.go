@@ -1,0 +1,210 @@
+// Command prism-owner is a DB owner CLI: it loads a private CSV table,
+// outsources secret shares to the TCP servers, and issues queries.
+//
+// CSV format: a header line "key,COL1,COL2,..." followed by integer
+// rows; key must lie in [1, b] where b is the domain size baked into the
+// view file. Example:
+//
+//	key,PK,DT
+//	17,100,3
+//	42,250,7
+//
+// Usage:
+//
+//	prism-owner -view views/owner.view -index 0 \
+//	    -servers localhost:7001,localhost:7002,localhost:7003 \
+//	    -data owner0.csv -cols PK,DT -op outsource
+//	prism-owner ... -op psi
+//	prism-owner ... -op sum -cols DT
+//
+// Ops: outsource, psi, psu, count, psucount, sum, avg. The exemplary
+// aggregations (max/min/median) need all owners online in one
+// coordinated flow; see examples/federated for a complete multi-process
+// deployment that drives them over TCP.
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"prism/internal/ownerengine"
+	"prism/internal/params"
+	"prism/internal/transport"
+	"prism/internal/viewio"
+)
+
+func main() {
+	var (
+		viewPath = flag.String("view", "", "owner view file from prism-init (required)")
+		index    = flag.Int("index", 0, "this owner's index in [0, m)")
+		servers  = flag.String("servers", "", "comma-separated host:port of the 3 servers (required)")
+		dataPath = flag.String("data", "", "CSV data file (required for -op outsource)")
+		cols     = flag.String("cols", "", "comma-separated aggregation columns")
+		table    = flag.String("table", "main", "logical table name")
+		op       = flag.String("op", "", "outsource|psi|psu|count|psucount|sum|avg (required)")
+		verify   = flag.Bool("verify", false, "outsource verification columns / verify query results")
+	)
+	flag.Parse()
+	if *viewPath == "" || *servers == "" || *op == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var view params.OwnerView
+	if err := viewio.Load(*viewPath, &view); err != nil {
+		fatal(err)
+	}
+	addrs := strings.Split(*servers, ",")
+	if len(addrs) != params.NumServers {
+		fatal(fmt.Errorf("need %d server addresses, got %d", params.NumServers, len(addrs)))
+	}
+	book := make(map[string]string, len(addrs))
+	logical := make([]string, len(addrs))
+	for i, a := range addrs {
+		logical[i] = fmt.Sprintf("server/%d", i)
+		book[logical[i]] = strings.TrimSpace(a)
+	}
+	client := transport.NewTCPClient(book)
+	defer client.Close()
+
+	owner, err := ownerengine.New(*index, &view, client, logical, [32]byte{})
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	var colList []string
+	if *cols != "" {
+		colList = strings.Split(*cols, ",")
+	}
+
+	switch *op {
+	case "outsource":
+		if *dataPath == "" {
+			fatal(fmt.Errorf("-data is required for outsourcing"))
+		}
+		data, err := loadCSV(*dataPath, view.B)
+		if err != nil {
+			fatal(err)
+		}
+		if err := owner.Load(data); err != nil {
+			fatal(err)
+		}
+		st, err := owner.Outsource(ctx, ownerengine.OutsourceSpec{
+			Table: *table, AggCols: colList, Verify: *verify, WithCount: len(colList) > 0,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("outsourced %d tuples over %d cells in %.3fs (build %.3fs, split %.3fs, upload %.3fs)\n",
+			len(data.Cells), st.Cells,
+			float64(st.BuildNS+st.SplitNS+st.UploadNS)/1e9,
+			float64(st.BuildNS)/1e9, float64(st.SplitNS)/1e9, float64(st.UploadNS)/1e9)
+
+	case "psi", "psu":
+		var res *ownerengine.SetResult
+		if *op == "psi" {
+			res, err = owner.PSI(ctx, *table)
+			if err == nil && *verify {
+				err = owner.VerifyPSI(ctx, *table, res)
+			}
+		} else {
+			res, err = owner.PSU(ctx, *table)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d keys (server %.3fs, owner %.3fs)\n", strings.ToUpper(*op), len(res.Cells),
+			float64(res.Stats.Server.ComputeNS)/1e9, float64(res.Stats.OwnerNS)/1e9)
+		for _, c := range res.Cells {
+			fmt.Println(c + 1) // cells are 0-based; keys are 1-based
+		}
+
+	case "count", "psucount":
+		var res *ownerengine.CountResult
+		if *op == "count" {
+			res, err = owner.Count(ctx, *table, *verify)
+		} else {
+			res, err = owner.PSUCount(ctx, *table)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("count: %d\n", res.Count)
+
+	case "sum", "avg":
+		if len(colList) == 0 {
+			fatal(fmt.Errorf("-cols is required for aggregation"))
+		}
+		psi, err := owner.PSI(ctx, *table)
+		if err != nil {
+			fatal(err)
+		}
+		agg, err := owner.Aggregate(ctx, *table, psi.Cells, colList, *op == "avg", *verify)
+		if err != nil {
+			fatal(err)
+		}
+		for _, cell := range psi.Cells {
+			line := fmt.Sprintf("key %d:", cell+1)
+			for _, col := range colList {
+				if *op == "avg" {
+					v, _ := agg.Avg(col, cell)
+					line += fmt.Sprintf(" avg(%s)=%.3f", col, v)
+				} else {
+					line += fmt.Sprintf(" sum(%s)=%d", col, agg.Sums[col][cell])
+				}
+			}
+			fmt.Println(line)
+		}
+
+	default:
+		fatal(fmt.Errorf("unknown -op %q", *op))
+	}
+}
+
+// loadCSV parses "key,COL..." rows into owner data (keys are 1-based).
+func loadCSV(path string, b uint64) (*ownerengine.Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 1 || len(rows[0]) < 1 || rows[0][0] != "key" {
+		return nil, fmt.Errorf("csv must start with a 'key,...' header")
+	}
+	header := rows[0][1:]
+	data := &ownerengine.Data{Aggs: make(map[string][]uint64, len(header))}
+	for _, col := range header {
+		data.Aggs[col] = nil
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(header)+1 {
+			return nil, fmt.Errorf("row %d: %d fields, want %d", i+2, len(row), len(header)+1)
+		}
+		key, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil || key == 0 || key > b {
+			return nil, fmt.Errorf("row %d: key %q outside [1, %d]", i+2, row[0], b)
+		}
+		data.Cells = append(data.Cells, key-1)
+		for c, col := range header {
+			v, err := strconv.ParseUint(row[c+1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("row %d column %s: %w", i+2, col, err)
+			}
+			data.Aggs[col] = append(data.Aggs[col], v)
+		}
+	}
+	return data, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prism-owner:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command prism-server runs one Prism share server S_φ over TCP. It
+// stores the secret-shared columns outsourced by owners and answers
+// query rounds; its only outbound connection is to the announcer
+// (servers never talk to each other).
+//
+//	prism-server -view views/server-0.view -listen :7001 -announcer localhost:7000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"prism/internal/params"
+	"prism/internal/serverengine"
+	"prism/internal/sharestore"
+	"prism/internal/transport"
+	"prism/internal/viewio"
+)
+
+func main() {
+	var (
+		viewPath  = flag.String("view", "", "server view file from prism-init (required)")
+		listen    = flag.String("listen", ":7001", "listen address")
+		announcer = flag.String("announcer", "", "announcer host:port (needed for max/min/median)")
+		storeDir  = flag.String("store", "", "directory for the on-disk share store")
+		diskMode  = flag.Bool("disk", false, "serve columns from disk per query (fetch-time accounting)")
+		threads   = flag.Int("threads", 0, "worker pool width (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *viewPath == "" {
+		fatal(fmt.Errorf("-view is required"))
+	}
+	var view params.ServerView
+	if err := viewio.Load(*viewPath, &view); err != nil {
+		fatal(err)
+	}
+	opts := serverengine.Options{Threads: *threads}
+	if *storeDir != "" {
+		st, err := sharestore.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = st
+		opts.DiskBacked = *diskMode
+	}
+	if *announcer != "" {
+		opts.AnnouncerAddr = "announcer"
+		opts.Caller = transport.NewTCPClient(map[string]string{"announcer": *announcer})
+	}
+	engine := serverengine.New(&view, opts)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("prism-server: S_%d listening on %s (m=%d, b=%d, δ=%d)\n",
+		view.Index, ln.Addr(), view.M, view.B, view.Delta)
+	if err := transport.Serve(ctx, ln, engine); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prism-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,184 @@
+package prism
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"prism/internal/domain"
+	"prism/internal/prg"
+)
+
+// Domain is the publicly known domain of the set attribute A_c — or, for
+// multi-attribute PSI (§6.6), the product of several attribute domains.
+// All owners must construct it from the same public description so that
+// cell numbering aligns (paper §4, owner assumption (v)).
+type Domain struct {
+	d *domain.Domain
+	p *domain.Product
+}
+
+// IntDomain returns the integer domain {lo, ..., hi} — e.g. the paper's
+// Orderkey domains 1..5M and 1..20M.
+func IntDomain(lo, hi uint64) (*Domain, error) {
+	d, err := domain.NewIntRange(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{d: d}, nil
+}
+
+// ValueDomain returns a categorical domain (e.g. disease names).
+// Values are de-duplicated and sorted.
+func ValueDomain(values ...string) (*Domain, error) {
+	d, err := domain.NewValues(values)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{d: d}, nil
+}
+
+// ProductDomain combines several attribute domains into one cell space
+// for multi-attribute PSI (paper §6.6): b = Π|Dom(A_i)|. Rows then carry
+// one key per attribute in Keys (string keys for categorical dims,
+// decimal integers for integer dims).
+func ProductDomain(dims ...*Domain) (*Domain, error) {
+	raw := make([]*domain.Domain, len(dims))
+	for i, d := range dims {
+		if d == nil || d.d == nil {
+			return nil, errors.New("prism: product dimensions must be scalar domains")
+		}
+		raw[i] = d.d
+	}
+	p, err := domain.NewProduct(raw...)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{p: p}, nil
+}
+
+// Size returns the number of cells b = |Dom(A_c)|.
+func (d *Domain) Size() uint64 {
+	if d.p != nil {
+		return d.p.Size()
+	}
+	return d.d.Size()
+}
+
+// Label renders the value at a cell ("a|b" for product domains).
+func (d *Domain) Label(cell uint64) string {
+	if d.p != nil {
+		coords := d.p.Split(cell)
+		parts := make([]string, len(coords))
+		for i, c := range coords {
+			parts[i] = d.p.Dims()[i].Label(c)
+		}
+		return strings.Join(parts, "|")
+	}
+	return d.d.Label(cell)
+}
+
+// cellOfRow maps a row's key(s) to the domain cell.
+func (d *Domain) cellOfRow(r Row) (uint64, error) {
+	if d.p != nil {
+		dims := d.p.Dims()
+		if len(r.Keys) != len(dims) {
+			return 0, fmt.Errorf("prism: row has %d keys for a %d-attribute domain", len(r.Keys), len(dims))
+		}
+		coords := make([]uint64, len(dims))
+		for i, dim := range dims {
+			var cell uint64
+			var ok bool
+			if dim.Categorical() {
+				cell, ok = dim.CellOfString(r.Keys[i])
+			} else {
+				v, err := strconv.ParseUint(r.Keys[i], 10, 64)
+				if err != nil {
+					return 0, fmt.Errorf("prism: key %q is not an integer for dimension %d", r.Keys[i], i)
+				}
+				cell, ok = dim.CellOfInt(v)
+			}
+			if !ok {
+				return 0, fmt.Errorf("prism: key %q outside dimension %d", r.Keys[i], i)
+			}
+			coords[i] = cell
+		}
+		return d.p.Cell(coords)
+	}
+	var cell uint64
+	var ok bool
+	if d.d.Categorical() {
+		cell, ok = d.d.CellOfString(r.StrKey)
+	} else {
+		cell, ok = d.d.CellOfInt(r.IntKey)
+	}
+	if !ok {
+		return 0, fmt.Errorf("prism: row key %q/%d outside the public domain", r.StrKey, r.IntKey)
+	}
+	return cell, nil
+}
+
+// Row is one tuple of an owner's private table. For scalar domains set
+// IntKey or StrKey (matching the domain kind); for product domains set
+// Keys with one entry per attribute. Aggs holds the A_x values.
+type Row struct {
+	IntKey uint64
+	StrKey string
+	Keys   []string
+	Aggs   map[string]uint64
+}
+
+// Config assembles a Prism deployment.
+type Config struct {
+	// Owners is m, the number of DB owners. The paper targets m > 2 but
+	// two-owner deployments work (Table 13 uses them).
+	Owners int
+	// Domain of the set attribute.
+	Domain *Domain
+	// AggColumns lists the aggregation columns every owner will
+	// outsource (Shamir-shared per-cell sums, plus a count column).
+	AggColumns []string
+	// MaxAggValue bounds every value submitted to exemplary
+	// aggregations: individual A_x values for max/min, and per-owner
+	// per-cell totals for median (the paper's median aggregates per
+	// owner first, §6.4). It sizes the big modulus Q for the
+	// order-preserving masking. 0 → 2^20. Keep it as tight as the data
+	// allows: Q grows like MaxAggValue^(m+2).
+	MaxAggValue uint64
+	// Verify outsources χ̄ and the v-columns and enables result
+	// verification on every query.
+	Verify bool
+	// Threads is each server's worker-pool width (Figure 3 sweep).
+	Threads int
+	// Seed makes the whole system deterministic; zero → fresh entropy.
+	Seed [32]byte
+	// DiskDir, when set, backs each server with an on-disk share store
+	// under DiskDir/server-<i>; queries then measure real fetch time.
+	DiskDir string
+	// EncodeWire forces gob round-trips on the in-process transport,
+	// exercising exactly what the TCP transport sends.
+	EncodeWire bool
+	// Delta overrides the additive-group prime δ (0 → 113, the paper's).
+	Delta uint64
+	// TableName names the outsourced table (default "main").
+	TableName string
+}
+
+func (c *Config) normalize() error {
+	if c.Owners < 2 {
+		return errors.New("prism: need at least 2 owners")
+	}
+	if c.Domain == nil {
+		return errors.New("prism: config needs a Domain")
+	}
+	if c.MaxAggValue == 0 {
+		c.MaxAggValue = 1 << 20
+	}
+	if c.TableName == "" {
+		c.TableName = "main"
+	}
+	return nil
+}
+
+func (c *Config) seed() prg.Seed { return prg.Seed(c.Seed) }

@@ -1,0 +1,36 @@
+// Package prism is a from-scratch Go implementation of Prism (Li et al.,
+// SIGMOD 2021): private, verifiable set computation — intersection, union,
+// and summary/exemplary aggregations — over outsourced databases owned by
+// multiple mutually-distrusting parties.
+//
+// # Model
+//
+// m DB owners secret-share domain bitmaps of a common attribute to a set
+// of non-communicating servers (two additive-share servers plus one extra
+// Shamir-share server). Servers evaluate queries homomorphically without
+// learning inputs, outputs, access patterns or output sizes; owners
+// recombine replies locally. Every operator completes in at most two
+// rounds of owner↔server communication (three when the identity of the
+// maximum holder is requested); servers never talk to each other. A
+// designated announcer participates only in max/min/median queries, and
+// result-verification rounds detect malicious servers.
+//
+// # Quick start
+//
+//	dom, _ := prism.ValueDomain("Cancer", "Fever", "Heart")
+//	sys, _ := prism.NewLocalSystem(prism.Config{
+//		Owners:     3,
+//		Domain:     dom,
+//		AggColumns: []string{"cost"},
+//		Verify:     true,
+//	})
+//	sys.Owner(0).Load([]prism.Row{{StrKey: "Cancer", Aggs: map[string]uint64{"cost": 100}}, ...})
+//	// ... load owners 1, 2 ...
+//	sys.OutsourceAll(ctx)
+//	res, _ := sys.PSI(ctx)        // → {Cancer}
+//	sum, _ := sys.PSISum(ctx, "cost")
+//
+// See examples/ for complete programs, DESIGN.md for the architecture and
+// protocol details, and EXPERIMENTS.md for the reproduction of the
+// paper's evaluation.
+package prism

@@ -1,0 +1,128 @@
+package prism_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"prism"
+)
+
+// Example reproduces the paper's three-hospital walkthrough: PSI over
+// the disease attribute with result verification.
+func Example() {
+	dom, err := prism.ValueDomain("Cancer", "Fever", "Heart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := prism.NewLocalSystem(prism.Config{
+		Owners:      3,
+		Domain:      dom,
+		AggColumns:  []string{"cost"},
+		MaxAggValue: 10000,
+		Verify:      true,
+		Seed:        [32]byte{1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	load := func(i int, rows ...prism.Row) {
+		if err := sys.Owner(i).Load(rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+	load(0,
+		prism.Row{StrKey: "Cancer", Aggs: map[string]uint64{"cost": 100}},
+		prism.Row{StrKey: "Cancer", Aggs: map[string]uint64{"cost": 200}},
+		prism.Row{StrKey: "Heart", Aggs: map[string]uint64{"cost": 300}})
+	load(1,
+		prism.Row{StrKey: "Cancer", Aggs: map[string]uint64{"cost": 100}},
+		prism.Row{StrKey: "Fever", Aggs: map[string]uint64{"cost": 70}},
+		prism.Row{StrKey: "Fever", Aggs: map[string]uint64{"cost": 50}})
+	load(2,
+		prism.Row{StrKey: "Cancer", Aggs: map[string]uint64{"cost": 300}},
+		prism.Row{StrKey: "Cancer", Aggs: map[string]uint64{"cost": 700}},
+		prism.Row{StrKey: "Heart", Aggs: map[string]uint64{"cost": 500}})
+
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.PSI(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("common diseases:", res.Values)
+	// Output:
+	// common diseases: [Cancer]
+}
+
+// ExampleSystem_PSISum shows the §6.1 intersection-sum: the total cost
+// across all hospitals for every disease they all treat.
+func ExampleSystem_PSISum() {
+	dom, _ := prism.ValueDomain("Cancer", "Fever", "Heart")
+	sys, err := prism.NewLocalSystem(prism.Config{
+		Owners: 3, Domain: dom, AggColumns: []string{"cost"},
+		MaxAggValue: 10000, Seed: [32]byte{2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	costs := [][]uint64{{100, 200}, {1100}, {300, 700}}
+	for i, cs := range costs {
+		var rows []prism.Row
+		for _, c := range cs {
+			rows = append(rows, prism.Row{StrKey: "Cancer", Aggs: map[string]uint64{"cost": c}})
+		}
+		if err := sys.Owner(i).Load(rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.PSISum(context.Background(), "cost")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cell := range res.Cells {
+		total, _ := res.Sum("cost", cell)
+		fmt.Printf("%s: %d\n", sys.DomainLabel(cell), total)
+	}
+	// Output:
+	// Cancer: 2400
+}
+
+// ExampleSystem_PSICount shows cardinality-only queries: the querier
+// learns how many values are common, never which ones (§6.5).
+func ExampleSystem_PSICount() {
+	dom, _ := prism.IntDomain(1, 100)
+	sys, err := prism.NewLocalSystem(prism.Config{Owners: 2, Domain: dom, Seed: [32]byte{3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Owner(0).Load([]prism.Row{{IntKey: 10}, {IntKey: 20}, {IntKey: 30}})
+	sys.Owner(1).Load([]prism.Row{{IntKey: 20}, {IntKey: 30}, {IntKey: 40}})
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.PSICount(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("common values:", res.Count)
+	// Output:
+	// common values: 2
+}
+
+// ExampleFixedPoint shows the paper's §4 recipe for decimal data.
+func ExampleFixedPoint() {
+	fp, _ := prism.NewFixedPoint(2)
+	for _, v := range []float64{0.5, 8.2, 8.02} {
+		enc, _ := fp.Encode(v)
+		fmt.Println(enc)
+	}
+	// Output:
+	// 50
+	// 820
+	// 802
+}

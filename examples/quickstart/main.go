@@ -1,0 +1,129 @@
+// Quickstart: the paper's running example (Tables 1-3) end to end.
+//
+// Three hospitals hold private patient tables (disease, age, cost). They
+// outsource secret shares to three non-communicating servers and then
+// compute, without revealing their data to each other or to the servers:
+//
+//   - PSI over disease            → {Cancer}
+//   - PSU over disease            → {Cancer, Fever, Heart}
+//   - PSI/PSU counts              → 1 / 3
+//   - sum & average of cost @ PSI → 1400, 280
+//   - max/min of age @ PSI        → 8 (hospitals 2 & 3), 4
+//   - median of per-hospital cost → 300
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"prism"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// The public domain of the set attribute: every hospital knows the
+	// possible disease names (paper §4, owner assumption (v)).
+	dom, err := prism.ValueDomain("Cancer", "Fever", "Heart")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := prism.NewLocalSystem(prism.Config{
+		Owners:      3,
+		Domain:      dom,
+		AggColumns:  []string{"age", "cost"},
+		MaxAggValue: 10000,
+		Verify:      true, // catch malicious servers on every query
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Table 1: Hospital 1 (John 4/Cancer/100, Adam 6/Cancer/200, Mike 2/Heart/300).
+	must(sys.Owner(0).Load([]prism.Row{
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 4, "cost": 100}},
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 6, "cost": 200}},
+		{StrKey: "Heart", Aggs: map[string]uint64{"age": 2, "cost": 300}},
+	}))
+	// Table 2: Hospital 2.
+	must(sys.Owner(1).Load([]prism.Row{
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 8, "cost": 100}},
+		{StrKey: "Fever", Aggs: map[string]uint64{"age": 5, "cost": 70}},
+		{StrKey: "Fever", Aggs: map[string]uint64{"age": 4, "cost": 50}},
+	}))
+	// Table 3: Hospital 3.
+	must(sys.Owner(2).Load([]prism.Row{
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 8, "cost": 300}},
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 4, "cost": 700}},
+		{StrKey: "Heart", Aggs: map[string]uint64{"age": 5, "cost": 500}},
+	}))
+
+	// Phase 1: secret-share and outsource (paper §3.3).
+	if _, err := sys.OutsourceAll(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("three hospitals outsourced secret-shared tables to 3 servers")
+
+	// PSI (§5.1) with result verification (§5.2).
+	psi, err := sys.PSI(ctx)
+	must(err)
+	fmt.Printf("PSI over disease:        %v (verified)\n", psi.Values)
+
+	// PSU (§7).
+	psu, err := sys.PSU(ctx)
+	must(err)
+	fmt.Printf("PSU over disease:        %v\n", psu.Values)
+
+	// Cardinalities only (§6.5) — positions stay hidden.
+	pc, err := sys.PSICount(ctx)
+	must(err)
+	uc, err := sys.PSUCount(ctx)
+	must(err)
+	fmt.Printf("PSI count / PSU count:   %d / %d\n", pc.Count, uc.Count)
+
+	// Summary aggregation over PSI (§6.1, §6.2).
+	agg, err := sys.PSIAvg(ctx, "cost")
+	must(err)
+	for _, cell := range agg.Cells {
+		sum, _ := agg.Sum("cost", cell)
+		avg, _ := agg.Avg("cost", cell)
+		fmt.Printf("cost at %-7s          sum=%d avg=%.0f\n", sys.DomainLabel(cell)+":", sum, avg)
+	}
+
+	// Exemplary aggregations (§6.3, §6.4).
+	max, err := sys.PSIMax(ctx, "age")
+	must(err)
+	for _, cell := range max.Cells {
+		pca := max.PerCell[cell]
+		fmt.Printf("max age at %-7s       %d, held by hospitals %v\n",
+			sys.DomainLabel(cell)+":", pca.Value, hospitalNames(pca.Owners))
+	}
+	min, err := sys.PSIMin(ctx, "age")
+	must(err)
+	for _, cell := range min.Cells {
+		fmt.Printf("min age at %-7s       %d\n", sys.DomainLabel(cell)+":", min.PerCell[cell].Value)
+	}
+	med, err := sys.PSIMedian(ctx, "cost")
+	must(err)
+	for _, cell := range med.Cells {
+		fmt.Printf("median hospital cost at %s: %d\n", sys.DomainLabel(cell), med.PerCell[cell].Value)
+	}
+}
+
+func hospitalNames(idx []int) []string {
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = fmt.Sprintf("Hospital %d", j+1)
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Syndromic surveillance — the paper's §1 motivating use case.
+//
+// Eight organisations (pharmacies, hospitals, telehealth desks) track
+// daily counts of outbreak indicators: analgesic sales, anti-allergy
+// sales, telehealth respiratory calls, school-absence reports, etc.
+// They want early community-wide outbreak signals:
+//
+//   - which indicators are elevated at EVERY organisation (PSI),
+//   - the total volume behind each common indicator (PSI sum),
+//   - the single worst site reading (PSI max) and a robust central
+//     reading (PSI median),
+//   - how many indicators are elevated anywhere (PSU count) — without
+//     revealing which organisation sees what.
+//
+// Run: go run ./examples/syndromic
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"prism"
+	"prism/internal/prg"
+)
+
+var indicators = []string{
+	"analgesic-sales", "antiallergy-sales", "antipyretic-sales",
+	"cough-syrup-sales", "telehealth-resp-calls", "telehealth-gi-calls",
+	"school-absences", "er-fever-visits", "er-rash-visits", "otc-test-kits",
+}
+
+var orgs = []string{
+	"MainSt Pharmacy", "Riverside Pharmacy", "City Hospital", "County Hospital",
+	"TeleHealth-North", "TeleHealth-South", "SchoolDistrict-7", "UrgentCare-East",
+}
+
+func main() {
+	ctx := context.Background()
+	dom, err := prism.ValueDomain(indicators...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := prism.NewLocalSystem(prism.Config{
+		Owners:      len(orgs),
+		Domain:      dom,
+		AggColumns:  []string{"volume"},
+		MaxAggValue: 100000,
+		Verify:      true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every organisation reports the indicators it currently sees as
+	// "elevated", with the day's volume. Three indicators are elevated
+	// everywhere — the outbreak signal the consortium wants to find.
+	rng := prg.New(prg.SeedFromString("syndromic-demo"))
+	outbreak := []string{"analgesic-sales", "telehealth-resp-calls", "er-fever-visits"}
+	for j := range orgs {
+		rows := make([]prism.Row, 0, 6)
+		for _, ind := range outbreak {
+			rows = append(rows, prism.Row{StrKey: ind,
+				Aggs: map[string]uint64{"volume": 200 + rng.Uint64n(800)}})
+		}
+		// Plus 2-3 org-specific elevations (noise that must NOT leak).
+		for k := 0; k < 2+int(rng.Uint64n(2)); k++ {
+			ind := indicators[rng.Uint64n(uint64(len(indicators)))]
+			rows = append(rows, prism.Row{StrKey: ind,
+				Aggs: map[string]uint64{"volume": 50 + rng.Uint64n(200)}})
+		}
+		if err := sys.Owner(j).Load(rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sys.OutsourceAll(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d organisations outsourced elevated-indicator tables (%d possible indicators)\n\n",
+		len(orgs), len(indicators))
+
+	psi, err := sys.PSI(ctx)
+	must(err)
+	fmt.Println("indicators elevated at EVERY organisation (PSI, verified):")
+	for _, v := range psi.Values {
+		fmt.Printf("  ⚠ %s\n", v)
+	}
+
+	sum, err := sys.PSISum(ctx, "volume")
+	must(err)
+	fmt.Println("\ncommunity-wide volume behind each common indicator (PSI sum):")
+	for _, cell := range sum.Cells {
+		v, _ := sum.Sum("volume", cell)
+		fmt.Printf("  %-22s %6d cases/sales\n", sys.DomainLabel(cell), v)
+	}
+
+	max, err := sys.PSIMax(ctx, "volume")
+	must(err)
+	fmt.Println("\nworst single-site reading per common indicator (PSI max):")
+	for _, cell := range max.Cells {
+		pc := max.PerCell[cell]
+		names := make([]string, len(pc.Owners))
+		for i, o := range pc.Owners {
+			names[i] = orgs[o]
+		}
+		fmt.Printf("  %-22s %6d at %v\n", sys.DomainLabel(cell), pc.Value, names)
+	}
+
+	med, err := sys.PSIMedian(ctx, "volume")
+	must(err)
+	fmt.Println("\nmedian per-site volume (robust central reading, PSI median):")
+	for _, cell := range med.Cells {
+		fmt.Printf("  %-22s %6d\n", sys.DomainLabel(cell), med.PerCell[cell].Value)
+	}
+
+	uc, err := sys.PSUCount(ctx)
+	must(err)
+	fmt.Printf("\nindicators elevated at ≥1 organisation (PSU count): %d of %d\n",
+		uc.Count, len(indicators))
+	fmt.Println("(no organisation learned which sites reported which indicators)")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

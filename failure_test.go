@@ -1,0 +1,95 @@
+package prism
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"prism/internal/protocol"
+	"prism/internal/transport"
+)
+
+// down simulates a crashed server: every call fails.
+func down() func(transport.Handler) transport.Handler {
+	return func(transport.Handler) transport.Handler {
+		return transport.HandlerFunc(func(context.Context, any) (any, error) {
+			return nil, errors.New("connection refused")
+		})
+	}
+}
+
+// slowOnce drops only the first matching request kind.
+type reqMatcher func(req any) bool
+
+func failOn(match reqMatcher) func(transport.Handler) transport.Handler {
+	return func(inner transport.Handler) transport.Handler {
+		return transport.HandlerFunc(func(ctx context.Context, req any) (any, error) {
+			if match(req) {
+				return nil, errors.New("injected failure")
+			}
+			return inner.Handle(ctx, req)
+		})
+	}
+}
+
+func TestServerDownFailsCleanly(t *testing.T) {
+	sys := hospitalSystem(t, false)
+	sys.interceptServer(1, down())
+	defer sys.restoreServer(1)
+	if _, err := sys.PSI(context.Background()); err == nil {
+		t.Fatal("PSI succeeded with a dead server")
+	}
+	if _, err := sys.PSU(context.Background()); err == nil {
+		t.Fatal("PSU succeeded with a dead server")
+	}
+	if _, err := sys.PSISum(context.Background(), "cost"); err == nil {
+		t.Fatal("sum succeeded with a dead server")
+	}
+	// Recovery: once the server is back, queries work again.
+	sys.restoreServer(1)
+	if _, err := sys.PSI(context.Background()); err != nil {
+		t.Fatalf("PSI broken after recovery: %v", err)
+	}
+}
+
+func TestShamirServerDownOnlyBreaksAggregation(t *testing.T) {
+	sys := hospitalSystem(t, false)
+	// Server 2 holds only Shamir columns: set ops must survive its death.
+	sys.interceptServer(2, down())
+	defer sys.restoreServer(2)
+	if _, err := sys.PSI(context.Background()); err != nil {
+		t.Fatalf("PSI needs only the additive servers: %v", err)
+	}
+	if _, err := sys.PSU(context.Background()); err != nil {
+		t.Fatalf("PSU needs only the additive servers: %v", err)
+	}
+	if _, err := sys.PSICount(context.Background()); err != nil {
+		t.Fatalf("count needs only the additive servers: %v", err)
+	}
+	if _, err := sys.PSISum(context.Background(), "cost"); err == nil {
+		t.Fatal("aggregation succeeded without the third Shamir server")
+	}
+}
+
+func TestContextCancellationPropagates(t *testing.T) {
+	sys := hospitalSystem(t, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.PSI(ctx); err == nil {
+		t.Fatal("cancelled context did not stop the query")
+	}
+}
+
+func TestAggregationFailureMidQuery(t *testing.T) {
+	sys := hospitalSystem(t, false)
+	// Round 1 (PSI) succeeds; round 2 (Agg) fails on one server.
+	sys.interceptServer(0, failOn(func(req any) bool {
+		_, isAgg := req.(protocol.AggRequest)
+		return isAgg
+	}))
+	defer sys.restoreServer(0)
+	_, err := sys.PSISum(context.Background(), "cost")
+	if err == nil {
+		t.Fatal("sum succeeded despite round-2 failure")
+	}
+}

@@ -1,0 +1,44 @@
+package prism
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixedPoint converts limited-precision decimal values to the scaled
+// integers Prism's exemplary aggregations operate on — the paper's §4
+// recipe for floating-point data: "for k digits of precision, multiply
+// each number by 10^k" (e.g. max over {0.5, 8.2, 8.02} is computed over
+// {50, 820, 802} at k = 2).
+type FixedPoint struct {
+	k     int
+	scale float64
+}
+
+// NewFixedPoint returns a converter with k decimal digits of precision
+// (0 <= k <= 18).
+func NewFixedPoint(k int) (*FixedPoint, error) {
+	if k < 0 || k > 18 {
+		return nil, fmt.Errorf("prism: fixed-point precision %d outside [0, 18]", k)
+	}
+	return &FixedPoint{k: k, scale: math.Pow(10, float64(k))}, nil
+}
+
+// Encode scales v to an integer, rounding to the nearest representable
+// value. Negative and non-finite inputs are rejected (the paper's max
+// protocol assumes positive integers).
+func (f *FixedPoint) Encode(v float64) (uint64, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("prism: cannot encode %v as a fixed-point aggregate", v)
+	}
+	scaled := math.Round(v * f.scale)
+	if scaled >= math.MaxUint64 {
+		return 0, fmt.Errorf("prism: %v overflows the fixed-point range at precision %d", v, f.k)
+	}
+	return uint64(scaled), nil
+}
+
+// Decode maps a protocol result back to the decimal value.
+func (f *FixedPoint) Decode(v uint64) float64 {
+	return float64(v) / f.scale
+}

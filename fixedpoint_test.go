@@ -1,0 +1,83 @@
+package prism
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestPaperFixedPointExample reproduces §4's worked example: the maximum
+// over {0.5, 8.2, 8.02} is found by computing over {50, 820, 802}.
+func TestPaperFixedPointExample(t *testing.T) {
+	fp, err := NewFixedPoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []float64{0.5, 8.2, 8.02}
+	want := []uint64{50, 820, 802}
+	for i, v := range inputs {
+		got, err := fp.Encode(v)
+		if err != nil || got != want[i] {
+			t.Errorf("Encode(%v) = %d, %v; want %d", v, got, err, want[i])
+		}
+	}
+	if fp.Decode(820) != 8.2 {
+		t.Errorf("Decode(820) = %v", fp.Decode(820))
+	}
+}
+
+func TestFixedPointRejects(t *testing.T) {
+	if _, err := NewFixedPoint(-1); err == nil {
+		t.Error("negative precision accepted")
+	}
+	if _, err := NewFixedPoint(19); err == nil {
+		t.Error("overflowing precision accepted")
+	}
+	fp, _ := NewFixedPoint(3)
+	for _, v := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := fp.Encode(v); err == nil {
+			t.Errorf("Encode(%v) accepted", v)
+		}
+	}
+	if _, err := fp.Encode(1e19); err == nil {
+		t.Error("overflow accepted")
+	}
+}
+
+// TestFixedPointMaxEndToEnd runs the §4 float recipe through the real
+// max protocol: three owners with decimal readings.
+func TestFixedPointMaxEndToEnd(t *testing.T) {
+	fp, _ := NewFixedPoint(2)
+	dom, _ := ValueDomain("sensor")
+	sys, err := NewLocalSystem(Config{
+		Owners: 3, Domain: dom, AggColumns: []string{"temp"},
+		MaxAggValue: 100000, Verify: true, Seed: [32]byte{31},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := []float64{0.5, 8.2, 8.02}
+	for j, r := range readings {
+		enc, err := fp.Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Owner(j).Load([]Row{{StrKey: "sensor", Aggs: map[string]uint64{"temp": enc}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.PSIMax(context.Background(), "temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := res.PerCell[res.Cells[0]]
+	if got := fp.Decode(pc.Value); got != 8.2 {
+		t.Errorf("max = %v, want 8.2", got)
+	}
+	if len(pc.Owners) != 1 || pc.Owners[0] != 1 {
+		t.Errorf("max holder = %v, want owner 1", pc.Owners)
+	}
+}

@@ -1,0 +1,181 @@
+// Package announcer implements S_a, the announcer of the paper (§3.2
+// entity 4): it participates only in maximum, minimum and median queries.
+// It receives the PF-permuted slot arrays of big additive shares from the
+// two additive-share servers, reconstructs the order-preserving masked
+// values v_i = F(M_i) + r_i, announces the winning value (or the median
+// value(s)) and the winning slot — both re-shared additively so that the
+// servers relaying them learn nothing (§6.3 Step 4, Equations 13-14).
+//
+// S_a sees only masked values: it learns an ordering of blinded points,
+// never any M_i, and never which real owner a slot belongs to (slots are
+// PF-permuted and PF is unknown to S_a).
+package announcer
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"prism/internal/params"
+	"prism/internal/protocol"
+	"prism/internal/share"
+)
+
+// Engine is the announcer node.
+type Engine struct {
+	view *params.AnnouncerView
+
+	mu      sync.Mutex
+	pending map[string]*state
+}
+
+type state struct {
+	kind    protocol.ExtremeKind
+	arrays  [2][][]byte
+	have    [2]bool
+	results [2]*protocol.AnnounceFetchReply
+}
+
+// New builds an announcer for the given view.
+func New(v *params.AnnouncerView) *Engine {
+	return &Engine{view: v, pending: make(map[string]*state)}
+}
+
+// Handle implements transport.Handler.
+func (e *Engine) Handle(_ context.Context, req any) (any, error) {
+	switch r := req.(type) {
+	case protocol.AnnounceRequest:
+		return e.handleAnnounce(r)
+	case protocol.AnnounceFetchRequest:
+		return e.handleFetch(r)
+	default:
+		return nil, fmt.Errorf("announcer: unknown request type %T", req)
+	}
+}
+
+func (e *Engine) handleAnnounce(r protocol.AnnounceRequest) (any, error) {
+	if r.ServerIdx < 0 || r.ServerIdx > 1 {
+		return nil, fmt.Errorf("announcer: bad server index %d", r.ServerIdx)
+	}
+	if len(r.Shares) != e.view.M {
+		return nil, fmt.Errorf("announcer: got %d slots, want %d", len(r.Shares), e.view.M)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.pending[r.QueryID]
+	if !ok {
+		st = &state{kind: r.Kind}
+		e.pending[r.QueryID] = st
+	}
+	if st.kind != r.Kind {
+		return nil, fmt.Errorf("announcer: query %q kind mismatch", r.QueryID)
+	}
+	if !st.have[r.ServerIdx] {
+		st.arrays[r.ServerIdx] = r.Shares
+		st.have[r.ServerIdx] = true
+	}
+	if st.have[0] && st.have[1] && st.results[0] == nil {
+		if err := e.resolve(st); err != nil {
+			return nil, err
+		}
+	}
+	have := 0
+	for _, h := range st.have {
+		if h {
+			have++
+		}
+	}
+	return protocol.AnnounceReply{Have: have}, nil
+}
+
+// resolve adds the two share arrays (Equation 13), finds the requested
+// statistic (Equation 14) and builds per-server result shares.
+func (e *Engine) resolve(st *state) error {
+	m := e.view.M
+	q := e.view.Q
+	vals := make([]*big.Int, m)
+	for i := 0; i < m; i++ {
+		v := new(big.Int).SetBytes(st.arrays[0][i])
+		v.Add(v, new(big.Int).SetBytes(st.arrays[1][i]))
+		v.Mod(v, q)
+		vals[i] = v
+	}
+
+	var resultVals []*big.Int
+	index := -1
+	switch st.kind {
+	case protocol.KindMax:
+		index = 0
+		for i := 1; i < m; i++ {
+			if vals[i].Cmp(vals[index]) > 0 {
+				index = i
+			}
+		}
+		resultVals = []*big.Int{vals[index]}
+	case protocol.KindMin:
+		index = 0
+		for i := 1; i < m; i++ {
+			if vals[i].Cmp(vals[index]) < 0 {
+				index = i
+			}
+		}
+		resultVals = []*big.Int{vals[index]}
+	case protocol.KindMedian:
+		sorted := make([]*big.Int, m)
+		copy(sorted, vals)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a].Cmp(sorted[b]) < 0 })
+		if m%2 == 1 {
+			resultVals = []*big.Int{sorted[m/2]}
+		} else {
+			resultVals = []*big.Int{sorted[m/2-1], sorted[m/2]}
+		}
+	default:
+		return fmt.Errorf("announcer: unknown kind %v", st.kind)
+	}
+
+	// Re-share each result value additively between the two servers.
+	res0 := &protocol.AnnounceFetchReply{Ready: true}
+	res1 := &protocol.AnnounceFetchReply{Ready: true}
+	for _, v := range resultVals {
+		sh, err := share.BigSplit(v, q, 2)
+		if err != nil {
+			return fmt.Errorf("announcer: sharing result: %w", err)
+		}
+		res0.ValueShares = append(res0.ValueShares, sh[0].Bytes())
+		res1.ValueShares = append(res1.ValueShares, sh[1].Bytes())
+	}
+	if index >= 0 {
+		i0, i1, err := splitIndex(uint64(index), e.view.Delta)
+		if err != nil {
+			return err
+		}
+		res0.IndexShare, res0.HasIndex = i0, true
+		res1.IndexShare, res1.HasIndex = i1, true
+	}
+	st.results[0], st.results[1] = res0, res1
+	return nil
+}
+
+// splitIndex additively shares the winning slot index in Z_δ.
+func splitIndex(idx, delta uint64) (uint16, uint16, error) {
+	r, err := share.BigSplit(new(big.Int).SetUint64(idx), new(big.Int).SetUint64(delta), 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint16(r[0].Uint64()), uint16(r[1].Uint64()), nil
+}
+
+func (e *Engine) handleFetch(r protocol.AnnounceFetchRequest) (any, error) {
+	if r.ServerIdx < 0 || r.ServerIdx > 1 {
+		return nil, fmt.Errorf("announcer: bad server index %d", r.ServerIdx)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.pending[r.QueryID]
+	if !ok || st.results[r.ServerIdx] == nil {
+		return protocol.AnnounceFetchReply{Ready: false}, nil
+	}
+	return *st.results[r.ServerIdx], nil
+}

@@ -1,0 +1,185 @@
+package announcer
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"prism/internal/params"
+	"prism/internal/protocol"
+	"prism/internal/share"
+)
+
+func testView(m int) *params.AnnouncerView {
+	q, _ := new(big.Int).SetString("1000000007", 10)
+	return &params.AnnouncerView{M: m, Delta: 113, Q: q}
+}
+
+// feed shares values through the two-server path and returns the
+// announcer plus the per-server reply fetchers.
+func feed(t *testing.T, kind protocol.ExtremeKind, values []uint64) (*Engine, [2]protocol.AnnounceFetchReply) {
+	t.Helper()
+	v := testView(len(values))
+	e := New(v)
+	ctx := context.Background()
+	arrays := [2][][]byte{}
+	for phi := 0; phi < 2; phi++ {
+		arrays[phi] = make([][]byte, len(values))
+	}
+	for i, val := range values {
+		sh, err := share.BigSplit(new(big.Int).SetUint64(val), v.Q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrays[0][i] = sh[0].Bytes()
+		arrays[1][i] = sh[1].Bytes()
+	}
+	for phi := 0; phi < 2; phi++ {
+		_, err := e.Handle(ctx, protocol.AnnounceRequest{
+			QueryID: "q", Kind: kind, ServerIdx: phi, Shares: arrays[phi],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out [2]protocol.AnnounceFetchReply
+	for phi := 0; phi < 2; phi++ {
+		r, err := e.Handle(ctx, protocol.AnnounceFetchRequest{QueryID: "q", ServerIdx: phi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[phi] = r.(protocol.AnnounceFetchReply)
+		if !out[phi].Ready {
+			t.Fatal("result not ready after both arrays")
+		}
+	}
+	return e, out
+}
+
+func reconstruct(t *testing.T, v *params.AnnouncerView, reps [2]protocol.AnnounceFetchReply, k int) uint64 {
+	t.Helper()
+	val := share.BigReconstruct([]*big.Int{
+		new(big.Int).SetBytes(reps[0].ValueShares[k]),
+		new(big.Int).SetBytes(reps[1].ValueShares[k]),
+	}, v.Q)
+	return val.Uint64()
+}
+
+func TestMaxResolution(t *testing.T) {
+	values := []uint64{170, 4682, 5000, 12}
+	_, reps := feed(t, protocol.KindMax, values)
+	if got := reconstruct(t, testView(4), reps, 0); got != 5000 {
+		t.Errorf("max = %d, want 5000", got)
+	}
+	idx := (uint64(reps[0].IndexShare) + uint64(reps[1].IndexShare)) % 113
+	if idx != 2 {
+		t.Errorf("winning slot = %d, want 2", idx)
+	}
+	if !reps[0].HasIndex || !reps[1].HasIndex {
+		t.Error("max must carry an index")
+	}
+}
+
+func TestMinResolution(t *testing.T) {
+	values := []uint64{170, 4682, 5000, 12}
+	_, reps := feed(t, protocol.KindMin, values)
+	if got := reconstruct(t, testView(4), reps, 0); got != 12 {
+		t.Errorf("min = %d, want 12", got)
+	}
+	idx := (uint64(reps[0].IndexShare) + uint64(reps[1].IndexShare)) % 113
+	if idx != 3 {
+		t.Errorf("winning slot = %d, want 3", idx)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	values := []uint64{50, 10, 30}
+	_, reps := feed(t, protocol.KindMedian, values)
+	if len(reps[0].ValueShares) != 1 {
+		t.Fatalf("odd m should give one median value, got %d", len(reps[0].ValueShares))
+	}
+	if got := reconstruct(t, testView(3), reps, 0); got != 30 {
+		t.Errorf("median = %d, want 30", got)
+	}
+	if reps[0].HasIndex {
+		t.Error("median must not reveal a slot index")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	values := []uint64{50, 10, 30, 40}
+	_, reps := feed(t, protocol.KindMedian, values)
+	if len(reps[0].ValueShares) != 2 {
+		t.Fatalf("even m should give two middle values, got %d", len(reps[0].ValueShares))
+	}
+	lo := reconstruct(t, testView(4), reps, 0)
+	hi := reconstruct(t, testView(4), reps, 1)
+	if lo != 30 || hi != 40 {
+		t.Errorf("median pair = (%d, %d), want (30, 40)", lo, hi)
+	}
+}
+
+func TestSharesLookRandom(t *testing.T) {
+	// The relayed shares must not equal the plain value (the server
+	// relaying them learns nothing).
+	values := []uint64{170, 4682, 5000}
+	_, reps := feed(t, protocol.KindMax, values)
+	s0 := new(big.Int).SetBytes(reps[0].ValueShares[0]).Uint64()
+	if s0 == 5000 {
+		t.Error("server share equals the plain maximum")
+	}
+}
+
+func TestFetchBeforeReady(t *testing.T) {
+	v := testView(2)
+	e := New(v)
+	ctx := context.Background()
+	sh, _ := share.BigSplit(big.NewInt(10), v.Q, 2)
+	_, err := e.Handle(ctx, protocol.AnnounceRequest{
+		QueryID: "q", Kind: protocol.KindMax, ServerIdx: 0,
+		Shares: [][]byte{sh[0].Bytes(), sh[0].Bytes()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Handle(ctx, protocol.AnnounceFetchRequest{QueryID: "q", ServerIdx: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.(protocol.AnnounceFetchReply).Ready {
+		t.Error("ready with only one server's array")
+	}
+	r, err = e.Handle(ctx, protocol.AnnounceFetchRequest{QueryID: "ghost", ServerIdx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.(protocol.AnnounceFetchReply).Ready {
+		t.Error("unknown query reported ready")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	v := testView(2)
+	e := New(v)
+	ctx := context.Background()
+	if _, err := e.Handle(ctx, protocol.AnnounceRequest{QueryID: "q", ServerIdx: 2}); err == nil {
+		t.Error("bad server index accepted")
+	}
+	if _, err := e.Handle(ctx, protocol.AnnounceRequest{QueryID: "q", ServerIdx: 0, Shares: [][]byte{{1}}}); err == nil {
+		t.Error("wrong slot count accepted")
+	}
+	if _, err := e.Handle(ctx, protocol.AnnounceFetchRequest{QueryID: "q", ServerIdx: -1}); err == nil {
+		t.Error("negative server index accepted")
+	}
+	if _, err := e.Handle(ctx, "bogus"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Kind mismatch across the two servers.
+	sh := [][]byte{{1}, {2}}
+	if _, err := e.Handle(ctx, protocol.AnnounceRequest{QueryID: "k", Kind: protocol.KindMax, ServerIdx: 0, Shares: sh}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Handle(ctx, protocol.AnnounceRequest{QueryID: "k", Kind: protocol.KindMin, ServerIdx: 1, Shares: sh}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaintextIntersection(t *testing.T) {
+	sets := [][]uint64{
+		{1, 2, 3, 4},
+		{2, 3, 4, 5},
+		{3, 4, 5, 6},
+	}
+	got := PlaintextIntersection(sets)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("intersection = %v, want [3 4]", got)
+	}
+}
+
+func TestPlaintextIntersectionWithDuplicates(t *testing.T) {
+	// Duplicate elements within one owner must not fake m-way presence.
+	sets := [][]uint64{
+		{7, 7, 7},
+		{8},
+	}
+	if got := PlaintextIntersection(sets); len(got) != 0 {
+		t.Fatalf("intersection = %v, want empty", got)
+	}
+}
+
+func TestPlaintextUnion(t *testing.T) {
+	got := PlaintextUnion([][]uint64{{1, 2}, {2, 3}})
+	if len(got) != 3 {
+		t.Fatalf("union = %v", got)
+	}
+}
+
+func TestPlaintextSum(t *testing.T) {
+	sets := [][]uint64{{1, 2}, {2, 3}}
+	vals := []map[uint64]uint64{{1: 10, 2: 20}, {2: 5, 3: 7}}
+	got := PlaintextSum(sets, vals)
+	if len(got) != 1 || got[2] != 25 {
+		t.Fatalf("sum = %v, want {2:25}", got)
+	}
+}
+
+func TestNaiveMatchesPlaintext(t *testing.T) {
+	f := func(a, b, c []uint8) bool {
+		sets := [][]uint64{widen(a), widen(b), widen(c)}
+		for _, s := range sets {
+			if len(s) == 0 {
+				return true // skip degenerate empties
+			}
+		}
+		naive, _ := NaivePairwisePSI(sets)
+		plain := PlaintextIntersection(sets)
+		sort.Slice(naive, func(i, j int) bool { return naive[i] < naive[j] })
+		sort.Slice(plain, func(i, j int) bool { return plain[i] < plain[j] })
+		naive = dedup(naive)
+		if len(naive) != len(plain) {
+			return false
+		}
+		for i := range naive {
+			if naive[i] != plain[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func widen(a []uint8) []uint64 {
+	out := make([]uint64, 0, len(a))
+	seen := make(map[uint64]bool)
+	for _, v := range a {
+		u := uint64(v % 32)
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func dedup(a []uint64) []uint64 {
+	var out []uint64
+	for i, v := range a {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestNaiveComparisonBlowup verifies the quadratic growth the paper
+// criticises: doubling set sizes roughly quadruples comparisons.
+func TestNaiveComparisonBlowup(t *testing.T) {
+	mk := func(n int, offset uint64) []uint64 {
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = offset + uint64(i)
+		}
+		return out
+	}
+	// Disjoint sets force the full n² scan per pair.
+	_, c1 := NaivePairwisePSI([][]uint64{mk(100, 0), mk(100, 1000)})
+	_, c2 := NaivePairwisePSI([][]uint64{mk(200, 0), mk(200, 1000)})
+	if c2 < 3*c1 {
+		t.Errorf("comparisons %d → %d: not quadratic-ish", c1, c2)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := PlaintextIntersection(nil); got != nil {
+		t.Error("nil input should give nil")
+	}
+	if _, c := NaivePairwisePSI(nil); c != 0 {
+		t.Error("nil input should cost nothing")
+	}
+}

@@ -1,0 +1,229 @@
+package bucket
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prism/internal/prg"
+)
+
+// TestPaperFigure2 reproduces the paper's Figure 2 / Example 6.6.1: 16
+// leaves, fanout 4; DB1 has ones at leaf positions 4, 7, 8 (1-based) and
+// its level-2 table is ⟨1,1,0,0⟩.
+func TestPaperFigure2(t *testing.T) {
+	leaves := make([]uint16, 16)
+	for _, pos := range []int{4, 7, 8} { // 1-based as in the paper
+		leaves[pos-1] = 1
+	}
+	tr, err := Build(leaves, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("height = %d, want 3 (16 → 4 → 1)", tr.Height())
+	}
+	want := []uint16{1, 1, 0, 0}
+	for i, w := range want {
+		if tr.Levels[1][i] != w {
+			t.Fatalf("level-2 table = %v, want %v", tr.Levels[1], want)
+		}
+	}
+	if tr.Levels[2][0] != 1 {
+		t.Fatal("root must be 1")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperExample661Traversal: DB1 {4,7,8}, DB2 {1,6,8}; the paper says
+// 4+8 = 12 numbers are sent instead of 16 using two rounds from level 2.
+// Our traversal starts at the top (root) level, adding 1 root node:
+// 1 + 4 + 8 = 13 visited, still below the flat 16.
+func TestPaperExample661Traversal(t *testing.T) {
+	t1, _ := BuildFromCells(16, []uint64{3, 6, 7}, 4) // 0-based
+	t2, _ := BuildFromCells(16, []uint64{0, 5, 7}, 4)
+	st, err := Traverse([]*Tree{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Visited != 13 {
+		t.Errorf("visited = %d, want 13 (root + 4 + 8)", st.Visited)
+	}
+	if st.CommonLeaves != 1 { // leaf 7 (0-based) = 8 (1-based) is common
+		t.Errorf("common leaves = %d, want 1", st.CommonLeaves)
+	}
+	if st.Visited >= FlatCost(16)+1 {
+		t.Errorf("bucketization did not beat flat cost")
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	if _, err := Build([]uint16{1}, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("empty leaves accepted")
+	}
+	if _, err := BuildFromCells(8, []uint64{8}, 2); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr, _ := BuildFromCells(16, []uint64{3}, 4)
+	tr.Levels[1][0] = 0 // parent of leaf 3 zeroed
+	if err := tr.Validate(); err == nil {
+		t.Fatal("corrupted tree validates")
+	}
+}
+
+// TestTraversalMatchesDirectIntersection: bucketized PSI must find
+// exactly the same common leaves as a flat intersection, for random data.
+func TestTraversalMatchesDirectIntersection(t *testing.T) {
+	g := prg.New(prg.SeedFromString("bucket-psi"))
+	f := func(seed uint32) bool {
+		b := uint64(64 + g.Uint64n(512))
+		m := int(2 + g.Uint64n(4))
+		fanout := int(2 + g.Uint64n(8))
+		trees := make([]*Tree, m)
+		bitmaps := make([][]bool, m)
+		for j := 0; j < m; j++ {
+			nCells := int(g.Uint64n(b))
+			cells := make([]uint64, nCells)
+			bm := make([]bool, b)
+			for i := range cells {
+				cells[i] = g.Uint64n(b)
+				bm[cells[i]] = true
+			}
+			tr, err := BuildFromCells(b, cells, fanout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trees[j] = tr
+			bitmaps[j] = bm
+		}
+		st, err := Traverse(trees)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want uint64
+		for c := uint64(0); c < b; c++ {
+			all := true
+			for j := 0; j < m; j++ {
+				if !bitmaps[j][c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				want++
+			}
+		}
+		return st.CommonLeaves == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseVsSparse encodes the §6.6 "open problem" observation: dense
+// data makes bucketization visit ~all nodes; sparse data collapses cost.
+func TestDenseVsSparse(t *testing.T) {
+	b := uint64(10000)
+	fanout := 10
+	// Dense: every leaf occupied.
+	all := make([]uint64, b)
+	for i := range all {
+		all[i] = uint64(i)
+	}
+	dense, _ := BuildFromCells(b, all, fanout)
+	stDense, _ := Traverse([]*Tree{dense, dense})
+	if stDense.Visited < b {
+		t.Errorf("dense visit %d below leaf count %d", stDense.Visited, b)
+	}
+	// Sparse: 5 leaves.
+	sparse, _ := BuildFromCells(b, []uint64{1, 999, 5000, 7777, 9999}, fanout)
+	stSparse, _ := Traverse([]*Tree{sparse, sparse})
+	if stSparse.Visited >= b/10 {
+		t.Errorf("sparse visit %d did not collapse (flat %d)", stSparse.Visited, b)
+	}
+}
+
+// TestSimulateSharedOccupancyMatchesTraverse cross-checks the 100M-scale
+// simulator against the exact bitmap traversal on small domains.
+func TestSimulateSharedOccupancyMatchesTraverse(t *testing.T) {
+	g := prg.New(prg.SeedFromString("occupancy"))
+	for trial := 0; trial < 30; trial++ {
+		b := uint64(100 + g.Uint64n(2000))
+		fanout := int(2 + g.Uint64n(9))
+		n := int(g.Uint64n(b / 2))
+		cells := make([]uint64, n)
+		for i := range cells {
+			cells[i] = g.Uint64n(b)
+		}
+		tr, err := BuildFromCells(b, cells, fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two owners with identical data — intersection = occupancy.
+		exact, err := Traverse([]*Tree{tr, tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := SimulateSharedOccupancy(b, fanout, OccupyLevels(b, fanout, cells))
+		if sim.Visited != exact.Visited {
+			t.Fatalf("b=%d fanout=%d n=%d: simulated %d != exact %d",
+				b, fanout, n, sim.Visited, exact.Visited)
+		}
+		if sim.TotalNodes != tr.NodeCount() {
+			t.Fatalf("total nodes %d != %d", sim.TotalNodes, tr.NodeCount())
+		}
+	}
+}
+
+// TestFigure5Shape: at 100% fill the actual domain exceeds the real
+// domain (the whole tree is visited); at tiny fill it collapses by
+// orders of magnitude. Uses 1M leaves (the full 100M run lives in the
+// bench harness).
+func TestFigure5Shape(t *testing.T) {
+	leafCount := uint64(1_000_000)
+	fanout := 10
+	g := prg.New(prg.SeedFromString("fig5"))
+
+	fills := []float64{1.0, 0.1, 0.01, 0.001, 0.0001}
+	var visited []uint64
+	for _, fill := range fills {
+		n := int(float64(leafCount) * fill)
+		cells := make([]uint64, n)
+		for i := range cells {
+			cells[i] = g.Uint64n(leafCount)
+		}
+		st := SimulateSharedOccupancy(leafCount, fanout, OccupyLevels(leafCount, fanout, cells))
+		visited = append(visited, st.Visited)
+	}
+	// 100% fill: visited ≈ total tree (> leafCount).
+	if visited[0] <= leafCount {
+		t.Errorf("full fill visited %d, want > %d", visited[0], leafCount)
+	}
+	// Monotone decreasing with fill.
+	for i := 1; i < len(visited); i++ {
+		if visited[i] >= visited[i-1] {
+			t.Errorf("visited not decreasing: %v", visited)
+		}
+	}
+	// 0.01%% fill: collapse far below the real domain (paper: 400K of 100M).
+	if visited[len(visited)-1] >= leafCount/10 {
+		t.Errorf("sparse fill visited %d, want far below %d", visited[len(visited)-1], leafCount)
+	}
+}
+
+func TestOccupyLevelsDedup(t *testing.T) {
+	levels := OccupyLevels(100, 10, []uint64{5, 5, 5, 17})
+	if len(levels[0]) != 2 {
+		t.Fatalf("leaf occupancy %v, want deduped [5 17]", levels[0])
+	}
+	if len(levels[1]) != 2 || levels[1][0] != 0 || levels[1][1] != 1 {
+		t.Fatalf("level-1 occupancy %v, want [0 1]", levels[1])
+	}
+}

@@ -1,0 +1,100 @@
+// Package field implements arithmetic in the prime field F_p with
+// p = 2^61 - 1 (a Mersenne prime), used for Shamir secret shares of
+// aggregation columns (paper §3.1, §6.1).
+//
+// The Mersenne structure allows reduction without division: for a 122-bit
+// product hi·2^64 + lo, the value is congruent to
+// (lo mod 2^61) + (lo>>61 | hi<<3) modulo p. Element values are kept in
+// canonical range [0, p).
+package field
+
+import "math/bits"
+
+// P is the field modulus 2^61 - 1.
+const P uint64 = (1 << 61) - 1
+
+// Elem is a field element in canonical form (< P).
+type Elem = uint64
+
+// Reduce maps any uint64 into [0, P).
+func Reduce(x uint64) Elem {
+	x = (x & P) + (x >> 61)
+	if x >= P {
+		x -= P
+	}
+	return x
+}
+
+// Add returns a+b mod P for canonical a, b.
+func Add(a, b Elem) Elem {
+	s := a + b // < 2^62, no overflow
+	s = (s & P) + (s >> 61)
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Sub returns a-b mod P for canonical a, b.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return P - b + a
+}
+
+// Neg returns -a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return P - a
+}
+
+// Mul returns a·b mod P via a 128-bit intermediate and Mersenne folding.
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(a, b)
+	// a,b < 2^61 so hi < 2^58; value = hi·2^64 + lo ≡ lo&P + (lo>>61 + hi<<3)  (mod P)
+	r := (lo & P) + (lo>>61 | hi<<3)
+	r = (r & P) + (r >> 61)
+	if r >= P {
+		r -= P
+	}
+	return r
+}
+
+// Pow returns a^e mod P.
+func Pow(a Elem, e uint64) Elem {
+	var r Elem = 1
+	a = Reduce(a)
+	for e > 0 {
+		if e&1 == 1 {
+			r = Mul(r, a)
+		}
+		a = Mul(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse of nonzero a.
+func Inv(a Elem) Elem {
+	return Pow(a, P-2)
+}
+
+// FromInt64 maps a (possibly negative) int64 into the field.
+func FromInt64(v int64) Elem {
+	if v >= 0 {
+		return Reduce(uint64(v))
+	}
+	return Neg(Reduce(uint64(-v)))
+}
+
+// ToInt64 interprets e as a signed value in (-P/2, P/2], useful when a
+// reconstructed secret is known to be a small (possibly negative) integer.
+func ToInt64(e Elem) int64 {
+	if e > P/2 {
+		return -int64(P - e)
+	}
+	return int64(e)
+}

@@ -1,0 +1,120 @@
+package field
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+var bigP = new(big.Int).SetUint64(P)
+
+func TestPIsPrime(t *testing.T) {
+	if !bigP.ProbablyPrime(64) {
+		t.Fatal("P is not prime")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0}, {P, 0}, {P + 1, 1}, {P - 1, P - 1}, {1<<64 - 1, (1<<64 - 1) % P},
+	}
+	for _, c := range cases {
+		if got := Reduce(c.in); got != c.want {
+			t.Errorf("Reduce(%d)=%d want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMulAgainstBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a, b = Reduce(a), Reduce(b)
+		got := Mul(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, bigP)
+		return got == want.Uint64() && got < P
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubAgainstBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a, b = Reduce(a), Reduce(b)
+		s := Add(a, b)
+		ws := new(big.Int).Add(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		ws.Mod(ws, bigP)
+		if s != ws.Uint64() {
+			return false
+		}
+		return Sub(s, b) == a && Sub(s, a) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	f := func(a uint64) bool {
+		a = Reduce(a)
+		return Add(a, Neg(a)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	f := func(a uint64) bool {
+		a = Reduce(a)
+		if a == 0 {
+			a = 1
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(2, 61) != Reduce(1<<61) {
+		t.Errorf("2^61 mod P = %d want %d", Pow(2, 61), Reduce(1<<61))
+	}
+	if Pow(5, 0) != 1 {
+		t.Error("a^0 != 1")
+	}
+	// Fermat: a^(P-1) = 1.
+	for _, a := range []uint64{2, 3, 12345678901} {
+		if Pow(a, P-1) != 1 {
+			t.Errorf("Fermat fails for %d", a)
+		}
+	}
+}
+
+func TestFromToInt64(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40)}
+	for _, v := range cases {
+		if got := ToInt64(FromInt64(v)); got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestDistributivity(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		a, b, c = Reduce(a), Reduce(b), Reduce(c)
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := Reduce(0x123456789abcdef), Reduce(0xfedcba987654321)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}

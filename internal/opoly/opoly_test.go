@@ -1,0 +1,181 @@
+package opoly
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"prism/internal/prg"
+)
+
+func testPoly(t *testing.T, m int) *Poly {
+	t.Helper()
+	p, err := New(prg.New(prg.SeedFromString("opoly-test")), m, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDegree(t *testing.T) {
+	for _, m := range []int{1, 3, 10, 50} {
+		p := testPoly(t, m)
+		if p.Degree() != m+1 {
+			t.Errorf("m=%d degree=%d want %d", m, p.Degree(), m+1)
+		}
+	}
+}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	g := prg.New(prg.SeedFromString("bad"))
+	if _, err := New(g, 0, 10); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(g, 3, 0); err == nil {
+		t.Error("coefBound=0 accepted")
+	}
+}
+
+func TestPaperExamplePolynomial(t *testing.T) {
+	// §6.3 example: F(x) = x^4 + x^3 + x^2 + x + 1; F(6)=1555, F(8)=4681.
+	p := &Poly{Coeffs: []*big.Int{
+		big.NewInt(1), big.NewInt(1), big.NewInt(1), big.NewInt(1), big.NewInt(1),
+	}}
+	if got := p.Eval(6); got.Cmp(big.NewInt(1555)) != 0 {
+		t.Errorf("F(6) = %v want 1555", got)
+	}
+	if got := p.Eval(8); got.Cmp(big.NewInt(4681)) != 0 {
+		t.Errorf("F(8) = %v want 4681", got)
+	}
+}
+
+func TestStrictlyIncreasing(t *testing.T) {
+	p := testPoly(t, 5)
+	prev := p.Eval(0)
+	for x := uint64(1); x < 200; x++ {
+		cur := p.Eval(x)
+		if cur.Cmp(prev) <= 0 {
+			t.Fatalf("F not increasing at %d", x)
+		}
+		prev = cur
+	}
+}
+
+func TestMaskOrderPreserving(t *testing.T) {
+	// Core §6.3 property: M_i < M_j ⇒ F(M_i)+r_i < F(M_j)+r_j, for any
+	// admissible random masks, because F(M_i)+r_i < F(M_i+1) <= F(M_j).
+	p := testPoly(t, 8)
+	g := prg.New(prg.SeedFromString("mask"))
+	f := func(a, b uint32) bool {
+		x, y := uint64(a%100000), uint64(b%100000)
+		if x == y {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		vx, vy := p.Mask(g, x), p.Mask(g, y)
+		return vx.Cmp(vy) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskWithinInterval(t *testing.T) {
+	p := testPoly(t, 4)
+	g := prg.New(prg.SeedFromString("interval"))
+	for x := uint64(0); x < 50; x++ {
+		v := p.Mask(g, x)
+		if v.Cmp(p.Eval(x)) < 0 || v.Cmp(p.Eval(x+1)) >= 0 {
+			t.Fatalf("mask at %d outside [F(x), F(x+1)): %v", x, v)
+		}
+	}
+}
+
+func TestSearchZRecoversMasked(t *testing.T) {
+	p := testPoly(t, 6)
+	g := prg.New(prg.SeedFromString("searchz"))
+	f := func(a uint32) bool {
+		x := uint64(a % 1000000)
+		v := p.Mask(g, x)
+		z, err := p.SearchZ(v, 1000000)
+		return err == nil && z == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchZExactBoundary(t *testing.T) {
+	p := testPoly(t, 3)
+	// v = F(x) exactly (r = 0) must return x.
+	for _, x := range []uint64{0, 1, 7, 99} {
+		z, err := p.SearchZ(p.Eval(x), 1000)
+		if err != nil || z != x {
+			t.Errorf("SearchZ(F(%d)) = %d, %v", x, z, err)
+		}
+	}
+}
+
+func TestSearchZRejectsOutOfImage(t *testing.T) {
+	p := testPoly(t, 3)
+	// Below F(0):
+	below := new(big.Int).Sub(p.Eval(0), big.NewInt(1))
+	if _, err := p.SearchZ(below, 100); err == nil {
+		t.Error("value below F(0) accepted")
+	}
+	// Beyond F(hi+1):
+	beyond := p.Eval(102)
+	if _, err := p.SearchZ(beyond, 100); err == nil {
+		t.Error("value beyond domain accepted")
+	}
+}
+
+func TestGapPositive(t *testing.T) {
+	p := testPoly(t, 10)
+	for x := uint64(0); x < 100; x++ {
+		if p.Gap(x).Sign() <= 0 {
+			t.Fatalf("gap at %d not positive", x)
+		}
+	}
+}
+
+func TestMaskedValuesDistinctWHP(t *testing.T) {
+	// Two owners with the same maximum produce different v w.h.p. (§6.3
+	// Step 3 note) — the gap at any x >= 2 is large for degree >= 2.
+	p := testPoly(t, 10)
+	g := prg.New(prg.SeedFromString("distinct"))
+	const x = 42
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		v := p.Mask(g, x).String()
+		if seen[v] {
+			t.Fatalf("duplicate masked value after %d draws", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMaxMaskedBounds(t *testing.T) {
+	p := testPoly(t, 5)
+	g := prg.New(prg.SeedFromString("bound"))
+	bound := uint64(1000)
+	ub := p.MaxMasked(bound)
+	for i := 0; i < 50; i++ {
+		x := g.Uint64n(bound + 1)
+		if p.Mask(g, x).Cmp(ub) >= 0 {
+			t.Fatal("masked value exceeds MaxMasked bound")
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p1, _ := New(prg.New(prg.SeedFromString("same")), 4, 100)
+	p2, _ := New(prg.New(prg.SeedFromString("same")), 4, 100)
+	for i := range p1.Coeffs {
+		if p1.Coeffs[i].Cmp(p2.Coeffs[i]) != 0 {
+			t.Fatal("polynomial generation not deterministic")
+		}
+	}
+}

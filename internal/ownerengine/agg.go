@@ -1,0 +1,168 @@
+package ownerengine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"prism/internal/field"
+	"prism/internal/perm"
+	"prism/internal/protocol"
+	"prism/internal/share"
+)
+
+// AggResult is the outcome of a summary aggregation (sum/avg/count-
+// weighted) over PSI or PSU (paper §6.1, §6.2).
+type AggResult struct {
+	// Sums[col][cell] is the cross-owner total of column col at each
+	// selected cell.
+	Sums map[string]map[uint64]uint64
+	// Counts[cell] is the cross-owner tuple count at each selected cell
+	// (present when requested; used for averages).
+	Counts map[uint64]uint64
+	Stats  QueryStats
+}
+
+// Avg returns Sums[col][cell] / Counts[cell] as a float.
+func (r *AggResult) Avg(col string, cell uint64) (float64, bool) {
+	s, okS := r.Sums[col][cell]
+	c, okC := r.Counts[cell]
+	if !okS || !okC || c == 0 {
+		return 0, false
+	}
+	return float64(s) / float64(c), true
+}
+
+// Aggregate runs round 2 of the §6.1 pipeline: given the selected cells
+// (the PSI intersection or PSU union from round 1), the owner builds the
+// 0/1 selector z, Shamir-shares it to the three servers, and Lagrange-
+// interpolates the returned degree-2 share vectors.
+//
+// With verify, an independently-shared selector is evaluated against the
+// PF_db2-ordered v-columns and the two reconstructions are compared at
+// every cell — a server that skips or fabricates cells cannot keep both
+// copies consistent without knowing PF_db2⊙PF_db1⁻¹ (DESIGN.md §4).
+func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, cols []string, withCount, verify bool) (*AggResult, error) {
+	wall := time.Now()
+	b := o.view.B
+
+	start := time.Now()
+	z := make([]uint64, b)
+	for _, c := range selected {
+		if c >= b {
+			return nil, fmt.Errorf("ownerengine: selected cell %d out of range", c)
+		}
+		z[c] = 1
+	}
+	zStored := perm.Apply(o.view.DB1, z, nil)
+	zShares := share.ShamirSplitVector(o.rng, zStored, 1, 3)
+	var vzShares [][]uint64
+	if verify {
+		vzStored := perm.Apply(o.view.DB2, z, nil)
+		vzShares = share.ShamirSplitVector(o.rng, vzStored, 1, 3)
+	}
+	ownerNS := time.Since(start).Nanoseconds()
+
+	qid := o.freshQueryID("agg")
+	replies, err := o.call3(ctx, func(phi int) any {
+		req := protocol.AggRequest{
+			Table:     table,
+			QueryID:   qid,
+			Cols:      cols,
+			WithCount: withCount,
+			Z:         zShares[phi],
+		}
+		if verify {
+			req.VZ = vzShares[phi]
+		}
+		return req
+	})
+	if err != nil {
+		return nil, err
+	}
+	var stats QueryStats
+	stats.Rounds = 1
+	reps := make([]protocol.AggReply, 3)
+	for phi, r := range replies {
+		rep, ok := r.(protocol.AggReply)
+		if !ok {
+			return nil, fmt.Errorf("ownerengine: unexpected aggregation reply %T", r)
+		}
+		reps[phi] = rep
+		stats.Server.Add(rep.Stats)
+	}
+
+	start = time.Now()
+	res := &AggResult{Sums: make(map[string]map[uint64]uint64, len(cols))}
+	for _, col := range cols {
+		nat, err := o.reconstructNatural(
+			[3][]uint64{reps[0].Sums[col], reps[1].Sums[col], reps[2].Sums[col]}, o.view.DB1)
+		if err != nil {
+			return nil, fmt.Errorf("ownerengine: column %q: %w", col, err)
+		}
+		if verify {
+			vnat, err := o.reconstructNatural(
+				[3][]uint64{reps[0].VSums[col], reps[1].VSums[col], reps[2].VSums[col]}, o.view.DB2)
+			if err != nil {
+				return nil, fmt.Errorf("ownerengine: v-column %q: %w", col, err)
+			}
+			for i := range nat {
+				if nat[i] != vnat[i] {
+					return nil, fmt.Errorf("%w: column %q cell %d differs between main and verification copies", ErrVerificationFailed, col, i)
+				}
+			}
+		}
+		picked := make(map[uint64]uint64, len(selected))
+		for _, c := range selected {
+			picked[c] = nat[c]
+		}
+		res.Sums[col] = picked
+	}
+	if withCount {
+		nat, err := o.reconstructNatural(
+			[3][]uint64{reps[0].Counts, reps[1].Counts, reps[2].Counts}, o.view.DB1)
+		if err != nil {
+			return nil, fmt.Errorf("ownerengine: count column: %w", err)
+		}
+		if verify {
+			vnat, err := o.reconstructNatural(
+				[3][]uint64{reps[0].VCounts, reps[1].VCounts, reps[2].VCounts}, o.view.DB2)
+			if err != nil {
+				return nil, fmt.Errorf("ownerengine: v-count column: %w", err)
+			}
+			for i := range nat {
+				if nat[i] != vnat[i] {
+					return nil, fmt.Errorf("%w: count cell %d differs between main and verification copies", ErrVerificationFailed, i)
+				}
+			}
+		}
+		res.Counts = make(map[uint64]uint64, len(selected))
+		for _, c := range selected {
+			res.Counts[c] = nat[c]
+		}
+	}
+	stats.OwnerNS = ownerNS + time.Since(start).Nanoseconds()
+	stats.WallNS = time.Since(wall).Nanoseconds()
+	res.Stats = stats
+	return res, nil
+}
+
+// reconstructNatural Lagrange-interpolates three degree-2 share vectors
+// and un-permutes the result into natural cell order.
+func (o *Owner) reconstructNatural(shares [3][]uint64, p perm.Perm) ([]uint64, error) {
+	b := int(o.view.B)
+	for phi := range shares {
+		if len(shares[phi]) != b {
+			return nil, fmt.Errorf("share vector %d has %d cells, want %d", phi, len(shares[phi]), b)
+		}
+	}
+	stored := make([]uint64, b)
+	w := o.w3
+	for i := 0; i < b; i++ {
+		acc := field.Mul(w[0], shares[0][i])
+		acc = field.Add(acc, field.Mul(w[1], shares[1][i]))
+		acc = field.Add(acc, field.Mul(w[2], shares[2][i]))
+		stored[i] = acc
+	}
+	return perm.ApplyInverse(p, stored, nil), nil
+}

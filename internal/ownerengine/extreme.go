@@ -1,0 +1,219 @@
+package ownerengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"prism/internal/protocol"
+	"prism/internal/share"
+)
+
+// LocalValue computes this owner's private per-cell statistic for an
+// exemplary aggregation (§6.3 Step 3): the owner's own maximum (for max),
+// minimum (for min), or total (for median — the paper's median example
+// first sums per owner) of column col restricted to tuples at cell.
+// ok is false when the owner has no tuple at the cell.
+func (o *Owner) LocalValue(kind protocol.ExtremeKind, col string, cell uint64) (uint64, bool, error) {
+	o.mu.Lock()
+	d := o.data
+	o.mu.Unlock()
+	if d == nil {
+		return 0, false, errors.New("ownerengine: no data loaded")
+	}
+	vs, okCol := d.Aggs[col]
+	if !okCol {
+		return 0, false, fmt.Errorf("ownerengine: data has no column %q", col)
+	}
+	var acc uint64
+	found := false
+	for i, c := range d.Cells {
+		if c != cell {
+			continue
+		}
+		v := vs[i]
+		switch {
+		case !found:
+			acc = v
+		case kind == protocol.KindMax && v > acc:
+			acc = v
+		case kind == protocol.KindMin && v < acc:
+			acc = v
+		}
+		if kind == protocol.KindMedian && found {
+			acc += v
+		}
+		found = true
+	}
+	return acc, found, nil
+}
+
+// SubmitExtreme masks this owner's local value with the order-preserving
+// polynomial (v = F(M) + r, r < F(M+1)−F(M)) and sends one additive big
+// share to each additive-share server (§6.3 Step 3).
+func (o *Owner) SubmitExtreme(ctx context.Context, qid string, kind protocol.ExtremeKind, localValue uint64) error {
+	if localValue > o.view.MaxAgg {
+		return fmt.Errorf("ownerengine: value %d exceeds declared aggregation bound %d", localValue, o.view.MaxAgg)
+	}
+	o.mu.Lock()
+	v := o.view.Poly.Mask(o.rng, localValue)
+	o.mu.Unlock()
+	shares, err := share.BigSplit(v, o.view.Q, 2)
+	if err != nil {
+		return err
+	}
+	_, err = o.call2(ctx, func(phi int) any {
+		return protocol.ExtremeSubmitRequest{
+			QueryID: qid,
+			Kind:    kind,
+			Owner:   o.Index,
+			VShare:  shares[phi].Bytes(),
+		}
+	})
+	return err
+}
+
+// ExtremeOutcome is the reconstructed result of a max/min/median query.
+type ExtremeOutcome struct {
+	// Values holds the recovered attribute value(s): one for max/min,
+	// one or two for median (two when the owner count is even).
+	Values []uint64
+	// WinnerSlot is the owner index holding the extreme value, recovered
+	// through the reverse slot permutation RPF (max/min only; -1 otherwise).
+	WinnerSlot int
+	Stats      QueryStats
+}
+
+// FetchExtreme retrieves the announcer's result shares from both servers,
+// reconstructs the masked value(s) mod Q, and binary-searches z with
+// F(z) ≤ v < F(z+1) (§6.3 Step 5a).
+func (o *Owner) FetchExtreme(ctx context.Context, qid string, kind protocol.ExtremeKind) (*ExtremeOutcome, error) {
+	wall := time.Now()
+	replies, err := o.call2(ctx, func(int) any {
+		return protocol.ExtremeFetchRequest{QueryID: qid}
+	})
+	if err != nil {
+		return nil, err
+	}
+	reps := make([]protocol.ExtremeFetchReply, 2)
+	for phi, r := range replies {
+		rep, ok := r.(protocol.ExtremeFetchReply)
+		if !ok {
+			return nil, fmt.Errorf("ownerengine: unexpected extreme reply %T", r)
+		}
+		if !rep.Ready {
+			return nil, fmt.Errorf("ownerengine: extreme query %q not ready", qid)
+		}
+		reps[phi] = rep
+	}
+	if len(reps[0].ValueShares) != len(reps[1].ValueShares) {
+		return nil, fmt.Errorf("ownerengine: extreme share count mismatch")
+	}
+
+	start := time.Now()
+	out := &ExtremeOutcome{WinnerSlot: -1}
+	for k := range reps[0].ValueShares {
+		v := share.BigReconstruct([]*big.Int{
+			new(big.Int).SetBytes(reps[0].ValueShares[k]),
+			new(big.Int).SetBytes(reps[1].ValueShares[k]),
+		}, o.view.Q)
+		z, err := o.view.Poly.SearchZ(v, o.view.MaxAgg)
+		if err != nil {
+			// Structural max-verification: a tampered value falls outside
+			// the image interval of F over the declared domain.
+			return nil, fmt.Errorf("%w: masked value not in F's image: %v", ErrVerificationFailed, err)
+		}
+		out.Values = append(out.Values, z)
+	}
+	if kind != protocol.KindMedian {
+		if !reps[0].HasIndex || !reps[1].HasIndex {
+			return nil, fmt.Errorf("ownerengine: missing winner index shares")
+		}
+		idx := (uint64(reps[0].IndexShare) + uint64(reps[1].IndexShare)) % o.view.Delta
+		if idx >= uint64(o.view.M) {
+			return nil, fmt.Errorf("%w: winner slot %d out of range", ErrVerificationFailed, idx)
+		}
+		// pos ← RPF(index): the servers permuted owner slots with PF, so
+		// the original slot is PF⁻¹(idx) (§6.3 Step 5a, Equation 16).
+		out.WinnerSlot = o.view.PF.Inverse().Image(int(idx))
+	}
+	out.Stats.OwnerNS = time.Since(start).Nanoseconds()
+	out.Stats.WallNS = time.Since(wall).Nanoseconds()
+	out.Stats.Rounds = 1
+	return out, nil
+}
+
+// CheckExtremeConsistency is each owner's local verification of an
+// announced extreme (our instantiation of the full-version max
+// verification): the announced max cannot be below this owner's own
+// value (resp. above, for min). Returns ErrVerificationFailed on
+// inconsistency.
+func (o *Owner) CheckExtremeConsistency(kind protocol.ExtremeKind, announced uint64, localValue uint64, has bool) error {
+	if !has {
+		return nil
+	}
+	switch kind {
+	case protocol.KindMax:
+		if localValue > announced {
+			return fmt.Errorf("%w: announced max %d below own value %d", ErrVerificationFailed, announced, localValue)
+		}
+	case protocol.KindMin:
+		if localValue < announced {
+			return fmt.Errorf("%w: announced min %d above own value %d", ErrVerificationFailed, announced, localValue)
+		}
+	}
+	return nil
+}
+
+// SubmitClaim sends additive shares of α_i = [M_i = z] to both servers
+// (§6.3 Step 5b). Owners without a value at the cell submit α = 0 so the
+// servers observe identical behaviour from every owner.
+func (o *Owner) SubmitClaim(ctx context.Context, qid string, holdsExtreme bool) error {
+	var alpha uint64
+	if holdsExtreme {
+		alpha = 1
+	}
+	o.mu.Lock()
+	shares := share.AdditiveSplit(o.rng, alpha, o.view.Delta, 2)
+	o.mu.Unlock()
+	_, err := o.call2(ctx, func(phi int) any {
+		return protocol.ClaimSubmitRequest{QueryID: qid, Owner: o.Index, Share: shares[phi]}
+	})
+	return err
+}
+
+// FetchClaims retrieves the fpos vectors from both servers and adds them
+// (§6.3 Step 7), yielding the 0/1 ownership vector over owner slots.
+func (o *Owner) FetchClaims(ctx context.Context, qid string) ([]bool, error) {
+	replies, err := o.call2(ctx, func(int) any {
+		return protocol.ClaimFetchRequest{QueryID: qid}
+	})
+	if err != nil {
+		return nil, err
+	}
+	reps := make([]protocol.ClaimFetchReply, 2)
+	for phi, r := range replies {
+		rep, ok := r.(protocol.ClaimFetchReply)
+		if !ok {
+			return nil, fmt.Errorf("ownerengine: unexpected claim reply %T", r)
+		}
+		if !rep.Ready {
+			return nil, fmt.Errorf("ownerengine: claims for %q not ready", qid)
+		}
+		reps[phi] = rep
+	}
+	if len(reps[0].Fpos) != len(reps[1].Fpos) {
+		return nil, fmt.Errorf("ownerengine: fpos length mismatch")
+	}
+	out := make([]bool, len(reps[0].Fpos))
+	for i := range out {
+		v := (uint64(reps[0].Fpos[i]) + uint64(reps[1].Fpos[i])) % o.view.Delta
+		if v > 1 {
+			return nil, fmt.Errorf("%w: fpos[%d] = %d is not a bit", ErrVerificationFailed, i, v)
+		}
+		out[i] = v == 1
+	}
+	return out, nil
+}

@@ -1,0 +1,329 @@
+// Package ownerengine implements a Prism DB owner (paper §3.2 entity 1):
+// building the χ domain tables from local tuples, secret-sharing and
+// outsourcing them (Phase 1), issuing queries (Phase 2), and final
+// processing — share recombination, Lagrange interpolation, verification
+// checks (Phase 4).
+package ownerengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"prism/internal/domain"
+	"prism/internal/field"
+	"prism/internal/params"
+	"prism/internal/perm"
+	"prism/internal/prg"
+	"prism/internal/protocol"
+	"prism/internal/share"
+	"prism/internal/transport"
+)
+
+// ErrVerificationFailed is returned when a result-verification check
+// detects server misbehaviour (paper §5.2 and the full-version methods).
+var ErrVerificationFailed = errors.New("ownerengine: result verification failed")
+
+// Data is one owner's private table: one entry per tuple. Cells[i] is the
+// A_c cell of tuple i (see internal/domain for value→cell mapping);
+// Aggs[col][i] is the tuple's A_x value for each aggregation column.
+type Data struct {
+	Cells []uint64
+	Aggs  map[string][]uint64
+}
+
+// Validate checks shape and bounds.
+func (d *Data) Validate(b uint64, maxAgg uint64) error {
+	for _, c := range d.Cells {
+		if c >= b {
+			return fmt.Errorf("ownerengine: cell %d outside domain of %d cells", c, b)
+		}
+	}
+	for col, vs := range d.Aggs {
+		if len(vs) != len(d.Cells) {
+			return fmt.Errorf("ownerengine: column %q has %d values for %d tuples", col, len(vs), len(d.Cells))
+		}
+		for _, v := range vs {
+			if v > maxAgg {
+				return fmt.Errorf("ownerengine: column %q value %d exceeds declared bound %d", col, v, maxAgg)
+			}
+		}
+	}
+	return nil
+}
+
+// OutsourceSpec selects what is outsourced for one logical table.
+type OutsourceSpec struct {
+	Table     string
+	AggCols   []string // which Data.Aggs columns get Shamir sum columns
+	Verify    bool     // also outsource χ̄ and v-columns (Table 11's v* columns)
+	WithCount bool     // also outsource the per-cell tuple-count column (aOK)
+}
+
+// ShareGenStats reports Phase-1 costs (the paper's "share generation
+// time" paragraph in §8.1).
+type ShareGenStats struct {
+	BuildNS  int64 // χ/aggregate construction
+	SplitNS  int64 // secret-share generation
+	UploadNS int64 // transport to the three servers
+	Cells    uint64
+}
+
+// QueryStats decomposes one query's cost the way the paper's plots do.
+type QueryStats struct {
+	Server  protocol.Stats // summed over servers and rounds
+	OwnerNS int64          // owner-side result construction (Table 14)
+	WallNS  int64
+	Rounds  int
+}
+
+// Owner is one DB owner's protocol engine.
+type Owner struct {
+	Index int
+
+	view    *params.OwnerView
+	caller  transport.Caller
+	servers []string // logical addresses of the NumServers servers
+	rng     *prg.PRG
+
+	mu         sync.Mutex
+	data       *Data
+	tables     map[string]*localTable
+	bucketMeta map[string]*bucketMeta
+
+	w3 []field.Elem // Lagrange weights for 3 shares
+}
+
+// localTable retains owner-local state about an outsourced table.
+type localTable struct {
+	spec OutsourceSpec
+	b    uint64
+	chi  []uint16 // natural order; the owner's own membership bitmap
+}
+
+// New builds an owner engine. serverAddrs must have params.NumServers
+// entries; seed drives all share randomness (zero → fresh entropy).
+func New(index int, view *params.OwnerView, caller transport.Caller, serverAddrs []string, seed prg.Seed) (*Owner, error) {
+	if len(serverAddrs) != params.NumServers {
+		return nil, fmt.Errorf("ownerengine: need %d server addresses, got %d", params.NumServers, len(serverAddrs))
+	}
+	var zero prg.Seed
+	if seed == zero {
+		seed = prg.NewSeed()
+	}
+	return &Owner{
+		Index:      index,
+		view:       view,
+		caller:     caller,
+		servers:    append([]string(nil), serverAddrs...),
+		rng:        prg.New(seed.Derive(fmt.Sprintf("owner/%d", index))),
+		tables:     make(map[string]*localTable),
+		bucketMeta: make(map[string]*bucketMeta),
+		w3:         share.LagrangeWeights(3),
+	}, nil
+}
+
+// View exposes the owner's parameter view (for orchestration layers).
+func (o *Owner) View() *params.OwnerView { return o.view }
+
+// Load installs the owner's private tuples.
+func (o *Owner) Load(d *Data) error {
+	if err := d.Validate(o.view.B, o.view.MaxAgg); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.data = d
+	return nil
+}
+
+// Data returns the loaded dataset (owner-local, never shared).
+func (o *Owner) Data() *Data {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.data
+}
+
+// Outsource runs Phase 1 for one table: build χ (and χ̄, aggregate
+// columns per spec), permute, secret-share, and upload to the servers.
+func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStats, error) {
+	o.mu.Lock()
+	d := o.data
+	o.mu.Unlock()
+	if d == nil {
+		return ShareGenStats{}, errors.New("ownerengine: no data loaded")
+	}
+	b := o.view.B
+	var stats ShareGenStats
+	stats.Cells = b
+
+	// ---- build natural-order tables (§5.1 Step 1, §6.1 Step 1) ----
+	start := time.Now()
+	chi, err := domain.BuildChi(b, d.Cells)
+	if err != nil {
+		return stats, err
+	}
+	var chibar []uint16
+	if spec.Verify {
+		chibar = domain.Complement(chi)
+	}
+	sums := make(map[string][]uint64, len(spec.AggCols))
+	for _, col := range spec.AggCols {
+		vs, ok := d.Aggs[col]
+		if !ok {
+			return stats, fmt.Errorf("ownerengine: data has no column %q", col)
+		}
+		acc := make([]uint64, b)
+		for i, c := range d.Cells {
+			acc[c] = field.Add(acc[c], field.Reduce(vs[i]))
+		}
+		sums[col] = acc
+	}
+	var counts []uint64
+	if spec.WithCount {
+		counts = make([]uint64, b)
+		for _, c := range d.Cells {
+			counts[c]++
+		}
+	}
+	stats.BuildNS = time.Since(start).Nanoseconds()
+
+	// ---- permute and secret-share ----
+	start = time.Now()
+	chiP := perm.Apply(o.view.DB1, chi, nil)
+	chiShares := share.AdditiveSplitVector(o.rng, chiP, o.view.Delta, 2)
+	var barShares [][]uint16
+	if spec.Verify {
+		barP := perm.Apply(o.view.DB2, chibar, nil)
+		barShares = share.AdditiveSplitVector(o.rng, barP, o.view.Delta, 2)
+	}
+	sumShares := make(map[string][][]uint64, len(sums))
+	vsumShares := make(map[string][][]uint64)
+	for col, v := range sums {
+		sumShares[col] = share.ShamirSplitVector(o.rng, perm.Apply(o.view.DB1, v, nil), 1, 3)
+		if spec.Verify {
+			vsumShares[col] = share.ShamirSplitVector(o.rng, perm.Apply(o.view.DB2, v, nil), 1, 3)
+		}
+	}
+	var cntShares, vcntShares [][]uint64
+	if spec.WithCount {
+		cntShares = share.ShamirSplitVector(o.rng, perm.Apply(o.view.DB1, counts, nil), 1, 3)
+		if spec.Verify {
+			vcntShares = share.ShamirSplitVector(o.rng, perm.Apply(o.view.DB2, counts, nil), 1, 3)
+		}
+	}
+	stats.SplitNS = time.Since(start).Nanoseconds()
+
+	// ---- upload ----
+	start = time.Now()
+	pspec := protocol.TableSpec{
+		Name:      spec.Table,
+		B:         b,
+		AggCols:   append([]string(nil), spec.AggCols...),
+		HasVerify: spec.Verify,
+		HasCount:  spec.WithCount,
+	}
+	reqs := make([]protocol.StoreRequest, params.NumServers)
+	for phi := range reqs {
+		req := protocol.StoreRequest{Owner: o.Index, Spec: pspec}
+		if phi < 2 {
+			req.ChiAdd = chiShares[phi]
+			if spec.Verify {
+				req.ChiBarAdd = barShares[phi]
+			}
+		}
+		req.SumCols = make(map[string][]uint64, len(sumShares))
+		for col, sh := range sumShares {
+			req.SumCols[col] = sh[phi]
+		}
+		if spec.Verify {
+			req.VSumCols = make(map[string][]uint64, len(vsumShares))
+			for col, sh := range vsumShares {
+				req.VSumCols[col] = sh[phi]
+			}
+		}
+		if spec.WithCount {
+			req.CountCol = cntShares[phi]
+			if spec.Verify {
+				req.VCountCol = vcntShares[phi]
+			}
+		}
+		reqs[phi] = req
+	}
+	if err := o.storeAll(ctx, reqs); err != nil {
+		return stats, err
+	}
+	stats.UploadNS = time.Since(start).Nanoseconds()
+
+	o.mu.Lock()
+	o.tables[spec.Table] = &localTable{spec: spec, b: b, chi: chi}
+	o.mu.Unlock()
+	return stats, nil
+}
+
+func (o *Owner) storeAll(ctx context.Context, reqs []protocol.StoreRequest) error {
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for phi := range reqs {
+		wg.Add(1)
+		go func(phi int) {
+			defer wg.Done()
+			reply, err := o.caller.Call(ctx, o.servers[phi], reqs[phi])
+			if err != nil {
+				errs[phi] = err
+				return
+			}
+			if _, ok := reply.(protocol.StoreReply); !ok {
+				errs[phi] = fmt.Errorf("ownerengine: unexpected store reply %T", reply)
+			}
+		}(phi)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// localTableFor fetches owner-local table state.
+func (o *Owner) localTableFor(name string) (*localTable, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t, ok := o.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("ownerengine: table %q not outsourced by this owner", name)
+	}
+	return t, nil
+}
+
+// call2 issues the same request builder to the two additive-share
+// servers concurrently and returns both replies.
+func (o *Owner) call2(ctx context.Context, build func(phi int) any) ([2]any, error) {
+	var out [2]any
+	errs := [2]error{}
+	var wg sync.WaitGroup
+	for phi := 0; phi < 2; phi++ {
+		wg.Add(1)
+		go func(phi int) {
+			defer wg.Done()
+			out[phi], errs[phi] = o.caller.Call(ctx, o.servers[phi], build(phi))
+		}(phi)
+	}
+	wg.Wait()
+	return out, errors.Join(errs[0], errs[1])
+}
+
+// call3 issues requests to all three servers concurrently.
+func (o *Owner) call3(ctx context.Context, build func(phi int) any) ([3]any, error) {
+	var out [3]any
+	errs := [3]error{}
+	var wg sync.WaitGroup
+	for phi := 0; phi < 3; phi++ {
+		wg.Add(1)
+		go func(phi int) {
+			defer wg.Done()
+			out[phi], errs[phi] = o.caller.Call(ctx, o.servers[phi], build(phi))
+		}(phi)
+	}
+	wg.Wait()
+	return out, errors.Join(errs[0], errs[1], errs[2])
+}

@@ -1,0 +1,238 @@
+package ownerengine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"prism/internal/announcer"
+	"prism/internal/params"
+	"prism/internal/prg"
+	"prism/internal/protocol"
+	"prism/internal/serverengine"
+	"prism/internal/transport"
+)
+
+// rig wires m owners against real server/announcer engines in-process.
+type rig struct {
+	owners  []*Owner
+	network *transport.Network
+}
+
+func newRig(t *testing.T, m int, b uint64) *rig {
+	t.Helper()
+	sys, err := params.Generate(params.Config{
+		NumOwners:  m,
+		DomainSize: b,
+		MaxAgg:     100000,
+		Seed:       prg.SeedFromString("ownerengine-rig"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := transport.NewNetwork()
+	addrs := make([]string, params.NumServers)
+	for phi := 0; phi < params.NumServers; phi++ {
+		view, err := sys.ForServer(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := serverengine.New(view, serverengine.Options{
+			Threads: 2, AnnouncerAddr: "announcer", Caller: n,
+		})
+		addrs[phi] = serverAddr(phi)
+		n.Register(addrs[phi], eng)
+	}
+	n.Register("announcer", announcer.New(sys.ForAnnouncer()))
+	r := &rig{network: n}
+	for i := 0; i < m; i++ {
+		o, err := New(i, sys.ForOwner(), n, addrs, prg.SeedFromString("owner-seed"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.owners = append(r.owners, o)
+	}
+	return r
+}
+
+func serverAddr(phi int) string {
+	return []string{"server/0", "server/1", "server/2"}[phi]
+}
+
+func TestDataValidate(t *testing.T) {
+	d := &Data{Cells: []uint64{0, 5}}
+	if err := d.Validate(6, 100); err != nil {
+		t.Errorf("valid data rejected: %v", err)
+	}
+	if err := d.Validate(5, 100); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+	d2 := &Data{Cells: []uint64{0}, Aggs: map[string][]uint64{"v": {1, 2}}}
+	if err := d2.Validate(5, 100); err == nil {
+		t.Error("ragged column accepted")
+	}
+	d3 := &Data{Cells: []uint64{0}, Aggs: map[string][]uint64{"v": {101}}}
+	if err := d3.Validate(5, 100); err == nil {
+		t.Error("over-bound aggregation value accepted")
+	}
+}
+
+func TestOutsourceWithoutData(t *testing.T) {
+	r := newRig(t, 2, 8)
+	if _, err := r.owners[0].Outsource(context.Background(), OutsourceSpec{Table: "t"}); err == nil {
+		t.Error("outsourcing without data accepted")
+	}
+}
+
+func TestOutsourceUnknownColumn(t *testing.T) {
+	r := newRig(t, 2, 8)
+	if err := r.owners[0].Load(&Data{Cells: []uint64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.owners[0].Outsource(context.Background(), OutsourceSpec{Table: "t", AggCols: []string{"ghost"}})
+	if err == nil {
+		t.Error("unknown aggregation column accepted")
+	}
+}
+
+func TestLocalValueKinds(t *testing.T) {
+	r := newRig(t, 2, 8)
+	o := r.owners[0]
+	if err := o.Load(&Data{
+		Cells: []uint64{3, 3, 3, 5},
+		Aggs:  map[string][]uint64{"v": {10, 30, 20, 99}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		kind protocol.ExtremeKind
+		want uint64
+	}{
+		{protocol.KindMax, 30},
+		{protocol.KindMin, 10},
+		{protocol.KindMedian, 60}, // per-owner total at the cell
+	}
+	for _, c := range cases {
+		got, has, err := o.LocalValue(c.kind, "v", 3)
+		if err != nil || !has {
+			t.Fatalf("%v: %v, has=%v", c.kind, err, has)
+		}
+		if got != c.want {
+			t.Errorf("%v = %d, want %d", c.kind, got, c.want)
+		}
+	}
+	if _, has, err := o.LocalValue(protocol.KindMax, "v", 7); err != nil || has {
+		t.Errorf("empty cell: has=%v err=%v", has, err)
+	}
+	if _, _, err := o.LocalValue(protocol.KindMax, "ghost", 3); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestSubmitExtremeRejectsOverBound(t *testing.T) {
+	r := newRig(t, 2, 8)
+	err := r.owners[0].SubmitExtreme(context.Background(), "q", protocol.KindMax, 1<<40)
+	if err == nil {
+		t.Error("value over MaxAgg accepted")
+	}
+}
+
+func TestVerifyPSIRequiresResultVector(t *testing.T) {
+	r := newRig(t, 2, 8)
+	if err := r.owners[0].VerifyPSI(context.Background(), "t", nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	if err := r.owners[0].VerifyPSI(context.Background(), "t", &SetResult{}); err == nil {
+		t.Error("empty result vector accepted")
+	}
+}
+
+func TestAggregateRejectsBadSelector(t *testing.T) {
+	r := newRig(t, 2, 8)
+	_, err := r.owners[0].Aggregate(context.Background(), "t", []uint64{99}, []string{"v"}, false, false)
+	if err == nil {
+		t.Error("out-of-range selected cell accepted")
+	}
+}
+
+// TestEndToEndViaEngines runs the PSI → verify → aggregate pipeline
+// directly at the engine level (no prism.System wrapper).
+func TestEndToEndViaEngines(t *testing.T) {
+	r := newRig(t, 3, 16)
+	ctx := context.Background()
+	datasets := []*Data{
+		{Cells: []uint64{1, 4, 9}, Aggs: map[string][]uint64{"v": {10, 20, 30}}},
+		{Cells: []uint64{1, 4, 7}, Aggs: map[string][]uint64{"v": {1, 2, 3}}},
+		{Cells: []uint64{4, 1, 15}, Aggs: map[string][]uint64{"v": {100, 200, 300}}},
+	}
+	for i, o := range r.owners {
+		if err := o.Load(datasets[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.Outsource(ctx, OutsourceSpec{
+			Table: "t", AggCols: []string{"v"}, Verify: true, WithCount: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := r.owners[0]
+	res, err := q.PSI(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 || res.Cells[0] != 1 || res.Cells[1] != 4 {
+		t.Fatalf("PSI = %v, want [1 4]", res.Cells)
+	}
+	if err := q.VerifyPSI(ctx, "t", res); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := q.Aggregate(ctx, "t", res.Cells, []string{"v"}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Sums["v"][1] != 10+1+200 {
+		t.Errorf("sum at 1 = %d, want 211", agg.Sums["v"][1])
+	}
+	if agg.Sums["v"][4] != 20+2+100 {
+		t.Errorf("sum at 4 = %d, want 122", agg.Sums["v"][4])
+	}
+	if agg.Counts[1] != 3 || agg.Counts[4] != 3 {
+		t.Errorf("counts = %v, want 3 each", agg.Counts)
+	}
+	avg, ok := agg.Avg("v", 1)
+	if !ok || avg != 211.0/3.0 {
+		t.Errorf("avg = %f", avg)
+	}
+}
+
+// TestStatsPopulated: queries must report server compute time and cell
+// counts for the bench harness.
+func TestStatsPopulated(t *testing.T) {
+	r := newRig(t, 2, 64)
+	ctx := context.Background()
+	for _, o := range r.owners {
+		if err := o.Load(&Data{Cells: []uint64{5}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.Outsource(ctx, OutsourceSpec{Table: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := r.owners[0].PSI(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Server.Cells != 128 { // 64 cells × 2 servers
+		t.Errorf("cells = %d, want 128", res.Stats.Server.Cells)
+	}
+	if res.Stats.WallNS == 0 || res.Stats.Rounds != 1 {
+		t.Errorf("stats incomplete: %+v", res.Stats)
+	}
+}
+
+func TestErrVerificationFailedIsSentinel(t *testing.T) {
+	err := ErrVerificationFailed
+	if !errors.Is(err, ErrVerificationFailed) {
+		t.Fatal("sentinel broken")
+	}
+}

@@ -1,0 +1,262 @@
+package ownerengine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"prism/internal/modmath"
+	"prism/internal/perm"
+	"prism/internal/protocol"
+)
+
+// SetResult is the outcome of a PSI or PSU query: the natural-order cell
+// indices in the result set, the owner's combined fop vector (kept for
+// verification, Equation 10), and cost stats.
+type SetResult struct {
+	Cells []uint64
+	fop   []uint64 // natural order; PSI: 1 ⇔ common. PSU: nonzero ⇔ in union
+	Stats QueryStats
+}
+
+// PSI runs the §5.1 protocol and returns the common cells.
+func (o *Owner) PSI(ctx context.Context, table string) (*SetResult, error) {
+	wall := time.Now()
+	qid := o.freshQueryID("psi")
+	replies, err := o.call2(ctx, func(int) any {
+		return protocol.PSIRequest{Table: table, QueryID: qid}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var stats QueryStats
+	stats.Rounds = 1
+	outs := make([][]uint64, 2)
+	for phi, r := range replies {
+		rep, ok := r.(protocol.PSIReply)
+		if !ok {
+			return nil, fmt.Errorf("ownerengine: unexpected PSI reply %T", r)
+		}
+		outs[phi] = rep.Out
+		stats.Server.Add(rep.Stats)
+	}
+	if len(outs[0]) != len(outs[1]) || uint64(len(outs[0])) != o.view.B {
+		return nil, fmt.Errorf("ownerengine: PSI reply length mismatch (%d, %d)", len(outs[0]), len(outs[1]))
+	}
+
+	start := time.Now()
+	// fop_i ← out¹_i · out²_i mod η (Equation 4), then undo PF_db1.
+	eta := o.view.Eta
+	fopStored := make([]uint64, len(outs[0]))
+	for i := range fopStored {
+		fopStored[i] = modmath.MulMod(outs[0][i], outs[1][i], eta)
+	}
+	fop := perm.ApplyInverse(o.view.DB1, fopStored, nil)
+	var cells []uint64
+	for i, v := range fop {
+		if v == 1%eta {
+			cells = append(cells, uint64(i))
+		}
+	}
+	stats.OwnerNS = time.Since(start).Nanoseconds()
+	stats.WallNS = time.Since(wall).Nanoseconds()
+	return &SetResult{Cells: cells, fop: fop, Stats: stats}, nil
+}
+
+// VerifyPSI runs the §5.2 verification round against a prior PSI result:
+// fetch the χ̄-side vectors, recombine, and require r1_i·r2_i ≡ 1 (mod η)
+// at every cell (Equation 10). Returns ErrVerificationFailed on tamper.
+func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) error {
+	if res == nil || uint64(len(res.fop)) != o.view.B {
+		return fmt.Errorf("ownerengine: VerifyPSI needs the PSI result vector")
+	}
+	qid := o.freshQueryID("psiv")
+	replies, err := o.call2(ctx, func(int) any {
+		return protocol.PSIVerifyRequest{Table: table, QueryID: qid}
+	})
+	if err != nil {
+		return err
+	}
+	vouts := make([][]uint64, 2)
+	for phi, r := range replies {
+		rep, ok := r.(protocol.PSIVerifyReply)
+		if !ok {
+			return fmt.Errorf("ownerengine: unexpected verify reply %T", r)
+		}
+		vouts[phi] = rep.Vout
+		res.Stats.Server.Add(rep.Stats)
+	}
+	if len(vouts[0]) != len(vouts[1]) || uint64(len(vouts[0])) != o.view.B {
+		return fmt.Errorf("ownerengine: verify reply length mismatch")
+	}
+	start := time.Now()
+	eta := o.view.Eta
+	r2Stored := make([]uint64, len(vouts[0]))
+	for i := range r2Stored {
+		r2Stored[i] = modmath.MulMod(vouts[0][i], vouts[1][i], eta)
+	}
+	r2 := perm.ApplyInverse(o.view.DB2, r2Stored, nil)
+	for i := range r2 {
+		if modmath.MulMod(res.fop[i], r2[i], eta) != 1%eta {
+			return fmt.Errorf("%w: PSI cell %d fails r1·r2 ≡ 1", ErrVerificationFailed, i)
+		}
+	}
+	res.Stats.OwnerNS += time.Since(start).Nanoseconds()
+	res.Stats.Rounds++
+	return nil
+}
+
+// PSU runs the §7 protocol and returns the union cells.
+func (o *Owner) PSU(ctx context.Context, table string) (*SetResult, error) {
+	wall := time.Now()
+	qid := o.freshQueryID("psu")
+	replies, err := o.call2(ctx, func(int) any {
+		return protocol.PSURequest{Table: table, QueryID: qid}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var stats QueryStats
+	stats.Rounds = 1
+	outs := make([][]uint16, 2)
+	for phi, r := range replies {
+		rep, ok := r.(protocol.PSUReply)
+		if !ok {
+			return nil, fmt.Errorf("ownerengine: unexpected PSU reply %T", r)
+		}
+		outs[phi] = rep.Out
+		stats.Server.Add(rep.Stats)
+	}
+	if len(outs[0]) != len(outs[1]) || uint64(len(outs[0])) != o.view.B {
+		return nil, fmt.Errorf("ownerengine: PSU reply length mismatch")
+	}
+	start := time.Now()
+	delta := o.view.Delta
+	fopStored := make([]uint64, len(outs[0]))
+	for i := range fopStored {
+		fopStored[i] = (uint64(outs[0][i]) + uint64(outs[1][i])) % delta // Equation 19
+	}
+	fop := perm.ApplyInverse(o.view.DB1, fopStored, nil)
+	var cells []uint64
+	for i, v := range fop {
+		if v != 0 {
+			cells = append(cells, uint64(i))
+		}
+	}
+	stats.OwnerNS = time.Since(start).Nanoseconds()
+	stats.WallNS = time.Since(wall).Nanoseconds()
+	return &SetResult{Cells: cells, fop: fop, Stats: stats}, nil
+}
+
+// CountResult is the outcome of a PSI-count query (§6.5).
+type CountResult struct {
+	Count int
+	Stats QueryStats
+}
+
+// Count runs PSI count: the servers PF_s1-permute the PSI vector so the
+// owner learns the cardinality but not the positions. With verify, the
+// χ̄-side arrives PF_s2-permuted and both align under PF_i (Equation 1),
+// enabling the per-cell r1·r2 ≡ 1 check without revealing positions.
+func (o *Owner) Count(ctx context.Context, table string, verify bool) (*CountResult, error) {
+	wall := time.Now()
+	qid := o.freshQueryID("count")
+	replies, err := o.call2(ctx, func(int) any {
+		return protocol.CountRequest{Table: table, QueryID: qid, Verify: verify}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var stats QueryStats
+	stats.Rounds = 1
+	outs := make([][]uint64, 2)
+	vouts := make([][]uint64, 2)
+	for phi, r := range replies {
+		rep, ok := r.(protocol.CountReply)
+		if !ok {
+			return nil, fmt.Errorf("ownerengine: unexpected count reply %T", r)
+		}
+		outs[phi] = rep.Out
+		vouts[phi] = rep.Vout
+		stats.Server.Add(rep.Stats)
+	}
+	if len(outs[0]) != len(outs[1]) || uint64(len(outs[0])) != o.view.B {
+		return nil, fmt.Errorf("ownerengine: count reply length mismatch")
+	}
+	start := time.Now()
+	eta := o.view.Eta
+	count := 0
+	var fop []uint64
+	if verify {
+		fop = make([]uint64, len(outs[0]))
+	}
+	for i := range outs[0] {
+		v := modmath.MulMod(outs[0][i], outs[1][i], eta)
+		if v == 1%eta {
+			count++
+		}
+		if verify {
+			fop[i] = v
+		}
+	}
+	if verify {
+		if vouts[0] == nil || vouts[1] == nil || len(vouts[0]) != len(fop) || len(vouts[1]) != len(fop) {
+			return nil, fmt.Errorf("ownerengine: count verification vectors missing")
+		}
+		for i := range fop {
+			r2 := modmath.MulMod(vouts[0][i], vouts[1][i], eta)
+			if modmath.MulMod(fop[i], r2, eta) != 1%eta {
+				return nil, fmt.Errorf("%w: count position %d fails r1·r2 ≡ 1", ErrVerificationFailed, i)
+			}
+		}
+		stats.Rounds++
+	}
+	stats.OwnerNS = time.Since(start).Nanoseconds()
+	stats.WallNS = time.Since(wall).Nanoseconds()
+	return &CountResult{Count: count, Stats: stats}, nil
+}
+
+// PSUCount runs PSU count: PF_s1-permuted masked sums; the owner counts
+// nonzero entries.
+func (o *Owner) PSUCount(ctx context.Context, table string) (*CountResult, error) {
+	wall := time.Now()
+	qid := o.freshQueryID("psucount")
+	replies, err := o.call2(ctx, func(int) any {
+		return protocol.PSURequest{Table: table, QueryID: qid, Permute: true}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var stats QueryStats
+	stats.Rounds = 1
+	outs := make([][]uint16, 2)
+	for phi, r := range replies {
+		rep, ok := r.(protocol.PSUReply)
+		if !ok {
+			return nil, fmt.Errorf("ownerengine: unexpected PSU reply %T", r)
+		}
+		outs[phi] = rep.Out
+		stats.Server.Add(rep.Stats)
+	}
+	if len(outs[0]) != len(outs[1]) || uint64(len(outs[0])) != o.view.B {
+		return nil, fmt.Errorf("ownerengine: PSU count reply length mismatch")
+	}
+	start := time.Now()
+	delta := o.view.Delta
+	count := 0
+	for i := range outs[0] {
+		if (uint64(outs[0][i])+uint64(outs[1][i]))%delta != 0 {
+			count++
+		}
+	}
+	stats.OwnerNS = time.Since(start).Nanoseconds()
+	stats.WallNS = time.Since(wall).Nanoseconds()
+	return &CountResult{Count: count, Stats: stats}, nil
+}
+
+// freshQueryID derives a unique query id from the owner's PRG.
+func (o *Owner) freshQueryID(prefix string) string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return fmt.Sprintf("%s-%d-%x", prefix, o.Index, o.rng.Uint64())
+}

@@ -1,0 +1,249 @@
+// Package params implements Prism's initiator (paper §3.2 entity 3 and
+// §4): one-time generation of all protocol parameters and their
+// distribution as per-entity views that enforce the paper's knowledge
+// asymmetry:
+//
+//   - DB owners know m, δ, η, the domain, PF_db1/PF_db2, the owner-slot
+//     permutation PF, and the polynomial F(x) — but never g, α, η′,
+//     PF_s1/PF_s2 or the servers' PRG seed.
+//   - Servers know m, δ, g, η′ (= α·η), PF, PF_s1/PF_s2, additive shares
+//     of m, and the common PRG seed — but never η or PF_db1/PF_db2.
+//   - The announcer knows only δ and the big modulus Q.
+package params
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"prism/internal/modmath"
+	"prism/internal/opoly"
+	"prism/internal/perm"
+	"prism/internal/prg"
+)
+
+// NumServers is Prism's server count: two additive-share servers plus a
+// third that only holds Shamir shares so degree-2 aggregation results
+// remain reconstructible (paper §3.2).
+const NumServers = 3
+
+// Config drives parameter generation.
+type Config struct {
+	NumOwners  int      // m > 2 (the multi-owner setting of the paper)
+	DomainSize uint64   // b = |Dom(A_c)|
+	Delta      uint64   // additive group prime δ > m; 0 → paper default 113 (or next prime > m)
+	Alpha      uint64   // η' = α·η with α > 1; 0 → 13 (paper example's α)
+	MaxAgg     uint64   // upper bound on aggregation-attribute values (sizes Q); 0 → 2^32
+	CoefBound  uint64   // opoly coefficient bound; 0 → 1000
+	Seed       prg.Seed // master seed; zero value → fresh OS entropy
+}
+
+// System is the initiator's complete view. It is never shipped to any
+// other entity; use the For* methods to derive entity views.
+type System struct {
+	M        int
+	B        uint64
+	Delta    uint64
+	Eta      uint64
+	EtaPrime uint64
+	G        uint64
+	Alpha    uint64
+
+	MShares [2]uint16 // additive shares of m for S1, S2 (§4: "provides additive shares of m to servers")
+
+	Quad *perm.Quad // PF_i, PF_db1, PF_db2, PF_s1, PF_s2 over b cells (Eq. 1)
+	PF   perm.Perm  // owner-slot permutation for max/median (size m)
+
+	Poly     *opoly.Poly // order-preserving F(x), degree m+1
+	Q        *big.Int    // prime modulus for big additive shares, > 2·F(MaxAgg+1)
+	MaxAgg   uint64
+	PSUSeed  prg.Seed // servers' common PRG seed (PSU masks); unknown to owners
+	PermSeed prg.Seed // retained for audit/regeneration
+}
+
+var zeroSeed prg.Seed
+
+// Generate runs the initiator. Deterministic given a non-zero Config.Seed.
+func Generate(cfg Config) (*System, error) {
+	if cfg.NumOwners < 2 {
+		return nil, errors.New("params: need at least 2 DB owners")
+	}
+	if cfg.DomainSize == 0 {
+		return nil, errors.New("params: domain size must be positive")
+	}
+	seed := cfg.Seed
+	if seed == zeroSeed {
+		seed = prg.NewSeed()
+	}
+	delta := cfg.Delta
+	if delta == 0 {
+		delta = 113 // the paper's experimental δ
+	}
+	if delta <= uint64(cfg.NumOwners) {
+		delta = modmath.NextPrime(uint64(cfg.NumOwners) + 1)
+	}
+	if !modmath.IsPrime(delta) {
+		return nil, fmt.Errorf("params: δ=%d is not prime", delta)
+	}
+	if delta > 1<<16 {
+		return nil, fmt.Errorf("params: δ=%d too large for uint16 share encoding", delta)
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 13
+	}
+	if alpha < 2 {
+		return nil, errors.New("params: α must be > 1")
+	}
+	eta, err := modmath.FindEta(delta, delta)
+	if err != nil {
+		return nil, fmt.Errorf("params: finding η: %w", err)
+	}
+	g, err := modmath.SubgroupGenerator(delta, eta)
+	if err != nil {
+		return nil, fmt.Errorf("params: finding generator: %w", err)
+	}
+	etaPrime := alpha * eta
+	if etaPrime >= 1<<62 {
+		return nil, errors.New("params: η' too large")
+	}
+
+	genPRG := prg.New(seed.Derive("params"))
+
+	// Additive shares of m in Z_δ.
+	s1 := genPRG.Uint64n(delta)
+	s2 := (uint64(cfg.NumOwners)%delta + delta - s1) % delta
+
+	// Permutation quadruple over the b domain cells (Eq. 1).
+	if cfg.DomainSize > 1<<31 {
+		return nil, errors.New("params: domain too large for uint32 permutations")
+	}
+	quad, err := perm.NewQuad(prg.New(seed.Derive("quad")), int(cfg.DomainSize))
+	if err != nil {
+		return nil, err
+	}
+	// Owner-slot permutation PF (known to servers and owners; §4(viii)).
+	pf := perm.Random(prg.New(seed.Derive("slot-pf")), cfg.NumOwners)
+
+	coefBound := cfg.CoefBound
+	if coefBound == 0 {
+		coefBound = 1000
+	}
+	poly, err := opoly.New(prg.New(seed.Derive("opoly")), cfg.NumOwners, coefBound)
+	if err != nil {
+		return nil, err
+	}
+	maxAgg := cfg.MaxAgg
+	if maxAgg == 0 {
+		maxAgg = 1 << 32
+	}
+	// Q: prime strictly above 2·F(maxAgg+1), so sums of two shares cannot
+	// wrap ambiguously and every masked value is in range.
+	bound := new(big.Int).Lsh(poly.MaxMasked(maxAgg), 1)
+	q, err := nextBigPrime(bound)
+	if err != nil {
+		return nil, err
+	}
+
+	return &System{
+		M:        cfg.NumOwners,
+		B:        cfg.DomainSize,
+		Delta:    delta,
+		Eta:      eta,
+		EtaPrime: etaPrime,
+		G:        g,
+		Alpha:    alpha,
+		MShares:  [2]uint16{uint16(s1), uint16(s2)},
+		Quad:     quad,
+		PF:       pf,
+		Poly:     poly,
+		Q:        q,
+		MaxAgg:   maxAgg,
+		PSUSeed:  seed.Derive("psu-masks"),
+		PermSeed: seed,
+	}, nil
+}
+
+// nextBigPrime returns the smallest probable prime > n.
+func nextBigPrime(n *big.Int) (*big.Int, error) {
+	p := new(big.Int).Add(n, big.NewInt(1))
+	if p.Bit(0) == 0 {
+		p.Add(p, big.NewInt(1))
+	}
+	two := big.NewInt(2)
+	for i := 0; i < 1<<20; i++ {
+		if p.ProbablyPrime(40) {
+			return p, nil
+		}
+		p.Add(p, two)
+	}
+	return nil, errors.New("params: prime search exhausted")
+}
+
+// OwnerView is what every DB owner receives from the initiator.
+type OwnerView struct {
+	M      int
+	B      uint64
+	Delta  uint64
+	Eta    uint64
+	DB1    perm.Perm
+	DB2    perm.Perm
+	PF     perm.Perm
+	Poly   *opoly.Poly
+	Q      *big.Int
+	MaxAgg uint64
+}
+
+// ServerView is what server φ (0-based index) receives.
+type ServerView struct {
+	Index    int // 0, 1, 2
+	M        int
+	B        uint64
+	Delta    uint64
+	EtaPrime uint64
+	G        uint64
+	MShare   uint16 // A(m)^φ, only meaningful for index 0, 1
+	S1       perm.Perm
+	S2       perm.Perm
+	PF       perm.Perm
+	PSUSeed  prg.Seed
+}
+
+// AnnouncerView is what the announcer S_a receives (§4: "knows δ" plus
+// the big modulus used for max/median shares).
+type AnnouncerView struct {
+	M     int
+	Delta uint64
+	Q     *big.Int
+}
+
+// ForOwner derives the owner view.
+func (s *System) ForOwner() *OwnerView {
+	return &OwnerView{
+		M: s.M, B: s.B, Delta: s.Delta, Eta: s.Eta,
+		DB1: s.Quad.DB1, DB2: s.Quad.DB2, PF: s.PF,
+		Poly: s.Poly, Q: s.Q, MaxAgg: s.MaxAgg,
+	}
+}
+
+// ForServer derives server φ's view. φ ∈ [0, NumServers).
+func (s *System) ForServer(phi int) (*ServerView, error) {
+	if phi < 0 || phi >= NumServers {
+		return nil, fmt.Errorf("params: server index %d out of range", phi)
+	}
+	v := &ServerView{
+		Index: phi, M: s.M, B: s.B, Delta: s.Delta,
+		EtaPrime: s.EtaPrime, G: s.G,
+		S1: s.Quad.S1, S2: s.Quad.S2, PF: s.PF,
+		PSUSeed: s.PSUSeed,
+	}
+	if phi < 2 {
+		v.MShare = s.MShares[phi]
+	}
+	return v, nil
+}
+
+// ForAnnouncer derives the announcer view.
+func (s *System) ForAnnouncer() *AnnouncerView {
+	return &AnnouncerView{M: s.M, Delta: s.Delta, Q: s.Q}
+}

@@ -1,0 +1,131 @@
+// Package prg implements the deterministic pseudorandom number generator
+// PRG of the paper (§3.1): a seeded, deterministic, efficient generator.
+//
+// Construction: SHA-256 in counter mode over (seed || counter), consumed
+// 8 bytes at a time. The same seed always yields the same stream, which
+// is what the PSU protocol needs — both servers derive identical masking
+// values rand[i] ∈ [1, δ-1] without communicating (paper §7, Eq. 18).
+package prg
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Seed is the 32-byte PRG seed.
+type Seed [32]byte
+
+// NewSeed draws a fresh random seed from the OS entropy source.
+func NewSeed() Seed {
+	var s Seed
+	if _, err := rand.Read(s[:]); err != nil {
+		panic("prg: OS entropy unavailable: " + err.Error())
+	}
+	return s
+}
+
+// SeedFromString derives a seed deterministically from a label. Useful in
+// tests and for deriving independent sub-streams from a master seed.
+func SeedFromString(label string) Seed {
+	return Seed(sha256.Sum256([]byte(label)))
+}
+
+// Derive produces an independent child seed from a parent seed and label.
+func (s Seed) Derive(label string) Seed {
+	h := sha256.New()
+	h.Write(s[:])
+	h.Write([]byte{0x1f}) // domain separator
+	h.Write([]byte(label))
+	var out Seed
+	h.Sum(out[:0])
+	return out
+}
+
+// PRG is a deterministic stream of pseudorandom 64-bit values.
+// It is NOT safe for concurrent use; create one per goroutine.
+type PRG struct {
+	seed    Seed
+	counter uint64
+	buf     [32]byte
+	off     int
+}
+
+// New returns a PRG positioned at the start of the stream for seed.
+func New(seed Seed) *PRG {
+	return &PRG{seed: seed, off: len(Seed{})}
+}
+
+// refill computes the next SHA-256 block of the stream.
+func (p *PRG) refill() {
+	h := sha256.New()
+	h.Write(p.seed[:])
+	var ctr [8]byte
+	binary.LittleEndian.PutUint64(ctr[:], p.counter)
+	h.Write(ctr[:])
+	h.Sum(p.buf[:0])
+	p.counter++
+	p.off = 0
+}
+
+// Uint64 returns the next 64 pseudorandom bits.
+func (p *PRG) Uint64() uint64 {
+	if p.off+8 > len(p.buf) {
+		p.refill()
+	}
+	v := binary.LittleEndian.Uint64(p.buf[p.off:])
+	p.off += 8
+	return v
+}
+
+// Uint64n returns a uniform value in [0, n) using rejection sampling
+// (no modulo bias). n must be > 0.
+func (p *PRG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prg: Uint64n(0)")
+	}
+	if n&(n-1) == 0 { // power of two
+		return p.Uint64() & (n - 1)
+	}
+	// Largest v below a multiple of n; rejecting above it removes modulo bias.
+	max := ^uint64(0) - (^uint64(0)%n+1)%n
+	for {
+		v := p.Uint64()
+		if v <= max {
+			return v % n
+		}
+	}
+}
+
+// Range1 returns a uniform value in [1, n-1] — the PSU mask domain
+// "between 1 and δ-1" (paper §4, servers' parameter (iv)). n must be >= 3.
+func (p *PRG) Range1(n uint64) uint64 {
+	return 1 + p.Uint64n(n-1)
+}
+
+// Fill fills dst with uniform values in [0, n).
+func (p *PRG) Fill(dst []uint64, n uint64) {
+	for i := range dst {
+		dst[i] = p.Uint64n(n)
+	}
+}
+
+// FillUint16 fills dst with uniform values in [0, n), n <= 65536.
+func (p *PRG) FillUint16(dst []uint16, n uint64) {
+	if n > 1<<16 {
+		panic("prg: FillUint16 range too large")
+	}
+	for i := range dst {
+		dst[i] = uint16(p.Uint64n(n))
+	}
+}
+
+// Bytes fills dst with pseudorandom bytes.
+func (p *PRG) Bytes(dst []byte) {
+	for i := 0; i < len(dst); i += 8 {
+		v := p.Uint64()
+		for j := 0; j < 8 && i+j < len(dst); j++ {
+			dst[i+j] = byte(v >> (8 * j))
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package protocol defines the wire messages exchanged between Prism
+// entities (owners ↔ servers ↔ announcer). Every protocol step of the
+// paper maps to one request/reply pair. All types are gob-encodable and
+// registered for transport over the generic envelope.
+package protocol
+
+import "encoding/gob"
+
+// TableSpec describes one outsourced table (paper Table 11 layout).
+type TableSpec struct {
+	Name      string
+	B         uint64   // cells per column
+	AggCols   []string // Shamir sum columns (PK, LN, SK, DT, ...)
+	HasVerify bool     // χ̄ and v-columns present
+	HasCount  bool     // per-cell tuple-count column (aOK) present
+	Plain     bool     // stored in natural cell order (bucket-tree levels)
+}
+
+// Stats carries per-request server-side timing so the benchmark harness
+// can decompose time the way Figure 3 does (compute vs data fetch).
+type Stats struct {
+	FetchNS   int64 // time reading shares from the share store
+	ComputeNS int64 // time in the oblivious compute loop
+	Cells     int   // cells processed
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.FetchNS += s2.FetchNS
+	s.ComputeNS += s2.ComputeNS
+	s.Cells += s2.Cells
+}
+
+// ---- Phase 1: data outsourcing (owner → server) ----
+
+// StoreRequest uploads one owner's secret-shared table to one server.
+// χ is stored permuted by PF_db1, χ̄ by PF_db2 (see DESIGN.md §4); all
+// Shamir columns follow χ's order, v-columns follow χ̄'s order.
+type StoreRequest struct {
+	Owner     int
+	Spec      TableSpec
+	ChiAdd    []uint16            // additive share of χ (servers 0,1)
+	ChiBarAdd []uint16            // additive share of χ̄ (servers 0,1; verify only)
+	SumCols   map[string][]uint64 // Shamir share (this server's point) per agg column
+	VSumCols  map[string][]uint64 // verification copies in χ̄ order
+	CountCol  []uint64            // Shamir share of per-cell tuple counts (aOK)
+	VCountCol []uint64
+}
+
+// StoreReply acknowledges the upload.
+type StoreReply struct{ Cells uint64 }
+
+// DropRequest removes a stored table (all owners) from a server.
+type DropRequest struct{ Table string }
+
+// DropReply acknowledges removal.
+type DropReply struct{}
+
+// ---- PSI (paper §5.1) ----
+
+// PSIRequest asks a server for the PSI output vector over a table.
+type PSIRequest struct {
+	Table   string
+	QueryID string
+	Cells   []uint32 // nil → all cells; else the bucket-tree frontier (§6.6)
+}
+
+// PSIReply carries out_i = g^((Σ_j A(x_i)_j ⊖ A(m)) mod δ) mod η'.
+type PSIReply struct {
+	Out   []uint64
+	Stats Stats
+}
+
+// ---- PSI verification (paper §5.2) ----
+
+// PSIVerifyRequest asks for the χ̄-side vector Vout.
+type PSIVerifyRequest struct {
+	Table   string
+	QueryID string
+}
+
+// PSIVerifyReply carries Vout_i = g^(Σ_j A(x̄_i)_j mod δ) mod η'.
+type PSIVerifyReply struct {
+	Vout  []uint64
+	Stats Stats
+}
+
+// ---- PSI count (paper §6.5) ----
+
+// CountRequest asks for the PF_s1-permuted PSI vector; with Verify also
+// the PF_s2-permuted χ̄ vector, aligned under PF_i (Eq. 1).
+type CountRequest struct {
+	Table   string
+	QueryID string
+	Verify  bool
+}
+
+// CountReply carries the permuted output (and verification) vectors.
+type CountReply struct {
+	Out   []uint64
+	Vout  []uint64 // nil unless Verify
+	Stats Stats
+}
+
+// ---- PSU (paper §7) ----
+
+// PSURequest asks for the PRG-masked additive sums. QueryID doubles as
+// the PRG nonce so both servers derive identical masks per query.
+type PSURequest struct {
+	Table   string
+	QueryID string
+	Permute bool // true → PF_s1-permuted output (PSU count mode)
+}
+
+// PSUReply carries out_i = ((Σ_j A(x_i)_j) · rand_i) mod δ.
+type PSUReply struct {
+	Out   []uint16
+	Stats Stats
+}
+
+// ---- Aggregation round 2 (paper §6.1, §6.2) ----
+
+// AggRequest carries the querier's Shamir-shared selector z and names the
+// aggregation columns; the server returns Σ_j S(x_i2)_j · S(z_i).
+type AggRequest struct {
+	Table     string
+	QueryID   string
+	Cols      []string
+	WithCount bool     // also aggregate the count column (average queries)
+	Z         []uint64 // this server's share of z, χ (PF_db1) order
+	VZ        []uint64 // selector share in χ̄ (PF_db2) order; nil → no verification
+}
+
+// AggReply carries degree-2 share vectors per requested column.
+type AggReply struct {
+	Sums    map[string][]uint64
+	Counts  []uint64
+	VSums   map[string][]uint64
+	VCounts []uint64
+	Stats   Stats
+}
+
+// ---- Max / Min / Median transport (paper §6.3, §6.4) ----
+
+// ExtremeKind selects the exemplary aggregate.
+type ExtremeKind int
+
+// Exemplary aggregation kinds.
+const (
+	KindMax ExtremeKind = iota
+	KindMin
+	KindMedian
+)
+
+func (k ExtremeKind) String() string {
+	switch k {
+	case KindMax:
+		return "max"
+	case KindMin:
+		return "min"
+	case KindMedian:
+		return "median"
+	}
+	return "unknown"
+}
+
+// ExtremeSubmitRequest carries owner i's additive share of v_i = F(M_i)+r_i
+// to one server (§6.3 Step 3).
+type ExtremeSubmitRequest struct {
+	QueryID string
+	Kind    ExtremeKind
+	Owner   int
+	VShare  []byte // big.Int bytes, value in [0, Q)
+}
+
+// ExtremeSubmitReply reports whether the server has forwarded to S_a.
+type ExtremeSubmitReply struct{ Forwarded bool }
+
+// ExtremeFetchRequest polls a server for the announcer's result shares.
+type ExtremeFetchRequest struct{ QueryID string }
+
+// ExtremeFetchReply carries this server's additive shares of the result
+// value(s) and, for max/min, of the winning (PF-permuted) slot index.
+type ExtremeFetchReply struct {
+	Ready       bool
+	ValueShares [][]byte // 1 value for max/min; 1 or 2 for median
+	IndexShare  uint16   // share of index mod δ
+	HasIndex    bool
+}
+
+// AnnounceRequest is server φ → announcer: the PF-permuted slot array of
+// big shares (§6.3 Step 4).
+type AnnounceRequest struct {
+	QueryID   string
+	Kind      ExtremeKind
+	ServerIdx int
+	Shares    [][]byte
+}
+
+// AnnounceReply acknowledges receipt.
+type AnnounceReply struct{ Have int }
+
+// AnnounceFetchRequest is server φ → announcer, polling for its result
+// shares once both slot arrays arrived.
+type AnnounceFetchRequest struct {
+	QueryID   string
+	ServerIdx int
+}
+
+// AnnounceFetchReply carries server φ's additive shares of the result.
+type AnnounceFetchReply struct {
+	Ready       bool
+	ValueShares [][]byte
+	IndexShare  uint16
+	HasIndex    bool
+}
+
+// ---- Max identity round (paper §6.3 Steps 5b-7) ----
+
+// ClaimSubmitRequest carries owner i's additive share of α_i = [M_i = z].
+type ClaimSubmitRequest struct {
+	QueryID string
+	Owner   int
+	Share   uint16
+}
+
+// ClaimSubmitReply acknowledges.
+type ClaimSubmitReply struct{}
+
+// ClaimFetchRequest polls for the assembled fpos vector.
+type ClaimFetchRequest struct{ QueryID string }
+
+// ClaimFetchReply carries fpos^φ (§6.3 Step 6).
+type ClaimFetchReply struct {
+	Ready bool
+	Fpos  []uint16
+}
+
+// Register registers every message type with gob for transport.
+func Register() {
+	for _, v := range []any{
+		TableSpec{}, Stats{},
+		StoreRequest{}, StoreReply{}, DropRequest{}, DropReply{},
+		PSIRequest{}, PSIReply{},
+		PSIVerifyRequest{}, PSIVerifyReply{},
+		CountRequest{}, CountReply{},
+		PSURequest{}, PSUReply{},
+		AggRequest{}, AggReply{},
+		ExtremeSubmitRequest{}, ExtremeSubmitReply{},
+		ExtremeFetchRequest{}, ExtremeFetchReply{},
+		AnnounceRequest{}, AnnounceReply{},
+		AnnounceFetchRequest{}, AnnounceFetchReply{},
+		ClaimSubmitRequest{}, ClaimSubmitReply{},
+		ClaimFetchRequest{}, ClaimFetchReply{},
+	} {
+		gob.Register(v)
+	}
+}
+
+func init() { Register() }

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Exp", "name", "time")
+	tb.Add("psi", 4.2)
+	tb.Add("longer-name", time.Duration(1500)*time.Millisecond)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== Exp ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "psi") || !strings.Contains(out, "longer-name") {
+		t.Error("missing rows")
+	}
+	if !strings.Contains(out, "4.200") {
+		t.Error("float not rendered with 3 decimals")
+	}
+	if !strings.Contains(out, "1.500s") {
+		t.Error("duration not rendered as seconds")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + sep + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add(1, 2)
+	tb.Add(3, 4)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	want := "a,b\n1,2\n3,4\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q want %q", sb.String(), want)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(1_500_000_000) != "1.500" {
+		t.Errorf("Seconds = %s", Seconds(1_500_000_000))
+	}
+	if Seconds(0) != "0.000" {
+		t.Errorf("Seconds(0) = %s", Seconds(0))
+	}
+}

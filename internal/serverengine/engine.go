@@ -1,0 +1,757 @@
+// Package serverengine implements a Prism server S_φ (paper §3.2 entity
+// 2): it stores the secret-shared Table-11 columns outsourced by the m
+// DB owners and evaluates queries obliviously — identical work per cell,
+// no data-dependent branching — so access patterns and output sizes leak
+// nothing (§3.4).
+//
+// The engine exposes the request/reply protocol of internal/protocol via
+// transport.Handler. It never contacts another server; its only outbound
+// calls go to the announcer S_a for max/min/median queries, exactly as
+// the paper's trust model prescribes.
+package serverengine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"prism/internal/field"
+	"prism/internal/modmath"
+	"prism/internal/params"
+	"prism/internal/perm"
+	"prism/internal/prg"
+	"prism/internal/protocol"
+	"prism/internal/sharestore"
+	"prism/internal/transport"
+)
+
+// psuBlock is the fixed cell-block size for PSU mask derivation. Both
+// servers derive rand[] per block from the shared seed, so the stream is
+// identical regardless of each server's thread count.
+const psuBlock = 1 << 16
+
+// Options configures an engine.
+type Options struct {
+	// Threads is the worker-pool width for per-cell loops (Figure 3's
+	// thread sweep). 0 means GOMAXPROCS.
+	Threads int
+	// Store, when non-nil and DiskBacked, holds columns on disk; queries
+	// then fetch them per request and report real fetch times.
+	Store      *sharestore.Store
+	DiskBacked bool
+	// AnnouncerAddr and Caller let the engine forward max/min/median
+	// slot arrays to S_a.
+	AnnouncerAddr string
+	Caller        transport.Caller
+}
+
+// Engine is one Prism server.
+type Engine struct {
+	view *params.ServerView
+	opts Options
+
+	powTab []uint64 // g^e mod η' for e ∈ [0, δ)
+
+	mu     sync.RWMutex
+	tables map[string]*table
+
+	extMu    sync.Mutex
+	extremes map[string]*extremeState
+	claims   map[string]*claimState
+}
+
+type table struct {
+	spec   protocol.TableSpec
+	owners map[int]*ownerCols
+}
+
+type ownerCols struct {
+	chi    []uint16
+	chibar []uint16
+	sums   map[string][]uint64
+	vsums  map[string][]uint64
+	cnt    []uint64
+	vcnt   []uint64
+	onDisk bool
+}
+
+type extremeState struct {
+	kind      protocol.ExtremeKind
+	shares    [][]byte
+	got       int
+	forwarded bool
+	result    *protocol.AnnounceFetchReply
+}
+
+type claimState struct {
+	fpos []uint16
+	got  map[int]bool
+}
+
+// New builds an engine for server view v.
+func New(v *params.ServerView, opts Options) *Engine {
+	if opts.Threads <= 0 {
+		opts.Threads = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		view:     v,
+		opts:     opts,
+		powTab:   modmath.PowTable(v.G, v.Delta, v.EtaPrime),
+		tables:   make(map[string]*table),
+		extremes: make(map[string]*extremeState),
+		claims:   make(map[string]*claimState),
+	}
+}
+
+// SetThreads adjusts the worker-pool width (used by the thread-sweep
+// benchmarks). Safe between queries.
+func (e *Engine) SetThreads(n int) {
+	if n > 0 {
+		e.opts.Threads = n
+	}
+}
+
+// Handle implements transport.Handler.
+func (e *Engine) Handle(ctx context.Context, req any) (any, error) {
+	switch r := req.(type) {
+	case protocol.StoreRequest:
+		return e.handleStore(r)
+	case protocol.DropRequest:
+		return e.handleDrop(r)
+	case protocol.PSIRequest:
+		return e.handlePSI(r)
+	case protocol.PSIVerifyRequest:
+		return e.handlePSIVerify(r)
+	case protocol.CountRequest:
+		return e.handleCount(r)
+	case protocol.PSURequest:
+		return e.handlePSU(r)
+	case protocol.AggRequest:
+		return e.handleAgg(r)
+	case protocol.ExtremeSubmitRequest:
+		return e.handleExtremeSubmit(ctx, r)
+	case protocol.ExtremeFetchRequest:
+		return e.handleExtremeFetch(ctx, r)
+	case protocol.ClaimSubmitRequest:
+		return e.handleClaimSubmit(r)
+	case protocol.ClaimFetchRequest:
+		return e.handleClaimFetch(r)
+	default:
+		return nil, fmt.Errorf("server %d: unknown request type %T", e.view.Index, req)
+	}
+}
+
+// ---- storage ----
+
+func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
+	if r.Owner < 0 || r.Owner >= e.view.M {
+		return nil, fmt.Errorf("server %d: owner index %d out of range [0,%d)", e.view.Index, r.Owner, e.view.M)
+	}
+	b := r.Spec.B
+	if !r.Spec.Plain && b != e.view.B {
+		return nil, fmt.Errorf("server %d: table %q has %d cells, system domain is %d", e.view.Index, r.Spec.Name, b, e.view.B)
+	}
+	isAdditive := e.view.Index < 2
+	if isAdditive {
+		if uint64(len(r.ChiAdd)) != b {
+			return nil, fmt.Errorf("server %d: χ share length %d != %d cells", e.view.Index, len(r.ChiAdd), b)
+		}
+		if r.Spec.HasVerify && uint64(len(r.ChiBarAdd)) != b {
+			return nil, fmt.Errorf("server %d: χ̄ share length %d != %d cells", e.view.Index, len(r.ChiBarAdd), b)
+		}
+	}
+	for _, col := range r.Spec.AggCols {
+		if uint64(len(r.SumCols[col])) != b {
+			return nil, fmt.Errorf("server %d: column %q share length mismatch", e.view.Index, col)
+		}
+		if r.Spec.HasVerify && uint64(len(r.VSumCols[col])) != b {
+			return nil, fmt.Errorf("server %d: v-column %q share length mismatch", e.view.Index, col)
+		}
+	}
+	if r.Spec.HasCount && uint64(len(r.CountCol)) != b {
+		return nil, fmt.Errorf("server %d: count column length mismatch", e.view.Index)
+	}
+
+	oc := &ownerCols{
+		chi:    r.ChiAdd,
+		chibar: r.ChiBarAdd,
+		sums:   r.SumCols,
+		vsums:  r.VSumCols,
+		cnt:    r.CountCol,
+		vcnt:   r.VCountCol,
+	}
+
+	e.mu.Lock()
+	t, ok := e.tables[r.Spec.Name]
+	if !ok {
+		t = &table{spec: r.Spec, owners: make(map[int]*ownerCols)}
+		e.tables[r.Spec.Name] = t
+	} else if t.spec.B != b {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("server %d: table %q cell-count conflict", e.view.Index, r.Spec.Name)
+	}
+	t.owners[r.Owner] = oc
+	e.mu.Unlock()
+
+	if e.opts.DiskBacked && e.opts.Store != nil {
+		if err := e.spill(r.Spec.Name, r.Owner, oc); err != nil {
+			return nil, err
+		}
+	}
+	return protocol.StoreReply{Cells: b}, nil
+}
+
+func (e *Engine) handleDrop(r protocol.DropRequest) (any, error) {
+	e.mu.Lock()
+	delete(e.tables, r.Table)
+	e.mu.Unlock()
+	if e.opts.Store != nil {
+		if err := e.opts.Store.DropTable(r.Table); err != nil {
+			return nil, err
+		}
+	}
+	return protocol.DropReply{}, nil
+}
+
+// spill writes an owner's columns to disk and drops them from memory.
+func (e *Engine) spill(tableName string, owner int, oc *ownerCols) error {
+	st := e.opts.Store
+	pre := fmt.Sprintf("o%d.", owner)
+	if oc.chi != nil {
+		if err := st.WriteU16(tableName, pre+"chi", oc.chi); err != nil {
+			return err
+		}
+	}
+	if oc.chibar != nil {
+		if err := st.WriteU16(tableName, pre+"chibar", oc.chibar); err != nil {
+			return err
+		}
+	}
+	for col, v := range oc.sums {
+		if err := st.WriteU64(tableName, pre+"sum."+col, v); err != nil {
+			return err
+		}
+	}
+	for col, v := range oc.vsums {
+		if err := st.WriteU64(tableName, pre+"vsum."+col, v); err != nil {
+			return err
+		}
+	}
+	if oc.cnt != nil {
+		if err := st.WriteU64(tableName, pre+"cnt", oc.cnt); err != nil {
+			return err
+		}
+	}
+	if oc.vcnt != nil {
+		if err := st.WriteU64(tableName, pre+"vcnt", oc.vcnt); err != nil {
+			return err
+		}
+	}
+	oc.chi, oc.chibar, oc.sums, oc.vsums, oc.cnt, oc.vcnt = nil, nil, nil, nil, nil, nil
+	oc.onDisk = true
+	return nil
+}
+
+// lookup fetches the table and checks all m owners have outsourced.
+func (e *Engine) lookup(name string) (*table, error) {
+	e.mu.RLock()
+	t, ok := e.tables[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server %d: unknown table %q", e.view.Index, name)
+	}
+	if len(t.owners) != e.view.M {
+		return nil, fmt.Errorf("server %d: table %q has %d of %d owners", e.view.Index, name, len(t.owners), e.view.M)
+	}
+	return t, nil
+}
+
+// chiShares returns every owner's χ share vector, fetching from disk in
+// disk-backed mode. The returned release function must be called when the
+// query is done (it lets fetched copies be collected).
+func (e *Engine) chiShares(t *table, bar bool, stats *protocol.Stats) ([][]uint16, error) {
+	out := make([][]uint16, 0, len(t.owners))
+	start := time.Now()
+	for j := 0; j < e.view.M; j++ {
+		oc := t.owners[j]
+		var v []uint16
+		if oc.onDisk {
+			col := "chi"
+			if bar {
+				col = "chibar"
+			}
+			var err error
+			v, err = e.opts.Store.ReadU16(t.spec.Name, fmt.Sprintf("o%d.%s", j, col))
+			if err != nil {
+				return nil, err
+			}
+		} else if bar {
+			v = oc.chibar
+		} else {
+			v = oc.chi
+		}
+		if v == nil {
+			return nil, fmt.Errorf("server %d: table %q owner %d missing %s column", e.view.Index, t.spec.Name, j, map[bool]string{false: "χ", true: "χ̄"}[bar])
+		}
+		out = append(out, v)
+	}
+	stats.FetchNS += time.Since(start).Nanoseconds()
+	return out, nil
+}
+
+// u64Col returns one owner's named uint64 column, disk-aware.
+func (e *Engine) u64Col(t *table, owner int, kind, col string, stats *protocol.Stats) ([]uint64, error) {
+	oc := t.owners[owner]
+	if oc.onDisk {
+		start := time.Now()
+		name := fmt.Sprintf("o%d.%s", owner, kind)
+		if col != "" {
+			name += "." + col
+		}
+		v, err := e.opts.Store.ReadU64(t.spec.Name, name)
+		stats.FetchNS += time.Since(start).Nanoseconds()
+		return v, err
+	}
+	switch kind {
+	case "sum":
+		return oc.sums[col], nil
+	case "vsum":
+		return oc.vsums[col], nil
+	case "cnt":
+		return oc.cnt, nil
+	case "vcnt":
+		return oc.vcnt, nil
+	}
+	return nil, fmt.Errorf("server %d: unknown column kind %q", e.view.Index, kind)
+}
+
+// ---- parallel helper ----
+
+// parallel splits [0, n) into contiguous chunks across the worker pool.
+func (e *Engine) parallel(n int, fn func(lo, hi int)) {
+	threads := e.opts.Threads
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ---- PSI (§5.1 Step 2) ----
+
+// psiVector computes out_i = g^((Σ_j A(x_i)_j ⊖ A(m)) mod δ) mod η' for
+// every requested cell (all cells when cells is nil).
+func (e *Engine) psiVector(shares [][]uint16, cells []uint32, subtractM bool, stats *protocol.Stats) []uint64 {
+	delta := e.view.Delta
+	mShare := uint64(0)
+	if subtractM {
+		mShare = uint64(e.view.MShare) % delta
+	}
+	start := time.Now()
+	var out []uint64
+	if cells == nil {
+		n := len(shares[0])
+		out = make([]uint64, n)
+		e.parallel(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var sum uint64
+				for _, sv := range shares {
+					sum += uint64(sv[i])
+				}
+				e2 := (sum%delta + delta - mShare) % delta
+				out[i] = e.powTab[e2]
+			}
+		})
+	} else {
+		out = make([]uint64, len(cells))
+		e.parallel(len(cells), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				i := cells[k]
+				var sum uint64
+				for _, sv := range shares {
+					sum += uint64(sv[i])
+				}
+				e2 := (sum%delta + delta - mShare) % delta
+				out[k] = e.powTab[e2]
+			}
+		})
+	}
+	stats.ComputeNS += time.Since(start).Nanoseconds()
+	stats.Cells += len(out)
+	return out
+}
+
+func (e *Engine) handlePSI(r protocol.PSIRequest) (any, error) {
+	if e.view.Index >= 2 {
+		return nil, fmt.Errorf("server %d: holds no additive shares", e.view.Index)
+	}
+	t, err := e.lookup(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	var stats protocol.Stats
+	shares, err := e.chiShares(t, false, &stats)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range r.Cells {
+		if uint64(c) >= t.spec.B {
+			return nil, fmt.Errorf("server %d: cell %d out of range", e.view.Index, c)
+		}
+	}
+	out := e.psiVector(shares, r.Cells, true, &stats)
+	return protocol.PSIReply{Out: out, Stats: stats}, nil
+}
+
+// ---- PSI verification (§5.2 Step 2, Equation 7) ----
+
+func (e *Engine) handlePSIVerify(r protocol.PSIVerifyRequest) (any, error) {
+	if e.view.Index >= 2 {
+		return nil, fmt.Errorf("server %d: holds no additive shares", e.view.Index)
+	}
+	t, err := e.lookup(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	if !t.spec.HasVerify {
+		return nil, fmt.Errorf("server %d: table %q outsourced without verification columns", e.view.Index, r.Table)
+	}
+	var stats protocol.Stats
+	shares, err := e.chiShares(t, true, &stats)
+	if err != nil {
+		return nil, err
+	}
+	// No ⊖A(m) on the verification side (Equation 7).
+	out := e.psiVector(shares, nil, false, &stats)
+	return protocol.PSIVerifyReply{Vout: out, Stats: stats}, nil
+}
+
+// ---- PSI count (§6.5) ----
+
+func (e *Engine) handleCount(r protocol.CountRequest) (any, error) {
+	if e.view.Index >= 2 {
+		return nil, fmt.Errorf("server %d: holds no additive shares", e.view.Index)
+	}
+	t, err := e.lookup(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	if t.spec.Plain {
+		return nil, fmt.Errorf("server %d: count needs a permuted table", e.view.Index)
+	}
+	var stats protocol.Stats
+	shares, err := e.chiShares(t, false, &stats)
+	if err != nil {
+		return nil, err
+	}
+	raw := e.psiVector(shares, nil, true, &stats)
+	start := time.Now()
+	out := perm.Apply(e.view.S1, raw, nil) // hide positions from owners
+	stats.ComputeNS += time.Since(start).Nanoseconds()
+
+	reply := protocol.CountReply{Out: out}
+	if r.Verify {
+		if !t.spec.HasVerify {
+			return nil, fmt.Errorf("server %d: table %q lacks verification columns", e.view.Index, r.Table)
+		}
+		vshares, err := e.chiShares(t, true, &stats)
+		if err != nil {
+			return nil, err
+		}
+		vraw := e.psiVector(vshares, nil, false, &stats)
+		start = time.Now()
+		reply.Vout = perm.Apply(e.view.S2, vraw, nil) // aligned under PF_i (Eq. 1)
+		stats.ComputeNS += time.Since(start).Nanoseconds()
+	}
+	reply.Stats = stats
+	return reply, nil
+}
+
+// ---- PSU (§7, Equation 18) ----
+
+func (e *Engine) handlePSU(r protocol.PSURequest) (any, error) {
+	if e.view.Index >= 2 {
+		return nil, fmt.Errorf("server %d: holds no additive shares", e.view.Index)
+	}
+	t, err := e.lookup(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	var stats protocol.Stats
+	shares, err := e.chiShares(t, false, &stats)
+	if err != nil {
+		return nil, err
+	}
+	delta := e.view.Delta
+	n := len(shares[0])
+	out := make([]uint16, n)
+	start := time.Now()
+	// Masks are derived per fixed-size block from the shared seed and the
+	// query id, so both servers produce identical rand[] regardless of
+	// their local thread counts.
+	nBlocks := (n + psuBlock - 1) / psuBlock
+	e.parallel(nBlocks, func(blo, bhi int) {
+		for blk := blo; blk < bhi; blk++ {
+			lo := blk * psuBlock
+			hi := lo + psuBlock
+			if hi > n {
+				hi = n
+			}
+			g := prg.New(e.view.PSUSeed.Derive(fmt.Sprintf("psu/%s/%d", r.QueryID, blk)))
+			for i := lo; i < hi; i++ {
+				var sum uint64
+				for _, sv := range shares {
+					sum += uint64(sv[i])
+				}
+				mask := g.Range1(delta)
+				out[i] = uint16(sum % delta * mask % delta)
+			}
+		}
+	})
+	stats.ComputeNS += time.Since(start).Nanoseconds()
+	stats.Cells += n
+	if r.Permute {
+		start = time.Now()
+		out = perm.Apply(e.view.S1, out, nil)
+		stats.ComputeNS += time.Since(start).Nanoseconds()
+	}
+	return protocol.PSUReply{Out: out, Stats: stats}, nil
+}
+
+// ---- aggregation round 2 (§6.1 Step 4, Equation 11) ----
+
+func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
+	t, err := e.lookup(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	b := int(t.spec.B)
+	if len(r.Z) != b {
+		return nil, fmt.Errorf("server %d: selector length %d != %d cells", e.view.Index, len(r.Z), b)
+	}
+	verify := r.VZ != nil
+	if verify {
+		if !t.spec.HasVerify {
+			return nil, fmt.Errorf("server %d: table %q lacks verification columns", e.view.Index, r.Table)
+		}
+		if len(r.VZ) != b {
+			return nil, fmt.Errorf("server %d: v-selector length mismatch", e.view.Index)
+		}
+	}
+	var stats protocol.Stats
+	reply := protocol.AggReply{Sums: make(map[string][]uint64)}
+	if verify {
+		reply.VSums = make(map[string][]uint64)
+	}
+
+	for _, col := range r.Cols {
+		acc, err := e.sumColumn(t, "sum", col, r.Z, &stats)
+		if err != nil {
+			return nil, err
+		}
+		reply.Sums[col] = acc
+		if verify {
+			vacc, err := e.sumColumn(t, "vsum", col, r.VZ, &stats)
+			if err != nil {
+				return nil, err
+			}
+			reply.VSums[col] = vacc
+		}
+	}
+	if r.WithCount {
+		if !t.spec.HasCount {
+			return nil, fmt.Errorf("server %d: table %q has no count column", e.view.Index, r.Table)
+		}
+		acc, err := e.sumColumn(t, "cnt", "", r.Z, &stats)
+		if err != nil {
+			return nil, err
+		}
+		reply.Counts = acc
+		if verify {
+			vacc, err := e.sumColumn(t, "vcnt", "", r.VZ, &stats)
+			if err != nil {
+				return nil, err
+			}
+			reply.VCounts = vacc
+		}
+	}
+	reply.Stats = stats
+	return reply, nil
+}
+
+// sumColumn computes acc_i = S(z_i) · Σ_j S(col_i)_j over all owners —
+// the linear rearrangement of Equation 11 (servers multiply the selector
+// share into the summed column shares; degree rises to 2).
+func (e *Engine) sumColumn(t *table, kind, col string, z []uint64, stats *protocol.Stats) ([]uint64, error) {
+	b := int(t.spec.B)
+	cols := make([][]uint64, 0, e.view.M)
+	for j := 0; j < e.view.M; j++ {
+		v, err := e.u64Col(t, j, kind, col, stats)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, fmt.Errorf("server %d: owner %d missing %s/%s column", e.view.Index, j, kind, col)
+		}
+		cols = append(cols, v)
+	}
+	acc := make([]uint64, b)
+	start := time.Now()
+	e.parallel(b, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s field.Elem
+			for _, cv := range cols {
+				s = field.Add(s, cv[i])
+			}
+			acc[i] = field.Mul(s, z[i])
+		}
+	})
+	stats.ComputeNS += time.Since(start).Nanoseconds()
+	stats.Cells += b
+	return acc, nil
+}
+
+// ---- max/min/median transport (§6.3 Step 4) ----
+
+func (e *Engine) handleExtremeSubmit(ctx context.Context, r protocol.ExtremeSubmitRequest) (any, error) {
+	if e.view.Index >= 2 {
+		return nil, fmt.Errorf("server %d: not an additive-share server", e.view.Index)
+	}
+	if r.Owner < 0 || r.Owner >= e.view.M {
+		return nil, fmt.Errorf("server %d: owner %d out of range", e.view.Index, r.Owner)
+	}
+	e.extMu.Lock()
+	st, ok := e.extremes[r.QueryID]
+	if !ok {
+		st = &extremeState{kind: r.Kind, shares: make([][]byte, e.view.M)}
+		e.extremes[r.QueryID] = st
+	}
+	if st.shares[r.Owner] == nil {
+		st.shares[r.Owner] = r.VShare
+		st.got++
+	}
+	complete := st.got == e.view.M && !st.forwarded
+	if complete {
+		st.forwarded = true
+	}
+	kind := st.kind
+	var permuted [][]byte
+	if complete {
+		// input[i] ← A(v)_i ; output ← PF(input)  (§6.3 Step 4)
+		permuted = make([][]byte, e.view.M)
+		for i, s := range st.shares {
+			permuted[e.view.PF.Image(i)] = s
+		}
+	}
+	e.extMu.Unlock()
+
+	if complete {
+		if e.opts.Caller == nil || e.opts.AnnouncerAddr == "" {
+			return nil, fmt.Errorf("server %d: no announcer configured", e.view.Index)
+		}
+		_, err := e.opts.Caller.Call(ctx, e.opts.AnnouncerAddr, protocol.AnnounceRequest{
+			QueryID:   r.QueryID,
+			Kind:      kind,
+			ServerIdx: e.view.Index,
+			Shares:    permuted,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server %d: forwarding to announcer: %w", e.view.Index, err)
+		}
+	}
+	return protocol.ExtremeSubmitReply{Forwarded: complete}, nil
+}
+
+func (e *Engine) handleExtremeFetch(ctx context.Context, r protocol.ExtremeFetchRequest) (any, error) {
+	e.extMu.Lock()
+	st, ok := e.extremes[r.QueryID]
+	cached := ok && st.result != nil
+	var res protocol.AnnounceFetchReply
+	if cached {
+		res = *st.result
+	}
+	e.extMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server %d: unknown extreme query %q", e.view.Index, r.QueryID)
+	}
+	if !cached {
+		reply, err := e.opts.Caller.Call(ctx, e.opts.AnnouncerAddr, protocol.AnnounceFetchRequest{
+			QueryID: r.QueryID, ServerIdx: e.view.Index,
+		})
+		if err != nil {
+			return nil, err
+		}
+		af, okT := reply.(protocol.AnnounceFetchReply)
+		if !okT {
+			return nil, fmt.Errorf("server %d: unexpected announcer reply %T", e.view.Index, reply)
+		}
+		if !af.Ready {
+			return protocol.ExtremeFetchReply{Ready: false}, nil
+		}
+		e.extMu.Lock()
+		st.result = &af
+		e.extMu.Unlock()
+		res = af
+	}
+	return protocol.ExtremeFetchReply{
+		Ready:       true,
+		ValueShares: res.ValueShares,
+		IndexShare:  res.IndexShare,
+		HasIndex:    res.HasIndex,
+	}, nil
+}
+
+// ---- identity round (§6.3 Steps 5b-6) ----
+
+func (e *Engine) handleClaimSubmit(r protocol.ClaimSubmitRequest) (any, error) {
+	if e.view.Index >= 2 {
+		return nil, fmt.Errorf("server %d: not an additive-share server", e.view.Index)
+	}
+	if r.Owner < 0 || r.Owner >= e.view.M {
+		return nil, fmt.Errorf("server %d: owner %d out of range", e.view.Index, r.Owner)
+	}
+	e.extMu.Lock()
+	defer e.extMu.Unlock()
+	st, ok := e.claims[r.QueryID]
+	if !ok {
+		st = &claimState{fpos: make([]uint16, e.view.M), got: make(map[int]bool)}
+		e.claims[r.QueryID] = st
+	}
+	if !st.got[r.Owner] {
+		st.fpos[r.Owner] = r.Share // fpos[i] ← A(α)_i (§6.3 Step 6)
+		st.got[r.Owner] = true
+	}
+	return protocol.ClaimSubmitReply{}, nil
+}
+
+func (e *Engine) handleClaimFetch(r protocol.ClaimFetchRequest) (any, error) {
+	e.extMu.Lock()
+	defer e.extMu.Unlock()
+	st, ok := e.claims[r.QueryID]
+	if !ok || len(st.got) < e.view.M {
+		return protocol.ClaimFetchReply{Ready: false}, nil
+	}
+	fpos := make([]uint16, len(st.fpos))
+	copy(fpos, st.fpos)
+	return protocol.ClaimFetchReply{Ready: true, Fpos: fpos}, nil
+}

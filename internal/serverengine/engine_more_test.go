@@ -1,0 +1,448 @@
+package serverengine
+
+import (
+	"context"
+	"testing"
+
+	"prism/internal/field"
+	"prism/internal/params"
+	"prism/internal/perm"
+	"prism/internal/prg"
+	"prism/internal/protocol"
+	"prism/internal/share"
+	"prism/internal/sharestore"
+)
+
+// fullView builds a consistent server view (with permutations sized to
+// the table) directly from the initiator.
+func fullView(t *testing.T, phi, m int, b uint64) *params.ServerView {
+	t.Helper()
+	sys, err := params.Generate(params.Config{
+		NumOwners:  m,
+		DomainSize: b,
+		MaxAgg:     1000,
+		Seed:       prg.SeedFromString("engine-more"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.ForServer(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// storeFull uploads owner columns for a 2-owner table with χ, χ̄, one
+// sum column and a count column, returning the plain per-cell sums.
+func storeFull(t *testing.T, engines []*Engine, b uint64, verify bool) ([][]uint64, [][]uint16) {
+	t.Helper()
+	g := prg.New(prg.SeedFromString("store-full"))
+	m := 2
+	spec := protocol.TableSpec{
+		Name: "t", B: b, AggCols: []string{"v"},
+		HasVerify: verify, HasCount: true, Plain: true,
+	}
+	plainSums := make([][]uint64, m)
+	plainChis := make([][]uint16, m)
+	for owner := 0; owner < m; owner++ {
+		chi := make([]uint16, b)
+		sums := make([]uint64, b)
+		counts := make([]uint64, b)
+		for i := range chi {
+			chi[i] = uint16(g.Uint64n(2))
+			if chi[i] == 1 {
+				sums[i] = g.Uint64n(100)
+				counts[i] = 1 + g.Uint64n(3)
+			}
+		}
+		plainSums[owner] = sums
+		plainChis[owner] = chi
+		chiShares := share.AdditiveSplitVector(g, chi, 113, 2)
+		barShares := share.AdditiveSplitVector(g, complement(chi), 113, 2)
+		sumShares := share.ShamirSplitVector(g, sums, 1, 3)
+		cntShares := share.ShamirSplitVector(g, counts, 1, 3)
+		for phi, e := range engines {
+			req := protocol.StoreRequest{
+				Owner: owner, Spec: spec,
+				SumCols:  map[string][]uint64{"v": sumShares[phi]},
+				CountCol: cntShares[phi],
+			}
+			if verify {
+				req.VSumCols = map[string][]uint64{"v": sumShares[phi]}
+				req.VCountCol = cntShares[phi]
+			}
+			if phi < 2 {
+				req.ChiAdd = chiShares[phi]
+				if verify {
+					req.ChiBarAdd = barShares[phi]
+				}
+			}
+			if _, err := e.Handle(context.Background(), req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return plainSums, plainChis
+}
+
+func complement(chi []uint16) []uint16 {
+	out := make([]uint16, len(chi))
+	for i, v := range chi {
+		out[i] = 1 - v
+	}
+	return out
+}
+
+func newEngines(t *testing.T, b uint64, opts func(phi int) Options) []*Engine {
+	t.Helper()
+	engines := make([]*Engine, 3)
+	for phi := 0; phi < 3; phi++ {
+		o := Options{Threads: 2}
+		if opts != nil {
+			o = opts(phi)
+		}
+		engines[phi] = New(fullView(t, phi, 2, b), o)
+	}
+	return engines
+}
+
+// TestAggregationReconstructs drives handleAgg directly and Lagrange-
+// reconstructs the replies against the plain sums.
+func TestAggregationReconstructs(t *testing.T) {
+	b := uint64(64)
+	engines := newEngines(t, b, nil)
+	plainSums, plainChis := storeFull(t, engines, b, false)
+	ctx := context.Background()
+
+	// Selector z = 1 everywhere (aggregate every cell).
+	g := prg.New(prg.SeedFromString("agg-z"))
+	z := make([]uint64, b)
+	for i := range z {
+		z[i] = 1
+	}
+	zShares := share.ShamirSplitVector(g, z, 1, 3)
+	replies := make([]protocol.AggReply, 3)
+	for phi, e := range engines {
+		r, err := e.Handle(ctx, protocol.AggRequest{
+			Table: "t", Cols: []string{"v"}, WithCount: true, Z: zShares[phi],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replies[phi] = r.(protocol.AggReply)
+	}
+	for i := uint64(0); i < b; i++ {
+		got := share.ShamirReconstruct([]field.Elem{
+			replies[0].Sums["v"][i], replies[1].Sums["v"][i], replies[2].Sums["v"][i],
+		})
+		want := field.Add(field.Reduce(plainSums[0][i]), field.Reduce(plainSums[1][i]))
+		if got != want {
+			t.Fatalf("cell %d: sum %d want %d", i, got, want)
+		}
+	}
+	_ = plainChis
+}
+
+func TestAggValidationErrors(t *testing.T) {
+	b := uint64(16)
+	engines := newEngines(t, b, nil)
+	storeFull(t, engines, b, false)
+	ctx := context.Background()
+	e := engines[0]
+	// Wrong selector length.
+	if _, err := e.Handle(ctx, protocol.AggRequest{Table: "t", Cols: []string{"v"}, Z: make([]uint64, 3)}); err == nil {
+		t.Error("short selector accepted")
+	}
+	// Verification requested without v-columns.
+	if _, err := e.Handle(ctx, protocol.AggRequest{
+		Table: "t", Cols: []string{"v"}, Z: make([]uint64, b), VZ: make([]uint64, b),
+	}); err == nil {
+		t.Error("verify without v-columns accepted")
+	}
+	// Unknown column.
+	if _, err := e.Handle(ctx, protocol.AggRequest{Table: "t", Cols: []string{"ghost"}, Z: make([]uint64, b)}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	// Count requested on a table without count column → need new table.
+	spec := protocol.TableSpec{Name: "nocount", B: b, Plain: true}
+	g := prg.New(prg.SeedFromString("nocount"))
+	chi := make([]uint16, b)
+	for owner := 0; owner < 2; owner++ {
+		sh := share.AdditiveSplitVector(g, chi, 113, 2)
+		for phi := 0; phi < 2; phi++ {
+			engines[phi].Handle(ctx, protocol.StoreRequest{Owner: owner, Spec: spec, ChiAdd: sh[phi]})
+		}
+		engines[2].Handle(ctx, protocol.StoreRequest{Owner: owner, Spec: spec})
+	}
+	if _, err := e.Handle(ctx, protocol.AggRequest{Table: "nocount", WithCount: true, Z: make([]uint64, b)}); err == nil {
+		t.Error("count aggregation without count column accepted")
+	}
+}
+
+// TestCountVerifyAlignment checks the Eq. (1) alignment property at the
+// engine level: combining PF_s1(out) and PF_s2(vout) from both servers
+// yields r1·r2 ≡ 1 at every position.
+func TestCountVerifyAlignment(t *testing.T) {
+	// Use non-plain storage with the real PF_db permutations, driven
+	// through params so Eq. (1) holds.
+	sys, err := params.Generate(params.Config{
+		NumOwners:  2,
+		DomainSize: 64,
+		MaxAgg:     100,
+		Seed:       prg.SeedFromString("count-align"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prg.New(prg.SeedFromString("count-align-data"))
+	engines := make([]*Engine, 2)
+	for phi := 0; phi < 2; phi++ {
+		v, _ := sys.ForServer(phi)
+		engines[phi] = New(v, Options{Threads: 1})
+	}
+	ov := sys.ForOwner()
+	spec := protocol.TableSpec{Name: "t", B: 64, HasVerify: true}
+	for owner := 0; owner < 2; owner++ {
+		chi := make([]uint16, 64)
+		for i := range chi {
+			chi[i] = uint16(g.Uint64n(2))
+		}
+		chiP := perm.Apply(ov.DB1, chi, nil)
+		barP := perm.Apply(ov.DB2, complement(chi), nil)
+		chiShares := share.AdditiveSplitVector(g, chiP, sys.Delta, 2)
+		barShares := share.AdditiveSplitVector(g, barP, sys.Delta, 2)
+		for phi := 0; phi < 2; phi++ {
+			_, err := engines[phi].Handle(context.Background(), protocol.StoreRequest{
+				Owner: owner, Spec: spec,
+				ChiAdd: chiShares[phi], ChiBarAdd: barShares[phi],
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	outs := make([]protocol.CountReply, 2)
+	for phi := 0; phi < 2; phi++ {
+		r, err := engines[phi].Handle(context.Background(), protocol.CountRequest{
+			Table: "t", Verify: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[phi] = r.(protocol.CountReply)
+	}
+	eta := sys.Eta
+	for i := range outs[0].Out {
+		r1 := outs[0].Out[i] * outs[1].Out[i] % eta
+		r2 := outs[0].Vout[i] * outs[1].Vout[i] % eta
+		if r1*r2%eta != 1 {
+			t.Fatalf("position %d: r1·r2 = %d, want 1 (Eq. 1 alignment broken)", i, r1*r2%eta)
+		}
+	}
+}
+
+// TestDiskBackedSpillAndFetch exercises the disk path end to end at the
+// engine level, including fetch-time accounting.
+func TestDiskBackedSpillAndFetch(t *testing.T) {
+	b := uint64(128)
+	engines := newEngines(t, b, func(phi int) Options {
+		st, err := sharestore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Options{Threads: 2, Store: st, DiskBacked: true}
+	})
+	storeFull(t, engines, b, false)
+	ctx := context.Background()
+	r, err := engines[0].Handle(ctx, protocol.PSIRequest{Table: "t", QueryID: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.(protocol.PSIReply)
+	if rep.Stats.FetchNS == 0 {
+		t.Error("disk-backed PSI reported zero fetch time")
+	}
+	if len(rep.Out) != int(b) {
+		t.Errorf("out length %d", len(rep.Out))
+	}
+	// Aggregation also reads from disk.
+	g := prg.New(prg.SeedFromString("disk-z"))
+	z := make([]uint64, b)
+	zs := share.ShamirSplitVector(g, z, 1, 3)
+	ra, err := engines[2].Handle(ctx, protocol.AggRequest{Table: "t", Cols: []string{"v"}, Z: zs[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.(protocol.AggReply).Stats.FetchNS == 0 {
+		t.Error("disk-backed aggregation reported zero fetch time")
+	}
+}
+
+// announcerStub lets extreme-submit tests run without a real announcer.
+type announcerStub struct {
+	announces []protocol.AnnounceRequest
+	reply     protocol.AnnounceFetchReply
+}
+
+func (a *announcerStub) Call(_ context.Context, addr string, req any) (any, error) {
+	switch r := req.(type) {
+	case protocol.AnnounceRequest:
+		a.announces = append(a.announces, r)
+		return protocol.AnnounceReply{Have: 1}, nil
+	case protocol.AnnounceFetchRequest:
+		return a.reply, nil
+	}
+	return nil, nil
+}
+
+func TestExtremeSlotPermutation(t *testing.T) {
+	stub := &announcerStub{}
+	view := fullView(t, 0, 2, 16)
+	e := New(view, Options{AnnouncerAddr: "announcer", Caller: stub})
+	ctx := context.Background()
+	// Submit distinct shares for the 2 owners.
+	for owner := 0; owner < 2; owner++ {
+		_, err := e.Handle(ctx, protocol.ExtremeSubmitRequest{
+			QueryID: "q", Kind: protocol.KindMax, Owner: owner,
+			VShare: []byte{byte(owner + 1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(stub.announces) != 1 {
+		t.Fatalf("announcer called %d times, want 1", len(stub.announces))
+	}
+	got := stub.announces[0].Shares
+	// Slot i of the forwarded array must hold owner PF⁻¹(i)'s share.
+	inv := view.PF.Inverse()
+	for slot := range got {
+		owner := inv.Image(slot)
+		if got[slot][0] != byte(owner+1) {
+			t.Fatalf("slot %d holds owner %d's share, want owner %d's", slot, got[slot][0]-1, owner)
+		}
+	}
+	// Duplicate submissions are idempotent (no second announce).
+	e.Handle(ctx, protocol.ExtremeSubmitRequest{QueryID: "q", Kind: protocol.KindMax, Owner: 0, VShare: []byte{9}})
+	if len(stub.announces) != 1 {
+		t.Error("duplicate submit re-forwarded")
+	}
+}
+
+func TestExtremeFetchNotReady(t *testing.T) {
+	stub := &announcerStub{reply: protocol.AnnounceFetchReply{Ready: false}}
+	e := New(fullView(t, 0, 2, 16), Options{AnnouncerAddr: "announcer", Caller: stub})
+	ctx := context.Background()
+	e.Handle(ctx, protocol.ExtremeSubmitRequest{QueryID: "q", Kind: protocol.KindMax, Owner: 0, VShare: []byte{1}})
+	r, err := e.Handle(ctx, protocol.ExtremeFetchRequest{QueryID: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.(protocol.ExtremeFetchReply).Ready {
+		t.Error("fetch reported ready before announcer resolution")
+	}
+	if _, err := e.Handle(ctx, protocol.ExtremeFetchRequest{QueryID: "ghost"}); err == nil {
+		t.Error("unknown query id accepted")
+	}
+}
+
+func TestExtremeFetchCachesResult(t *testing.T) {
+	stub := &announcerStub{reply: protocol.AnnounceFetchReply{
+		Ready: true, ValueShares: [][]byte{{42}}, IndexShare: 3, HasIndex: true,
+	}}
+	e := New(fullView(t, 1, 2, 16), Options{AnnouncerAddr: "announcer", Caller: stub})
+	ctx := context.Background()
+	e.Handle(ctx, protocol.ExtremeSubmitRequest{QueryID: "q", Kind: protocol.KindMax, Owner: 0, VShare: []byte{1}})
+	for i := 0; i < 3; i++ {
+		r, err := e.Handle(ctx, protocol.ExtremeFetchRequest{QueryID: "q"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := r.(protocol.ExtremeFetchReply)
+		if !rep.Ready || rep.ValueShares[0][0] != 42 || rep.IndexShare != 3 {
+			t.Fatalf("fetch %d: %+v", i, rep)
+		}
+	}
+}
+
+func TestClaimLifecycle(t *testing.T) {
+	e := New(fullView(t, 0, 2, 16), Options{})
+	ctx := context.Background()
+	// Not ready before all owners.
+	e.Handle(ctx, protocol.ClaimSubmitRequest{QueryID: "q", Owner: 0, Share: 5})
+	r, _ := e.Handle(ctx, protocol.ClaimFetchRequest{QueryID: "q"})
+	if r.(protocol.ClaimFetchReply).Ready {
+		t.Error("claims ready with 1 of 2 owners")
+	}
+	e.Handle(ctx, protocol.ClaimSubmitRequest{QueryID: "q", Owner: 1, Share: 7})
+	r, _ = e.Handle(ctx, protocol.ClaimFetchRequest{QueryID: "q"})
+	rep := r.(protocol.ClaimFetchReply)
+	if !rep.Ready || rep.Fpos[0] != 5 || rep.Fpos[1] != 7 {
+		t.Fatalf("claims = %+v", rep)
+	}
+	// Unknown query id → not ready, no error.
+	r, err := e.Handle(ctx, protocol.ClaimFetchRequest{QueryID: "ghost"})
+	if err != nil || r.(protocol.ClaimFetchReply).Ready {
+		t.Error("ghost claim query mishandled")
+	}
+	// Out-of-range owner rejected.
+	if _, err := e.Handle(ctx, protocol.ClaimSubmitRequest{QueryID: "q", Owner: 9, Share: 1}); err == nil {
+		t.Error("out-of-range claim owner accepted")
+	}
+}
+
+func TestPSUPermuteMode(t *testing.T) {
+	b := uint64(64)
+	engines := newEngines(t, b, nil)
+	storeFull(t, engines, b, false)
+	ctx := context.Background()
+	plain, err := engines[0].Handle(ctx, protocol.PSURequest{Table: "t", QueryID: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	permuted, err := engines[0].Handle(ctx, protocol.PSURequest{Table: "t", QueryID: "q", Permute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plain.(protocol.PSUReply).Out
+	q := permuted.(protocol.PSUReply).Out
+	if len(p) != len(q) {
+		t.Fatal("length mismatch")
+	}
+	same := 0
+	for i := range p {
+		if p[i] == q[i] {
+			same++
+		}
+	}
+	if same == len(p) {
+		t.Error("PF_s1 permutation did not move any cell")
+	}
+	// Multisets must match (it is a permutation of the same values).
+	count := map[uint16]int{}
+	for _, v := range p {
+		count[v]++
+	}
+	for _, v := range q {
+		count[v]--
+	}
+	for v, c := range count {
+		if c != 0 {
+			t.Fatalf("value %d multiplicity differs by %d", v, c)
+		}
+	}
+}
+
+func TestVerifyRequestsRejectedWithoutColumns(t *testing.T) {
+	b := uint64(16)
+	engines := newEngines(t, b, nil)
+	storeFull(t, engines, b, false) // HasVerify = false
+	ctx := context.Background()
+	if _, err := engines[0].Handle(ctx, protocol.PSIVerifyRequest{Table: "t"}); err == nil {
+		t.Error("PSI verify without χ̄ accepted")
+	}
+	if _, err := engines[0].Handle(ctx, protocol.CountRequest{Table: "t", Verify: true}); err == nil {
+		t.Error("count verify without χ̄ accepted")
+	}
+}

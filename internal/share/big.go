@@ -1,0 +1,40 @@
+package share
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+)
+
+// BigSplit splits secret s (0 <= s < q) into c additive shares mod q,
+// sampled from crypto/rand. Used for the order-preserving values
+// v_i = F(M_i) + r_i of the max/median protocols (§6.3), which exceed
+// 64 bits for realistic owner counts because deg F = m+1.
+func BigSplit(s, q *big.Int, c int) ([]*big.Int, error) {
+	if s.Sign() < 0 || s.Cmp(q) >= 0 {
+		return nil, fmt.Errorf("share: secret out of range [0, q)")
+	}
+	out := make([]*big.Int, c)
+	sum := new(big.Int)
+	for i := 0; i < c-1; i++ {
+		r, err := rand.Int(rand.Reader, q)
+		if err != nil {
+			return nil, fmt.Errorf("share: entropy: %w", err)
+		}
+		out[i] = r
+		sum.Add(sum, r)
+	}
+	last := new(big.Int).Sub(s, sum)
+	last.Mod(last, q)
+	out[c-1] = last
+	return out, nil
+}
+
+// BigReconstruct adds shares mod q.
+func BigReconstruct(shares []*big.Int, q *big.Int) *big.Int {
+	sum := new(big.Int)
+	for _, s := range shares {
+		sum.Add(sum, s)
+	}
+	return sum.Mod(sum, q)
+}

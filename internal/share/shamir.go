@@ -1,0 +1,108 @@
+package share
+
+import (
+	"fmt"
+
+	"prism/internal/field"
+	"prism/internal/prg"
+)
+
+// ShamirSplit shares secret s under a random degree-d polynomial over
+// F_p, evaluated at x = 1..n. Requires n > d (otherwise the secret is
+// unrecoverable) — Prism uses d=1, n=3 so a product of two shares
+// (degree 2) is still recoverable from the same three servers (§3.2).
+func ShamirSplit(g *prg.PRG, s field.Elem, d, n int) []field.Elem {
+	if n <= d {
+		panic(fmt.Sprintf("share: %d shares cannot recover degree-%d polynomial", n, d))
+	}
+	coeffs := make([]field.Elem, d+1)
+	coeffs[0] = field.Reduce(s)
+	for i := 1; i <= d; i++ {
+		coeffs[i] = field.Reduce(g.Uint64())
+	}
+	out := make([]field.Elem, n)
+	for x := 1; x <= n; x++ {
+		out[x-1] = evalPoly(coeffs, field.Elem(x))
+	}
+	return out
+}
+
+// evalPoly evaluates the polynomial at x via Horner's rule.
+func evalPoly(coeffs []field.Elem, x field.Elem) field.Elem {
+	var acc field.Elem
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = field.Add(field.Mul(acc, x), coeffs[i])
+	}
+	return acc
+}
+
+// LagrangeWeights returns w_j such that f(0) = Σ_j w_j · f(x_j) for the
+// evaluation points x = 1..n. Used by DB owners in "final processing"
+// (paper §3.3 Phase 4).
+func LagrangeWeights(n int) []field.Elem {
+	w := make([]field.Elem, n)
+	for j := 1; j <= n; j++ {
+		num, den := field.Elem(1), field.Elem(1)
+		for k := 1; k <= n; k++ {
+			if k == j {
+				continue
+			}
+			num = field.Mul(num, field.Neg(field.Elem(k)))                // (0 - x_k)
+			den = field.Mul(den, field.Sub(field.Elem(j), field.Elem(k))) // (x_j - x_k)
+		}
+		w[j-1] = field.Mul(num, field.Inv(den))
+	}
+	return w
+}
+
+// ShamirReconstruct recovers f(0) from shares at x = 1..len(shares).
+func ShamirReconstruct(shares []field.Elem) field.Elem {
+	w := LagrangeWeights(len(shares))
+	return ShamirReconstructWith(shares, w)
+}
+
+// ShamirReconstructWith recovers f(0) with precomputed Lagrange weights.
+func ShamirReconstructWith(shares, weights []field.Elem) field.Elem {
+	var acc field.Elem
+	for j, s := range shares {
+		acc = field.Add(acc, field.Mul(weights[j], s))
+	}
+	return acc
+}
+
+// ShamirSplitVector shares each secret in secrets; result[φ][i] is server
+// φ's share (evaluation at x=φ+1) of secrets[i].
+func ShamirSplitVector(g *prg.PRG, secrets []field.Elem, d, n int) [][]field.Elem {
+	out := make([][]field.Elem, n)
+	for φ := range out {
+		out[φ] = make([]field.Elem, len(secrets))
+	}
+	coeffs := make([]field.Elem, d+1)
+	for i, s := range secrets {
+		coeffs[0] = field.Reduce(s)
+		for k := 1; k <= d; k++ {
+			coeffs[k] = field.Reduce(g.Uint64())
+		}
+		for x := 1; x <= n; x++ {
+			out[x-1][i] = evalPoly(coeffs, field.Elem(x))
+		}
+	}
+	return out
+}
+
+// ShamirReconstructVector recovers each position from n share vectors.
+func ShamirReconstructVector(shares [][]field.Elem) []field.Elem {
+	if len(shares) == 0 {
+		return nil
+	}
+	w := LagrangeWeights(len(shares))
+	out := make([]field.Elem, len(shares[0]))
+	for i := range out {
+		var acc field.Elem
+		for φ := range shares {
+			acc = field.Add(acc, field.Mul(w[φ], shares[φ][i]))
+		}
+		out[i] = acc
+	}
+	return out
+}

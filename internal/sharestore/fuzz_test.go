@@ -1,0 +1,50 @@
+package sharestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadColumn hardens the column-file parser against corrupt and
+// adversarial inputs: it must never panic, only return errors.
+func FuzzReadColumn(f *testing.F) {
+	// Seed with a valid file, a truncation, and junk.
+	dir, err := os.MkdirTemp("", "fuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	s, err := Open(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.WriteU64("t", "c", []uint64{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, "t", "c.col"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte("PRSM"))
+	f.Add([]byte{})
+	f.Add(append([]byte("PRSM\x01\x08"), make([]byte, 40)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		td := t.TempDir()
+		st, err := Open(td)
+		if err != nil {
+			t.Skip()
+		}
+		path := filepath.Join(td, "x", "y.col")
+		os.MkdirAll(filepath.Dir(path), 0o755)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		// Must not panic; errors are fine.
+		st.ReadU64("x", "y")
+		st.ReadU16("x", "y")
+	})
+}

@@ -1,0 +1,220 @@
+package sharestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"prism/internal/protocol"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestU16RoundTrip(t *testing.T) {
+	s := testStore(t)
+	data := []uint16{0, 1, 113, 65535}
+	if err := s.WriteU16("lineitem", "o0.chi", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadU16("lineitem", "o0.chi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("len %d != %d", len(got), len(data))
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	s := testStore(t)
+	f := func(data []uint64) bool {
+		if err := s.WriteU64("t", "c", data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.ReadU64("t", "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	s := testStore(t)
+	if err := s.WriteU16("t", "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadU16("t", "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty, got %d", len(got))
+	}
+}
+
+func TestWidthMismatchRejected(t *testing.T) {
+	s := testStore(t)
+	if err := s.WriteU16("t", "c", []uint16{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadU64("t", "c"); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	s := testStore(t)
+	if err := s.WriteU64("t", "c", []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), "t", "c.col")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // flip payload bits
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadU64("t", "c"); err == nil {
+		t.Fatal("payload corruption not detected")
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	s := testStore(t)
+	if err := s.WriteU64("t", "c", []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), "t", "c.col")
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadU64("t", "c"); err == nil {
+		t.Fatal("truncation not detected")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	s := testStore(t)
+	path := filepath.Join(s.Dir(), "t", "c.col")
+	os.MkdirAll(filepath.Dir(path), 0o755)
+	os.WriteFile(path, []byte("JUNKJUNKJUNKJUNKJUNK"), 0o644)
+	if _, err := s.ReadU16("t", "c"); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	s := testStore(t)
+	s.WriteU16("t", "c", []uint16{1})
+	if !s.HasColumn("t", "c") {
+		t.Fatal("column missing after write")
+	}
+	if err := s.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasColumn("t", "c") {
+		t.Fatal("column survives drop")
+	}
+}
+
+func TestTables(t *testing.T) {
+	s := testStore(t)
+	s.WriteU16("beta", "c", []uint16{1})
+	s.WriteU16("alpha", "c", []uint16{1})
+	tables, err := s.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0] != "alpha" || tables[1] != "beta" {
+		t.Fatalf("tables = %v", tables)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	s := testStore(t)
+	spec := protocol.TableSpec{Name: "lineitem", B: 100, AggCols: []string{"PK", "DT"}, HasVerify: true}
+	if err := s.WriteManifest("lineitem", spec); err != nil {
+		t.Fatal(err)
+	}
+	var got protocol.TableSpec
+	if err := s.ReadManifest("lineitem", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != spec.Name || got.B != spec.B || len(got.AggCols) != 2 || !got.HasVerify {
+		t.Fatalf("manifest mismatch: %+v", got)
+	}
+}
+
+func TestSanitizeHostileNames(t *testing.T) {
+	s := testStore(t)
+	// Path traversal attempts must stay inside the store directory.
+	if err := s.WriteU16("../../etc", "../passwd", []uint16{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadU16("../../etc", "../passwd")
+	if err != nil || len(got) != 1 {
+		t.Fatal("sanitised round trip failed")
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), "..", "..", "etc")); err == nil {
+		t.Fatal("escaped the store directory")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := testStore(t)
+	s.WriteU16("t", "c", []uint16{1, 2, 3})
+	s.WriteU16("t", "c", []uint16{9})
+	got, err := s.ReadU16("t", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("overwrite failed: %v", got)
+	}
+}
+
+func BenchmarkRead5MU16(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]uint16, 5_000_000)
+	if err := s.WriteU16("t", "c", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReadU16("t", "c"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

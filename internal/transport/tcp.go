@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Serve accepts connections on ln and serves requests with h until the
+// context is cancelled or the listener is closed. Each connection is a
+// sequential stream of gob-encoded envelopes.
+func Serve(ctx context.Context, ln net.Listener, h Handler) error {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		go serveConn(ctx, conn, h)
+	}
+}
+
+func serveConn(ctx context.Context, conn net.Conn, h Handler) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req envelope
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer; connection is per-client, just drop it
+		}
+		reply, err := h.Handle(ctx, req.Payload)
+		out := envelope{Payload: reply}
+		if err != nil {
+			out = envelope{Err: err.Error()}
+		}
+		if err := enc.Encode(&out); err != nil {
+			return
+		}
+	}
+}
+
+// TCPClient is a Caller that maps logical addresses to host:port targets
+// and maintains one persistent connection per target. Calls to the same
+// target serialise on the connection; distinct targets proceed in
+// parallel.
+type TCPClient struct {
+	mu    sync.Mutex
+	book  map[string]string // logical addr → host:port
+	conns map[string]*tcpConn
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewTCPClient builds a client over an address book.
+func NewTCPClient(book map[string]string) *TCPClient {
+	b := make(map[string]string, len(book))
+	for k, v := range book {
+		b[k] = v
+	}
+	return &TCPClient{book: b, conns: make(map[string]*tcpConn)}
+}
+
+// Call sends req to the logical address and awaits the reply.
+func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error) {
+	target, ok := c.lookup(addr)
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown address %q", addr)
+	}
+	tc, err := c.conn(ctx, addr, target)
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := tc.enc.Encode(&envelope{Payload: req}); err != nil {
+		c.drop(addr)
+		return nil, fmt.Errorf("transport: send to %q: %w", addr, err)
+	}
+	var reply envelope
+	if err := tc.dec.Decode(&reply); err != nil {
+		c.drop(addr)
+		return nil, fmt.Errorf("transport: receive from %q: %w", addr, err)
+	}
+	if reply.Err != "" {
+		return nil, errors.New(reply.Err)
+	}
+	return reply.Payload, nil
+}
+
+func (c *TCPClient) lookup(addr string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.book[addr]
+	return t, ok
+}
+
+func (c *TCPClient) conn(ctx context.Context, addr, target string) (*tcpConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tc, ok := c.conns[addr]; ok {
+		return tc, nil
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", target)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q (%s): %w", addr, target, err)
+	}
+	tc := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c.conns[addr] = tc
+	return tc, nil
+}
+
+func (c *TCPClient) drop(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tc, ok := c.conns[addr]; ok {
+		tc.conn.Close()
+		delete(c.conns, addr)
+	}
+}
+
+// Close tears down all connections.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for addr, tc := range c.conns {
+		if err := tc.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.conns, addr)
+	}
+	return first
+}

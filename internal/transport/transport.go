@@ -1,0 +1,116 @@
+// Package transport moves protocol messages between Prism entities.
+//
+// Two implementations share one interface:
+//
+//   - Network: in-process dispatch used by tests, benchmarks and the
+//     library's local mode. Optionally forces a gob round-trip per call so
+//     message encodability is continuously exercised.
+//   - TCP (tcp.go): length-delimited gob frames over net.Conn for real
+//     multi-process deployments (cmd/prism-server etc.).
+//
+// Prism's trust model requires that servers never talk to each other;
+// the address-based topology makes that auditable: engines are handed a
+// Caller scoped to the peers they may contact.
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// Handler processes one request and produces a reply.
+type Handler interface {
+	Handle(ctx context.Context, req any) (any, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, req any) (any, error)
+
+// Handle calls f.
+func (f HandlerFunc) Handle(ctx context.Context, req any) (any, error) { return f(ctx, req) }
+
+// Caller issues a request to a logical address and awaits the reply.
+type Caller interface {
+	Call(ctx context.Context, addr string, req any) (any, error)
+}
+
+// Network is an in-process message fabric keyed by logical address
+// (e.g. "server/0", "announcer"). Safe for concurrent use.
+type Network struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	// EncodeWire forces every call through a gob encode/decode cycle,
+	// matching what the TCP transport does on the wire.
+	EncodeWire bool
+}
+
+// NewNetwork returns an empty in-process network.
+func NewNetwork() *Network {
+	return &Network{handlers: make(map[string]Handler)}
+}
+
+// Register installs the handler for a logical address.
+func (n *Network) Register(addr string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[addr] = h
+}
+
+// Deregister removes an address.
+func (n *Network) Deregister(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, addr)
+}
+
+// Call dispatches the request to the registered handler.
+func (n *Network) Call(ctx context.Context, addr string, req any) (any, error) {
+	n.mu.RLock()
+	h, ok := n.handlers[addr]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no handler at %q", addr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if n.EncodeWire {
+		rt, err := roundTrip(req)
+		if err != nil {
+			return nil, fmt.Errorf("transport: encoding request for %q: %w", addr, err)
+		}
+		reply, err := h.Handle(ctx, rt)
+		if err != nil {
+			return nil, err
+		}
+		out, err := roundTrip(reply)
+		if err != nil {
+			return nil, fmt.Errorf("transport: encoding reply from %q: %w", addr, err)
+		}
+		return out, nil
+	}
+	return h.Handle(ctx, req)
+}
+
+// roundTrip encodes and decodes v through gob, as the TCP transport would.
+func roundTrip(v any) (any, error) {
+	var buf bytes.Buffer
+	env := envelope{Payload: v}
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return nil, err
+	}
+	var out envelope
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Payload, nil
+}
+
+// envelope wraps an arbitrary registered payload for gob.
+type envelope struct {
+	Payload any
+	Err     string
+}

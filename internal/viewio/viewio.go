@@ -1,0 +1,39 @@
+// Package viewio persists the initiator's per-entity parameter views as
+// gob files. The initiator (cmd/prism-init) writes one file per entity;
+// each daemon/CLI loads only its own view, preserving the knowledge
+// asymmetry of §4 at the file-distribution level. View files contain
+// protocol secrets (permutations, seeds) and must be distributed over
+// secure channels, like any key material.
+package viewio
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Save writes v as a gob file.
+func Save(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viewio: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		return fmt.Errorf("viewio: encoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a gob file into v (a pointer).
+func Load(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("viewio: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("viewio: decoding %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package viewio
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prism/internal/params"
+	"prism/internal/prg"
+)
+
+func TestViewRoundTrips(t *testing.T) {
+	sys, err := params.Generate(params.Config{
+		NumOwners:  3,
+		DomainSize: 64,
+		MaxAgg:     1000,
+		Seed:       prg.SeedFromString("viewio"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	ownerPath := filepath.Join(dir, "owner.view")
+	if err := Save(ownerPath, sys.ForOwner()); err != nil {
+		t.Fatal(err)
+	}
+	var owner params.OwnerView
+	if err := Load(ownerPath, &owner); err != nil {
+		t.Fatal(err)
+	}
+	if owner.M != 3 || owner.B != 64 || owner.Eta != sys.Eta {
+		t.Errorf("owner view corrupted: %+v", owner)
+	}
+	if !owner.DB1.Equal(sys.Quad.DB1) {
+		t.Error("PF_db1 corrupted")
+	}
+	if owner.Q.Cmp(sys.Q) != 0 {
+		t.Error("Q corrupted")
+	}
+	if owner.Poly.Degree() != sys.Poly.Degree() {
+		t.Error("polynomial corrupted")
+	}
+
+	for phi := 0; phi < params.NumServers; phi++ {
+		v, _ := sys.ForServer(phi)
+		p := filepath.Join(dir, "server.view")
+		if err := Save(p, v); err != nil {
+			t.Fatal(err)
+		}
+		var sv params.ServerView
+		if err := Load(p, &sv); err != nil {
+			t.Fatal(err)
+		}
+		if sv.Index != phi || sv.G != sys.G || sv.EtaPrime != sys.EtaPrime {
+			t.Errorf("server view %d corrupted", phi)
+		}
+		if sv.PSUSeed != sys.PSUSeed {
+			t.Error("PSU seed corrupted")
+		}
+	}
+
+	annPath := filepath.Join(dir, "ann.view")
+	if err := Save(annPath, sys.ForAnnouncer()); err != nil {
+		t.Fatal(err)
+	}
+	var ann params.AnnouncerView
+	if err := Load(annPath, &ann); err != nil {
+		t.Fatal(err)
+	}
+	if ann.Q.Cmp(sys.Q) != 0 || ann.Delta != sys.Delta {
+		t.Error("announcer view corrupted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	var v params.OwnerView
+	if err := Load("/nonexistent/file.view", &v); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "junk.view")
+	if err := Save(bad, "just a string"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bad, &v); err == nil {
+		t.Error("type-mismatched gob accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Package workload generates the multi-owner LineItem-style datasets of
+// the paper's evaluation (§8.1). TPC-H's dbgen is unavailable offline, so
+// this is a faithful synthetic substitute with the same five columns —
+// Orderkey (OK), Partkey (PK), Linenumber (LN), Suppkey (SK), Discount
+// (DT) — per-owner tables drawn over a configurable OK domain (the paper
+// uses 1..5M and 1..20M), optional Zipf skew, and a controllable planted
+// overlap so intersections are non-trivial. Protocol cost depends only on
+// domain size, owner count and column count, which are all preserved.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"prism/internal/prg"
+)
+
+// Columns are the LineItem columns the paper outsources (Table 11).
+var Columns = []string{"PK", "LN", "SK", "DT"}
+
+// Config drives dataset generation.
+type Config struct {
+	Owners     int    // m
+	DomainSize uint64 // |Dom(OK)|; cells are 0..DomainSize-1
+	// KeysPerOwner is the number of distinct OK values per owner (the
+	// paper loads "at most 5M (20M) OK values" per owner).
+	KeysPerOwner int
+	// CommonKeys plants this many keys present at every owner, so
+	// PSI/aggregation results are non-empty.
+	CommonKeys int
+	// Zipf, when > 1, draws keys from a Zipf(s=Zipf) distribution
+	// instead of uniform (real data is skewed; see §8.1 Exp 4 note).
+	Zipf float64
+	// MaxValue bounds the aggregation column values (DT etc.).
+	// 0 → 1000.
+	MaxValue uint64
+	// Seed makes generation deterministic.
+	Seed prg.Seed
+}
+
+// OwnerData is one owner's generated table, already in cell/parallel-
+// array form (one entry per distinct OK; the per-OK aggregation values
+// model the paper's pre-aggregated `select OK, sum(PK) ... group by OK`
+// columns).
+type OwnerData struct {
+	Cells []uint64
+	Aggs  map[string][]uint64
+}
+
+// Generate builds every owner's table.
+func Generate(cfg Config) ([]*OwnerData, error) {
+	if cfg.Owners < 2 {
+		return nil, fmt.Errorf("workload: need >= 2 owners")
+	}
+	if cfg.DomainSize == 0 {
+		return nil, fmt.Errorf("workload: zero domain")
+	}
+	if uint64(cfg.KeysPerOwner) > cfg.DomainSize {
+		return nil, fmt.Errorf("workload: %d keys exceed domain %d", cfg.KeysPerOwner, cfg.DomainSize)
+	}
+	if cfg.CommonKeys > cfg.KeysPerOwner {
+		return nil, fmt.Errorf("workload: common keys %d exceed per-owner keys %d", cfg.CommonKeys, cfg.KeysPerOwner)
+	}
+	maxVal := cfg.MaxValue
+	if maxVal == 0 {
+		maxVal = 1000
+	}
+	var zero prg.Seed
+	seed := cfg.Seed
+	if seed == zero {
+		seed = prg.NewSeed()
+	}
+
+	// Common keys shared by all owners.
+	commonRng := prg.New(seed.Derive("common"))
+	common := sampleDistinct(commonRng, cfg.DomainSize, cfg.CommonKeys, cfg.Zipf)
+
+	out := make([]*OwnerData, cfg.Owners)
+	for j := 0; j < cfg.Owners; j++ {
+		rng := prg.New(seed.Derive(fmt.Sprintf("owner/%d", j)))
+		d := &OwnerData{Aggs: make(map[string][]uint64, len(Columns))}
+		seen := make(map[uint64]bool, cfg.KeysPerOwner)
+		for _, c := range common {
+			seen[c] = true
+			d.Cells = append(d.Cells, c)
+		}
+		// Fill the remainder with owner-specific draws.
+		for len(d.Cells) < cfg.KeysPerOwner {
+			c := draw(rng, cfg.DomainSize, cfg.Zipf)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			d.Cells = append(d.Cells, c)
+		}
+		for _, col := range Columns {
+			vs := make([]uint64, len(d.Cells))
+			for i := range vs {
+				vs[i] = 1 + rng.Uint64n(maxVal)
+			}
+			d.Aggs[col] = vs
+		}
+		out[j] = d
+	}
+	return out, nil
+}
+
+// draw samples one cell, uniform or Zipf-skewed.
+func draw(rng *prg.PRG, domain uint64, zipf float64) uint64 {
+	if zipf <= 1 {
+		return rng.Uint64n(domain)
+	}
+	// Inverse-CDF approximation of a bounded Zipf: rank r with
+	// probability ∝ r^(-zipf) via rejection from the continuous density.
+	for {
+		u := float64(rng.Uint64n(1<<53)) / (1 << 53)
+		if u == 0 {
+			continue
+		}
+		// Inverse of CDF for continuous pareto on [1, domain].
+		x := math.Pow(u, -1.0/(zipf-1))
+		if x >= 1 && x <= float64(domain) {
+			return uint64(x) - 1
+		}
+	}
+}
+
+// sampleDistinct draws n distinct cells.
+func sampleDistinct(rng *prg.PRG, domain uint64, n int, zipf float64) []uint64 {
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		c := draw(rng, domain, zipf)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Intersection computes the plaintext intersection of the owners' key
+// sets — ground truth for tests and benches.
+func Intersection(data []*OwnerData) map[uint64]bool {
+	if len(data) == 0 {
+		return nil
+	}
+	counts := make(map[uint64]int)
+	for _, d := range data {
+		for _, c := range d.Cells {
+			counts[c]++
+		}
+	}
+	out := make(map[uint64]bool)
+	for c, n := range counts {
+		if n == len(data) {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// Union computes the plaintext union.
+func Union(data []*OwnerData) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, d := range data {
+		for _, c := range d.Cells {
+			out[c] = true
+		}
+	}
+	return out
+}

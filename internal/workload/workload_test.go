@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+
+	"prism/internal/prg"
+)
+
+func testCfg() Config {
+	return Config{
+		Owners:       4,
+		DomainSize:   10_000,
+		KeysPerOwner: 500,
+		CommonKeys:   50,
+		Seed:         prg.SeedFromString("workload-test"),
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	data, err := Generate(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4 {
+		t.Fatalf("owners = %d", len(data))
+	}
+	for j, d := range data {
+		if len(d.Cells) != 500 {
+			t.Errorf("owner %d has %d keys, want 500", j, len(d.Cells))
+		}
+		seen := make(map[uint64]bool)
+		for _, c := range d.Cells {
+			if c >= 10_000 {
+				t.Fatalf("owner %d: cell %d out of domain", j, c)
+			}
+			if seen[c] {
+				t.Fatalf("owner %d: duplicate key %d", j, c)
+			}
+			seen[c] = true
+		}
+		for _, col := range Columns {
+			vs := d.Aggs[col]
+			if len(vs) != len(d.Cells) {
+				t.Fatalf("owner %d column %s length mismatch", j, col)
+			}
+			for _, v := range vs {
+				if v == 0 || v > 1000 {
+					t.Fatalf("owner %d column %s value %d out of (0,1000]", j, col, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPlantedCommonKeys(t *testing.T) {
+	data, err := Generate(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := Intersection(data)
+	if len(inter) < 50 {
+		t.Errorf("intersection %d smaller than planted 50", len(inter))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := Generate(testCfg())
+	b, _ := Generate(testCfg())
+	for j := range a {
+		for i := range a[j].Cells {
+			if a[j].Cells[i] != b[j].Cells[i] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestOwnersDiffer(t *testing.T) {
+	data, _ := Generate(testCfg())
+	same := 0
+	s0 := make(map[uint64]bool)
+	for _, c := range data[0].Cells {
+		s0[c] = true
+	}
+	for _, c := range data[1].Cells {
+		if s0[c] {
+			same++
+		}
+	}
+	// 50 planted + a few collisions; owners must not be identical.
+	if same > 200 {
+		t.Errorf("owners nearly identical: %d shared of 500", same)
+	}
+}
+
+func TestUnionIntersectionConsistency(t *testing.T) {
+	data, _ := Generate(testCfg())
+	inter := Intersection(data)
+	uni := Union(data)
+	if len(inter) > len(uni) {
+		t.Fatal("intersection larger than union")
+	}
+	for c := range inter {
+		if !uni[c] {
+			t.Fatalf("intersection cell %d missing from union", c)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	cfg := testCfg()
+	cfg.Zipf = 2.0
+	cfg.KeysPerOwner = 2000
+	cfg.CommonKeys = 0
+	data, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skewed draws concentrate on low cells. Uniform sampling would put
+	// ~10% of 2000 distinct keys below cell 1000; demand several times
+	// that (distinct-key sampling saturates the head, so not all draws
+	// can stay low).
+	low := 0
+	for _, c := range data[0].Cells {
+		if c < 1000 {
+			low++
+		}
+	}
+	if low < 600 {
+		t.Errorf("zipf draw not skewed: only %d of %d below cell 1000 (uniform ≈ 200)", low, len(data[0].Cells))
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{Owners: 1, DomainSize: 10, KeysPerOwner: 5},
+		{Owners: 3, DomainSize: 0, KeysPerOwner: 5},
+		{Owners: 3, DomainSize: 10, KeysPerOwner: 11},
+		{Owners: 3, DomainSize: 10, KeysPerOwner: 5, CommonKeys: 6},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMaxValueBound(t *testing.T) {
+	cfg := testCfg()
+	cfg.MaxValue = 7
+	data, _ := Generate(cfg)
+	for _, d := range data {
+		for _, col := range Columns {
+			for _, v := range d.Aggs[col] {
+				if v == 0 || v > 7 {
+					t.Fatalf("value %d out of (0,7]", v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package prism
+
+import (
+	"context"
+	"strconv"
+	"testing"
+)
+
+// TestMultiAttributePSI reproduces §6.6's multi-attribute PSI:
+// SELECT A, B FROM db1 INTERSECT ... over the product domain
+// |Dom(A)| × |Dom(B)| (the paper's example uses 8 × 2 = 16 cells).
+func TestMultiAttributePSI(t *testing.T) {
+	a, err := IntDomain(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ValueDomain("red", "blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := ProductDomain(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom.Size() != 16 {
+		t.Fatalf("product size = %d, want 16", dom.Size())
+	}
+	sys, err := NewLocalSystem(Config{
+		Owners: 2, Domain: dom, Verify: true, Seed: [32]byte{77},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owner 0 holds (4,red), (7,blue), (8,blue); owner 1 holds (1,red),
+	// (6,blue), (8,blue): common pair = (8,blue).
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sys.Owner(0).Load([]Row{
+		{Keys: []string{"4", "red"}},
+		{Keys: []string{"7", "blue"}},
+		{Keys: []string{"8", "blue"}},
+	}))
+	must(sys.Owner(1).Load([]Row{
+		{Keys: []string{"1", "red"}},
+		{Keys: []string{"6", "blue"}},
+		{Keys: []string{"8", "blue"}},
+	}))
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.PSI(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || res.Values[0] != "8|blue" {
+		t.Fatalf("multi-attribute PSI = %v, want [8|blue]", res.Values)
+	}
+}
+
+// TestMultiAttributeBucketizedPSI combines §6.6's two mechanisms: PSI
+// over a (sparse) product domain accelerated by the bucket tree — the
+// configuration the paper proposes for large cartesian-product domains.
+func TestMultiAttributeBucketizedPSI(t *testing.T) {
+	a, _ := IntDomain(1, 64)
+	b, _ := IntDomain(1, 64)
+	dom, err := ProductDomain(a, b) // 4096 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewLocalSystem(Config{Owners: 3, Domain: dom, Seed: [32]byte{78}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		rows := []Row{
+			{Keys: []string{"10", "20"}},                      // common pair
+			{Keys: []string{intStr(j + 1), intStr(60 - j)}},   // owner-specific
+			{Keys: []string{intStr(30 + j), intStr(2*j + 1)}}, // owner-specific
+		}
+		if err := sys.Owner(j).Load(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.OutsourceBucketTrees(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.BucketizedPSI(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || res.Values[0] != "10|20" {
+		t.Fatalf("bucketized multi-attr PSI = %v, want [10|20]", res.Values)
+	}
+	if res.Visited >= res.Flat {
+		t.Errorf("no pruning on sparse product domain: %d of %d", res.Visited, res.Flat)
+	}
+	// Flat PSI must agree.
+	flat, err := sys.PSI(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Cells) != 1 || flat.Cells[0] != res.Cells[0] {
+		t.Fatalf("flat %v vs bucketized %v disagree", flat.Cells, res.Cells)
+	}
+}
+
+// TestProductDomainRowErrors covers key-mapping error paths.
+func TestProductDomainRowErrors(t *testing.T) {
+	a, _ := IntDomain(1, 4)
+	b, _ := ValueDomain("x", "y")
+	dom, _ := ProductDomain(a, b)
+	sys, err := NewLocalSystem(Config{Owners: 2, Domain: dom, Seed: [32]byte{79}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]Row{
+		{{Keys: []string{"1"}}},        // wrong arity
+		{{Keys: []string{"9", "x"}}},   // out-of-range int
+		{{Keys: []string{"1", "z"}}},   // unknown categorical
+		{{Keys: []string{"one", "x"}}}, // non-integer
+		{{IntKey: 1}},                  // scalar key on product domain
+	}
+	for i, rows := range cases {
+		if err := sys.Owner(0).Load(rows); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestProductDomainRejectsNestedProduct: dimensions must be scalar.
+func TestProductDomainRejectsNestedProduct(t *testing.T) {
+	a, _ := IntDomain(1, 4)
+	p, _ := ProductDomain(a, a)
+	if _, err := ProductDomain(p, a); err == nil {
+		t.Error("nested product accepted")
+	}
+}
+
+func intStr(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,208 @@
+package prism
+
+import (
+	"context"
+	"testing"
+)
+
+// hospitalSystem builds the paper's running example (Tables 1-3): three
+// hospitals sharing disease/age/cost tables.
+func hospitalSystem(t testing.TB, verify bool) *System {
+	t.Helper()
+	dom, err := ValueDomain("Cancer", "Fever", "Heart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewLocalSystem(Config{
+		Owners:      3,
+		Domain:      dom,
+		AggColumns:  []string{"age", "cost"},
+		MaxAggValue: 10000,
+		Verify:      verify,
+		Seed:        [32]byte{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: Hospital 1.
+	if err := sys.Owner(0).Load([]Row{
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 4, "cost": 100}},
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 6, "cost": 200}},
+		{StrKey: "Heart", Aggs: map[string]uint64{"age": 2, "cost": 300}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Table 2: Hospital 2.
+	if err := sys.Owner(1).Load([]Row{
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 8, "cost": 100}},
+		{StrKey: "Fever", Aggs: map[string]uint64{"age": 5, "cost": 70}},
+		{StrKey: "Fever", Aggs: map[string]uint64{"age": 4, "cost": 50}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Table 3: Hospital 3.
+	if err := sys.Owner(2).Load([]Row{
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 8, "cost": 300}},
+		{StrKey: "Cancer", Aggs: map[string]uint64{"age": 4, "cost": 700}},
+		{StrKey: "Heart", Aggs: map[string]uint64{"age": 5, "cost": 500}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestPaperExamplePSI reproduces §2(1): PSI over disease = {Cancer}.
+func TestPaperExamplePSI(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	res, err := sys.PSI(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || res.Values[0] != "Cancer" {
+		t.Fatalf("PSI = %v, want [Cancer]", res.Values)
+	}
+}
+
+// TestPaperExamplePSU reproduces §2(2): PSU = {Cancer, Fever, Heart}.
+func TestPaperExamplePSU(t *testing.T) {
+	sys := hospitalSystem(t, false)
+	res, err := sys.PSU(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 3 {
+		t.Fatalf("PSU = %v, want all three diseases", res.Values)
+	}
+	want := map[string]bool{"Cancer": true, "Fever": true, "Heart": true}
+	for _, v := range res.Values {
+		if !want[v] {
+			t.Fatalf("unexpected union member %q", v)
+		}
+	}
+}
+
+// TestPaperExampleCounts reproduces §2(3): count over PSI = 1, PSU = 3.
+func TestPaperExampleCounts(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	psiCount, err := sys.PSICount(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psiCount.Count != 1 {
+		t.Errorf("PSI count = %d, want 1", psiCount.Count)
+	}
+	psuCount, err := sys.PSUCount(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psuCount.Count != 3 {
+		t.Errorf("PSU count = %d, want 3", psuCount.Count)
+	}
+}
+
+// TestPaperExamplePSISum reproduces §2(3): sum(cost) over PSI = {Cancer, 1400}.
+func TestPaperExamplePSISum(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	res, err := sys.PSISum(context.Background(), "cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("expected 1 intersection cell, got %d", len(res.Cells))
+	}
+	cancer := res.Cells[0]
+	if got, _ := res.Sum("cost", cancer); got != 1400 {
+		t.Errorf("PSI sum(cost) = %d, want 1400", got)
+	}
+}
+
+// TestPaperExamplePSUSum reproduces §2(3): sum over PSU =
+// {Cancer 1400, Fever 120, Heart 800}.
+func TestPaperExamplePSUSum(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	res, err := sys.PSUSum(context.Background(), "cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{"Cancer": 1400, "Fever": 120, "Heart": 800}
+	if len(res.Cells) != 3 {
+		t.Fatalf("union size %d, want 3", len(res.Cells))
+	}
+	for _, cell := range res.Cells {
+		label := sys.DomainLabel(cell)
+		got, _ := res.Sum("cost", cell)
+		if got != want[label] {
+			t.Errorf("PSU sum(cost) at %s = %d, want %d", label, got, want[label])
+		}
+	}
+}
+
+// TestPaperExamplePSIAvg reproduces §6.2: avg(cost) over PSI =
+// {Cancer, 280} (1400 cost over 5 cancer tuples).
+func TestPaperExamplePSIAvg(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	res, err := sys.PSIAvg(context.Background(), "cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancer := res.Cells[0]
+	got, ok := res.Avg("cost", cancer)
+	if !ok || got != 280 {
+		t.Errorf("PSI avg(cost) = %f, want 280", got)
+	}
+}
+
+// TestPaperExamplePSIMax reproduces §2(3) and §6.3: max(age) over PSI =
+// {Cancer, 8}, held by hospitals 2 and 3.
+func TestPaperExamplePSIMax(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	res, err := sys.PSIMax(context.Background(), "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("expected 1 cell, got %d", len(res.Cells))
+	}
+	cell := res.Cells[0]
+	pc := res.PerCell[cell]
+	if pc.Value != 8 {
+		t.Errorf("PSI max(age) = %d, want 8", pc.Value)
+	}
+	// §6.3 example outcome: hospitals 2 and 3 (indices 1, 2) hold age 8.
+	if len(pc.Owners) != 2 || pc.Owners[0] != 1 || pc.Owners[1] != 2 {
+		t.Errorf("max holders = %v, want [1 2]", pc.Owners)
+	}
+}
+
+// TestPaperExamplePSIMin: min(age) over PSI = {Cancer, 4} (hospitals 1, 3).
+func TestPaperExamplePSIMin(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	res, err := sys.PSIMin(context.Background(), "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := res.PerCell[res.Cells[0]]
+	if pc.Value != 4 {
+		t.Errorf("PSI min(age) = %d, want 4", pc.Value)
+	}
+	if len(pc.Owners) != 2 || pc.Owners[0] != 0 || pc.Owners[1] != 2 {
+		t.Errorf("min holders = %v, want [0 2]", pc.Owners)
+	}
+}
+
+// TestPaperExamplePSIMedian reproduces §6.4: median of per-owner cancer
+// cost totals {300, 100, 1000} = 300.
+func TestPaperExamplePSIMedian(t *testing.T) {
+	sys := hospitalSystem(t, true)
+	res, err := sys.PSIMedian(context.Background(), "cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := res.PerCell[res.Cells[0]]
+	if pc.Value != 300 {
+		t.Errorf("PSI median(cost) = %d, want 300", pc.Value)
+	}
+}

@@ -1,0 +1,108 @@
+package prism
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+)
+
+// TestSystemPropertyPSIPSU is the capstone property test: for arbitrary
+// owner counts, domain sizes and datasets, the full protocol stack
+// (share → outsource → query → reconstruct → verify) must agree exactly
+// with the plaintext intersection and union, and the counts must match
+// the set sizes.
+func TestSystemPropertyPSIPSU(t *testing.T) {
+	ctx := context.Background()
+	prop := func(mSeed, bSeed uint8, keys []uint16) bool {
+		m := int(mSeed%5) + 2      // 2..6 owners
+		b := uint64(bSeed%120) + 8 // 8..127 cells
+		dom, err := IntDomain(1, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewLocalSystem(Config{
+			Owners: m, Domain: dom, Verify: true,
+			Seed: [32]byte{mSeed, bSeed, 91},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Distribute the fuzzed keys round-robin over the owners; key 1
+		// goes to everyone so the intersection is sometimes non-empty.
+		perOwner := make([]map[uint64]bool, m)
+		for j := range perOwner {
+			perOwner[j] = map[uint64]bool{1: true}
+		}
+		for i, k := range keys {
+			perOwner[i%m][uint64(k)%b+1] = true
+		}
+		union := map[uint64]bool{}
+		inter := map[uint64]bool{}
+		for j := 0; j < m; j++ {
+			var rows []Row
+			for key := range perOwner[j] {
+				rows = append(rows, Row{IntKey: key})
+				union[key-1] = true
+			}
+			if err := sys.Owner(j).Load(rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for c := range union {
+			all := true
+			for j := 0; j < m; j++ {
+				if !perOwner[j][c+1] {
+					all = false
+					break
+				}
+			}
+			if all {
+				inter[c] = true
+			}
+		}
+		if _, err := sys.OutsourceAll(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		psi, err := sys.PSI(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(psi.Cells) != len(inter) {
+			return false
+		}
+		for _, c := range psi.Cells {
+			if !inter[c] {
+				return false
+			}
+		}
+		psu, err := sys.PSU(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(psu.Cells) != len(union) {
+			return false
+		}
+		for _, c := range psu.Cells {
+			if !union[c] {
+				return false
+			}
+		}
+		pc, err := sys.PSICount(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uc, err := sys.PSUCount(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pc.Count == len(inter) && uc.Count == len(union)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

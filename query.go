@@ -1,0 +1,355 @@
+package prism
+
+import (
+	"context"
+	"fmt"
+
+	"prism/internal/protocol"
+)
+
+// SetResult is a PSI or PSU answer.
+type SetResult struct {
+	// Cells are the natural-order domain cells in the result set.
+	Cells []uint64
+	// Values are the decoded domain labels, parallel to Cells.
+	Values []string
+	Stats  QueryStats
+}
+
+// PSI computes the private set intersection over the common attribute
+// (paper §5.1), verifying the result when the system was built with
+// Verify (§5.2).
+func (s *System) PSI(ctx context.Context) (*SetResult, error) {
+	q, err := s.querier()
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.PSI(ctx, s.table)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Verify {
+		if err := q.VerifyPSI(ctx, s.table, res); err != nil {
+			return nil, err
+		}
+	}
+	return s.setResult(res.Cells, fromEngineStats(res.Stats)), nil
+}
+
+// PSU computes the private set union (paper §7). The paper defines
+// result verification only for PSI, count, sum and max — PSU replies are
+// therefore returned as-is even when the system runs with Verify.
+func (s *System) PSU(ctx context.Context) (*SetResult, error) {
+	q, err := s.querier()
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.PSU(ctx, s.table)
+	if err != nil {
+		return nil, err
+	}
+	return s.setResult(res.Cells, fromEngineStats(res.Stats)), nil
+}
+
+func (s *System) setResult(cells []uint64, stats QueryStats) *SetResult {
+	out := &SetResult{Cells: cells, Stats: stats}
+	for _, c := range cells {
+		out.Values = append(out.Values, s.cfg.Domain.Label(c))
+	}
+	return out
+}
+
+// CountResult is a PSI/PSU cardinality answer (§6.5). Only the count is
+// revealed — not which values are in the result.
+type CountResult struct {
+	Count int
+	Stats QueryStats
+}
+
+// PSICount reveals only |intersection| (paper §6.5).
+func (s *System) PSICount(ctx context.Context) (*CountResult, error) {
+	q, err := s.querier()
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.Count(ctx, s.table, s.cfg.Verify)
+	if err != nil {
+		return nil, err
+	}
+	return &CountResult{Count: res.Count, Stats: fromEngineStats(res.Stats)}, nil
+}
+
+// PSUCount reveals only |union|.
+func (s *System) PSUCount(ctx context.Context) (*CountResult, error) {
+	q, err := s.querier()
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.PSUCount(ctx, s.table)
+	if err != nil {
+		return nil, err
+	}
+	return &CountResult{Count: res.Count, Stats: fromEngineStats(res.Stats)}, nil
+}
+
+// AggregateResult is a summary aggregation over PSI or PSU (§6.1-§6.2):
+// per result-set value, the cross-owner aggregate.
+type AggregateResult struct {
+	// Cells is the result set (intersection or union) the aggregation
+	// grouped on.
+	Cells []uint64
+	// Sums[col][cell] is the total of column col at the cell.
+	Sums map[string]map[uint64]uint64
+	// Counts[cell] is the tuple count (for averages).
+	Counts map[uint64]uint64
+	Stats  QueryStats
+}
+
+// Sum returns the aggregate for a column at a cell.
+func (r *AggregateResult) Sum(col string, cell uint64) (uint64, bool) {
+	v, ok := r.Sums[col][cell]
+	return v, ok
+}
+
+// Avg returns the average for a column at a cell.
+func (r *AggregateResult) Avg(col string, cell uint64) (float64, bool) {
+	sum, ok := r.Sums[col][cell]
+	if !ok {
+		return 0, false
+	}
+	cnt, ok := r.Counts[cell]
+	if !ok || cnt == 0 {
+		return 0, false
+	}
+	return float64(sum) / float64(cnt), true
+}
+
+// PSISum computes the PSI-sum query of §6.1 over one or more aggregation
+// columns (Table 12 exercises 1-4 columns in one query).
+func (s *System) PSISum(ctx context.Context, cols ...string) (*AggregateResult, error) {
+	return s.aggregate(ctx, true, false, cols)
+}
+
+// PSIAvg computes the PSI-average query of §6.2 (sum and count columns in
+// one round).
+func (s *System) PSIAvg(ctx context.Context, cols ...string) (*AggregateResult, error) {
+	return s.aggregate(ctx, true, true, cols)
+}
+
+// PSUSum aggregates over the union instead of the intersection (§2(3)).
+func (s *System) PSUSum(ctx context.Context, cols ...string) (*AggregateResult, error) {
+	return s.aggregate(ctx, false, false, cols)
+}
+
+// PSUAvg averages over the union.
+func (s *System) PSUAvg(ctx context.Context, cols ...string) (*AggregateResult, error) {
+	return s.aggregate(ctx, false, true, cols)
+}
+
+func (s *System) aggregate(ctx context.Context, overPSI, withCount bool, cols []string) (*AggregateResult, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("prism: aggregation needs at least one column")
+	}
+	q, err := s.querier()
+	if err != nil {
+		return nil, err
+	}
+	// Round 1: find the result set (§6.1 Steps 1-3).
+	var cells []uint64
+	var stats QueryStats
+	if overPSI {
+		res, err := q.PSI(ctx, s.table)
+		if err != nil {
+			return nil, err
+		}
+		if s.cfg.Verify {
+			if err := q.VerifyPSI(ctx, s.table, res); err != nil {
+				return nil, err
+			}
+		}
+		cells = res.Cells
+		stats.add(res.Stats)
+	} else {
+		res, err := q.PSU(ctx, s.table)
+		if err != nil {
+			return nil, err
+		}
+		cells = res.Cells
+		stats.add(res.Stats)
+	}
+	// Round 2: selector-weighted Shamir aggregation (§6.1 Steps 3-5).
+	agg, err := q.Aggregate(ctx, s.table, cells, cols, withCount, s.cfg.Verify)
+	if err != nil {
+		return nil, err
+	}
+	stats.add(agg.Stats)
+	return &AggregateResult{
+		Cells:  cells,
+		Sums:   agg.Sums,
+		Counts: agg.Counts,
+		Stats:  stats,
+	}, nil
+}
+
+// ExtremeResult is an exemplary aggregation (max/min/median, §6.3-§6.4)
+// over the PSI result, computed per intersection value.
+type ExtremeResult struct {
+	Cells   []uint64
+	PerCell map[uint64]ExtremeCell
+	Stats   QueryStats
+}
+
+// ExtremeCell is the answer at one intersection value.
+type ExtremeCell struct {
+	// Value is the max/min, or the median (for an even number of owners
+	// the average of the two middle per-owner values, rounded down).
+	Value uint64
+	// MedianPair holds the two middle values when m is even.
+	MedianPair []uint64
+	// Owners lists the owners holding the extreme value (§6.3 Steps
+	// 5b-7); nil for median.
+	Owners []int
+}
+
+// PSIMax finds, for every intersection value, the maximum of col across
+// all owners and which owners hold it (paper §6.3).
+func (s *System) PSIMax(ctx context.Context, col string) (*ExtremeResult, error) {
+	return s.extreme(ctx, protocol.KindMax, col)
+}
+
+// PSIMin is the symmetric minimum query.
+func (s *System) PSIMin(ctx context.Context, col string) (*ExtremeResult, error) {
+	return s.extreme(ctx, protocol.KindMin, col)
+}
+
+// PSIMedian finds the median of the per-owner totals of col (paper §6.4).
+func (s *System) PSIMedian(ctx context.Context, col string) (*ExtremeResult, error) {
+	return s.extreme(ctx, protocol.KindMedian, col)
+}
+
+func (s *System) extreme(ctx context.Context, kind protocol.ExtremeKind, col string) (*ExtremeResult, error) {
+	q, err := s.querier()
+	if err != nil {
+		return nil, err
+	}
+	// Round 1: PSI (§6.3 Steps 1-2). Every owner learns the common cells.
+	psi, err := q.PSI(ctx, s.table)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Verify {
+		if err := q.VerifyPSI(ctx, s.table, psi); err != nil {
+			return nil, err
+		}
+	}
+	res := &ExtremeResult{Cells: psi.Cells, PerCell: make(map[uint64]ExtremeCell, len(psi.Cells))}
+	var stats QueryStats
+	stats.add(psi.Stats)
+
+	for _, cell := range psi.Cells {
+		cellRes, cellStats, err := s.extremeAtCell(ctx, kind, col, cell)
+		if err != nil {
+			return nil, fmt.Errorf("prism: %s at %q: %w", kind, s.cfg.Domain.Label(cell), err)
+		}
+		res.PerCell[cell] = *cellRes
+		stats.ServerFetchNS += cellStats.ServerFetchNS
+		stats.ServerComputeNS += cellStats.ServerComputeNS
+		stats.OwnerNS += cellStats.OwnerNS
+		stats.WallNS += cellStats.WallNS
+		stats.Rounds += cellStats.Rounds
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// extremeAtCell runs the §6.3/§6.4 rounds for one intersection value.
+func (s *System) extremeAtCell(ctx context.Context, kind protocol.ExtremeKind, col string, cell uint64) (*ExtremeCell, QueryStats, error) {
+	var stats QueryStats
+	// The nonce keeps repeated queries from colliding with finished
+	// server-side round state (e.g. after a re-outsource).
+	qid := fmt.Sprintf("ext-%s-%s-%d-%s-%d", s.table, col, cell, kind, s.qidNonce.Add(1))
+
+	// Step 3: every owner masks and submits its local value.
+	locals := make([]uint64, len(s.owners))
+	present := make([]bool, len(s.owners))
+	for i, o := range s.owners {
+		v, has, err := o.eng.LocalValue(kind, col, cell)
+		if err != nil {
+			return nil, stats, err
+		}
+		if !has {
+			// The cell is in the intersection, so every owner must have
+			// at least one tuple there.
+			return nil, stats, fmt.Errorf("owner %d has no tuple at intersection cell %d", i, cell)
+		}
+		locals[i], present[i] = v, true
+		if err := o.eng.SubmitExtreme(ctx, qid, kind, v); err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.Rounds++
+
+	// Steps 4-5a: servers forwarded to S_a; owners fetch and decode.
+	// Every owner fetches (each must know z for the claims round).
+	var outcome *ExtremeCell
+	for i, o := range s.owners {
+		oc, err := o.eng.FetchExtreme(ctx, qid, kind)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.OwnerNS += oc.Stats.OwnerNS
+		if err := o.eng.CheckExtremeConsistency(kind, oc.Values[0], locals[i], present[i]); err != nil {
+			return nil, stats, err
+		}
+		if kind == protocol.KindMin {
+			// Min consistency is against the smallest announced value.
+			last := oc.Values[len(oc.Values)-1]
+			if err := o.eng.CheckExtremeConsistency(kind, last, locals[i], present[i]); err != nil {
+				return nil, stats, err
+			}
+		}
+		if i == 0 {
+			outcome = decodeExtreme(kind, oc.Values)
+		}
+	}
+	stats.Rounds++
+
+	if kind == protocol.KindMedian {
+		return outcome, stats, nil
+	}
+
+	// Steps 5b-7: ownership claims.
+	z := outcome.Value
+	for i, o := range s.owners {
+		if err := o.eng.SubmitClaim(ctx, qid, locals[i] == z); err != nil {
+			return nil, stats, err
+		}
+	}
+	claims, err := s.owners[0].eng.FetchClaims(ctx, qid)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Rounds++
+	for i, holds := range claims {
+		if holds {
+			outcome.Owners = append(outcome.Owners, i)
+		}
+	}
+	if s.cfg.Verify && len(outcome.Owners) == 0 {
+		// Max verification: someone must hold the announced extreme.
+		return nil, stats, fmt.Errorf("%w: no owner claims the announced %s", ErrVerificationFailed, kind)
+	}
+	return outcome, stats, nil
+}
+
+func decodeExtreme(kind protocol.ExtremeKind, values []uint64) *ExtremeCell {
+	out := &ExtremeCell{}
+	switch {
+	case kind == protocol.KindMedian && len(values) == 2:
+		out.MedianPair = values
+		out.Value = (values[0] + values[1]) / 2
+	default:
+		out.Value = values[0]
+	}
+	return out
+}

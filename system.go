@@ -1,0 +1,240 @@
+package prism
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+
+	"prism/internal/announcer"
+	"prism/internal/ownerengine"
+	"prism/internal/params"
+	"prism/internal/serverengine"
+	"prism/internal/sharestore"
+	"prism/internal/transport"
+)
+
+// ErrVerificationFailed is returned when any result-verification check
+// detects server misbehaviour.
+var ErrVerificationFailed = ownerengine.ErrVerificationFailed
+
+// System is a fully wired local Prism deployment: m owners, three
+// servers, one announcer, and the in-process transport fabric. It is the
+// programmatic equivalent of running cmd/prism-init, cmd/prism-server ×3,
+// cmd/prism-announcer and m owner processes.
+type System struct {
+	cfg      Config
+	sys      *params.System
+	network  *transport.Network
+	servers  [params.NumServers]*serverengine.Engine
+	ann      *announcer.Engine
+	owners   []*Owner
+	table    string
+	qidNonce atomic.Uint64
+}
+
+// Owner is one DB owner's handle within a System.
+type Owner struct {
+	sys *System
+	eng *ownerengine.Owner
+	idx int
+}
+
+// NewLocalSystem builds and wires a complete in-process deployment.
+func NewLocalSystem(cfg Config) (*System, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sysParams, err := params.Generate(params.Config{
+		NumOwners:  cfg.Owners,
+		DomainSize: cfg.Domain.Size(),
+		Delta:      cfg.Delta,
+		MaxAgg:     cfg.MaxAggValue,
+		Seed:       cfg.seed(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:     cfg,
+		sys:     sysParams,
+		network: transport.NewNetwork(),
+		table:   cfg.TableName,
+	}
+	s.network.EncodeWire = cfg.EncodeWire
+
+	for phi := 0; phi < params.NumServers; phi++ {
+		view, err := sysParams.ForServer(phi)
+		if err != nil {
+			return nil, err
+		}
+		opts := serverengine.Options{
+			Threads:       cfg.Threads,
+			AnnouncerAddr: "announcer",
+			Caller:        s.network,
+		}
+		if cfg.DiskDir != "" {
+			store, err := sharestore.Open(filepath.Join(cfg.DiskDir, fmt.Sprintf("server-%d", phi)))
+			if err != nil {
+				return nil, err
+			}
+			opts.Store = store
+			opts.DiskBacked = true
+		}
+		eng := serverengine.New(view, opts)
+		s.servers[phi] = eng
+		s.network.Register(serverAddr(phi), eng)
+	}
+
+	s.ann = announcer.New(sysParams.ForAnnouncer())
+	s.network.Register("announcer", s.ann)
+
+	addrs := make([]string, params.NumServers)
+	for phi := range addrs {
+		addrs[phi] = serverAddr(phi)
+	}
+	ownerSeed := cfg.seed().Derive("owners")
+	for i := 0; i < cfg.Owners; i++ {
+		eng, err := ownerengine.New(i, sysParams.ForOwner(), s.network, addrs, ownerSeed)
+		if err != nil {
+			return nil, err
+		}
+		s.owners = append(s.owners, &Owner{sys: s, eng: eng, idx: i})
+	}
+	return s, nil
+}
+
+func serverAddr(phi int) string { return fmt.Sprintf("server/%d", phi) }
+
+// Owner returns owner i's handle.
+func (s *System) Owner(i int) *Owner { return s.owners[i] }
+
+// Owners returns m.
+func (s *System) Owners() int { return len(s.owners) }
+
+// DomainLabel renders a result cell as its domain value.
+func (s *System) DomainLabel(cell uint64) string { return s.cfg.Domain.Label(cell) }
+
+// SetServerThreads adjusts every server's worker-pool width (thread-sweep
+// benchmarks).
+func (s *System) SetServerThreads(n int) {
+	for _, e := range s.servers {
+		e.SetThreads(n)
+	}
+}
+
+// Load installs rows as this owner's private table.
+func (o *Owner) Load(rows []Row) error {
+	data := &ownerengine.Data{Aggs: make(map[string][]uint64)}
+	for _, col := range o.sys.cfg.AggColumns {
+		data.Aggs[col] = make([]uint64, 0, len(rows))
+	}
+	for _, r := range rows {
+		cell, err := o.sys.cfg.Domain.cellOfRow(r)
+		if err != nil {
+			return err
+		}
+		data.Cells = append(data.Cells, cell)
+		for _, col := range o.sys.cfg.AggColumns {
+			data.Aggs[col] = append(data.Aggs[col], r.Aggs[col])
+		}
+	}
+	return o.eng.Load(data)
+}
+
+// LoadCells installs pre-encoded tuples (cell indices plus parallel
+// aggregation arrays) — the fast path for large synthetic workloads.
+func (o *Owner) LoadCells(cells []uint64, aggs map[string][]uint64) error {
+	if aggs == nil {
+		aggs = map[string][]uint64{}
+	}
+	return o.eng.Load(&ownerengine.Data{Cells: cells, Aggs: aggs})
+}
+
+// Index returns the owner's index.
+func (o *Owner) Index() int { return o.idx }
+
+// Engine exposes the underlying protocol engine (for advanced use and
+// the benchmark harness).
+func (o *Owner) Engine() *ownerengine.Owner { return o.eng }
+
+// Outsource runs Phase 1 for this owner.
+func (o *Owner) Outsource(ctx context.Context) (ShareGenStats, error) {
+	spec := ownerengine.OutsourceSpec{
+		Table:     o.sys.table,
+		AggCols:   o.sys.cfg.AggColumns,
+		Verify:    o.sys.cfg.Verify,
+		WithCount: len(o.sys.cfg.AggColumns) > 0,
+	}
+	st, err := o.eng.Outsource(ctx, spec)
+	return ShareGenStats(st), err
+}
+
+// OutsourceAll runs Phase 1 for every owner and returns the summed
+// share-generation stats (the §8.1 "share generation time" metric).
+func (s *System) OutsourceAll(ctx context.Context) (ShareGenStats, error) {
+	var total ShareGenStats
+	for _, o := range s.owners {
+		st, err := o.Outsource(ctx)
+		if err != nil {
+			return total, fmt.Errorf("prism: owner %d outsourcing: %w", o.idx, err)
+		}
+		total.BuildNS += st.BuildNS
+		total.SplitNS += st.SplitNS
+		total.UploadNS += st.UploadNS
+		total.Cells = st.Cells
+	}
+	return total, nil
+}
+
+// querier returns the owner that drives queries (the paper picks a
+// random owner; we use owner 0 for determinism).
+func (s *System) querier() (*ownerengine.Owner, error) {
+	if len(s.owners) == 0 {
+		return nil, errors.New("prism: no owners")
+	}
+	return s.owners[0].eng, nil
+}
+
+// ShareGenStats reports Phase-1 costs.
+type ShareGenStats struct {
+	BuildNS  int64
+	SplitNS  int64
+	UploadNS int64
+	Cells    uint64
+}
+
+// TotalNS is the full share-generation time.
+func (s ShareGenStats) TotalNS() int64 { return s.BuildNS + s.SplitNS + s.UploadNS }
+
+// QueryStats decomposes one query's cost: server fetch/compute summed
+// over servers and rounds, owner-side result construction, wall time.
+type QueryStats struct {
+	ServerFetchNS   int64
+	ServerComputeNS int64
+	OwnerNS         int64
+	WallNS          int64
+	Rounds          int
+	Cells           int
+}
+
+func fromEngineStats(q ownerengine.QueryStats) QueryStats {
+	return QueryStats{
+		ServerFetchNS:   q.Server.FetchNS,
+		ServerComputeNS: q.Server.ComputeNS,
+		OwnerNS:         q.OwnerNS,
+		WallNS:          q.WallNS,
+		Rounds:          q.Rounds,
+		Cells:           q.Server.Cells,
+	}
+}
+
+func (q *QueryStats) add(o ownerengine.QueryStats) {
+	q.ServerFetchNS += o.Server.FetchNS
+	q.ServerComputeNS += o.Server.ComputeNS
+	q.OwnerNS += o.OwnerNS
+	q.WallNS += o.WallNS
+	q.Rounds += o.Rounds
+	q.Cells += o.Server.Cells
+}

@@ -1,0 +1,16 @@
+package prism
+
+import "prism/internal/transport"
+
+// interceptServer rewires server phi's logical address through a wrapper
+// handler. Tests use it to simulate malicious servers (reply tampering,
+// skipped cells, fake injections) and assert that verification catches
+// them. Not part of the public API.
+func (s *System) interceptServer(phi int, wrap func(transport.Handler) transport.Handler) {
+	s.network.Register(serverAddr(phi), wrap(s.servers[phi]))
+}
+
+// restoreServer undoes interceptServer.
+func (s *System) restoreServer(phi int) {
+	s.network.Register(serverAddr(phi), s.servers[phi])
+}
