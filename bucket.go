@@ -41,11 +41,11 @@ func (s *System) OutsourceBucketTrees(ctx context.Context, fanout int) error {
 // BucketizedPSI runs the level-by-level PSI of §6.6. Requires a prior
 // OutsourceBucketTrees call.
 func (s *System) BucketizedPSI(ctx context.Context) (*BucketPSIResult, error) {
-	q, err := s.querier()
+	ow, err := s.nextQuerier()
 	if err != nil {
 		return nil, err
 	}
-	res, err := q.BucketizedPSI(ctx, s.table+"-bt")
+	res, err := ow.eng.BucketizedPSI(ctx, s.table+"-bt")
 	if err != nil {
 		return nil, err
 	}

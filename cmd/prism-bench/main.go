@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|all")
+		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|all")
 		paper   = flag.Bool("paper", false, "use the paper's full sizes (5M/20M domains; needs ~16GB RAM)")
 		domain  = flag.Uint64("domain", 0, "override: single domain size")
 		owners  = flag.Int("owners", 0, "override: owner count for exp1/exp3/table12/sharegen")
@@ -118,6 +118,10 @@ func main() {
 	if want("diskablation") {
 		matched = true
 		run("diskablation", func() ([]*report.Table, error) { return benchx.DiskAblation(ctx, sc) })
+	}
+	if want("throughput") {
+		matched = true
+		run("throughput", func() ([]*report.Table, error) { return benchx.Throughput(ctx, sc) })
 	}
 	if !matched {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

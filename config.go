@@ -151,6 +151,10 @@ type Config struct {
 	Verify bool
 	// Threads is each server's worker-pool width (Figure 3 sweep).
 	Threads int
+	// MaxInflight bounds how many scheduled queries (QueryAsync /
+	// QueryBatch) execute simultaneously. 0 → GOMAXPROCS. Resizable at
+	// runtime via System.SetMaxInflight.
+	MaxInflight int
 	// Seed makes the whole system deterministic; zero → fresh entropy.
 	Seed [32]byte
 	// DiskDir, when set, backs each server with an on-disk share store

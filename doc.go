@@ -30,6 +30,32 @@
 //	res, _ := sys.PSI(ctx)        // → {Cancer}
 //	sum, _ := sys.PSISum(ctx, "cost")
 //
+// # Concurrency
+//
+// A System serves many queries simultaneously. Every query method —
+// System.PSI and friends, their per-owner forms (Owner.PSI, ...), and
+// the scheduler entry points QueryAsync/QueryBatch — is safe to call
+// concurrently with every other, including SetServerThreads and
+// SetMaxInflight reconfiguration while queries are in flight.
+//
+// The query lifecycle: a query mints a per-query session on its driving
+// owner (a unique query id plus a private PRG for the query's share
+// randomness), issues its rounds to the servers tagged with that qid,
+// and recombines replies locally. Server-side, all multi-round scratch
+// (max/min/median submissions, ownership claims, announcer results) is
+// keyed by qid and retired when the query completes, so concurrent
+// queries never share state. Stored tables are immutable snapshots;
+// re-outsourcing swaps them atomically.
+//
+// System-level queries rotate round-robin across owners (results are
+// owner-independent, so rotation never changes an answer); a specific
+// owner can be queried via Owner's methods or Request.PinOwner. The
+// scheduler bounds concurrently executing queries to Config.MaxInflight
+// (default GOMAXPROCS), resizable at runtime:
+//
+//	fut := sys.QueryAsync(ctx, prism.Request{Op: prism.OpPSISum, Cols: []string{"cost"}})
+//	resps := sys.QueryBatch(ctx, reqs) // positional, per-query errors
+//
 // See examples/ for complete programs, DESIGN.md for the architecture and
 // protocol details, and EXPERIMENTS.md for the reproduction of the
 // paper's evaluation.

@@ -50,6 +50,11 @@ func (e *Engine) Handle(_ context.Context, req any) (any, error) {
 		return e.handleAnnounce(r)
 	case protocol.AnnounceFetchRequest:
 		return e.handleFetch(r)
+	case protocol.QueryDoneRequest:
+		e.mu.Lock()
+		delete(e.pending, r.QueryID)
+		e.mu.Unlock()
+		return protocol.QueryDoneReply{}, nil
 	default:
 		return nil, fmt.Errorf("announcer: unknown request type %T", req)
 	}

@@ -10,14 +10,16 @@ import (
 func tinyScale(t *testing.T) Scale {
 	t.Helper()
 	return Scale{
-		Domains:     []uint64{512},
-		Owners:      3,
-		OwnersSweep: []int{3, 4},
-		Threads:     []int{1, 2},
-		DiskDir:     t.TempDir(),
-		Fig5Leaves:  100_000,
-		Fig5Fanout:  10,
-		Table13Keys: 256,
+		Domains:           []uint64{512},
+		Owners:            3,
+		OwnersSweep:       []int{3, 4},
+		Threads:           []int{1, 2},
+		DiskDir:           t.TempDir(),
+		Fig5Leaves:        100_000,
+		Fig5Fanout:        10,
+		Table13Keys:       256,
+		Inflight:          []int{1, 4},
+		ThroughputQueries: 8,
 	}
 }
 
@@ -62,7 +64,8 @@ func TestRunOpAllOperators(t *testing.T) {
 }
 
 func TestExp1Smoke(t *testing.T) {
-	tables, err := Exp1(context.Background(), tinyScale(t))
+	sc := tinyScale(t)
+	tables, err := Exp1(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,15 +76,28 @@ func TestExp1Smoke(t *testing.T) {
 	if len(tables[0].Rows) != 14 {
 		t.Errorf("rows = %d, want 14", len(tables[0].Rows))
 	}
-	// Disk-backed: the PSI row must report nonzero fetch time.
-	foundFetch := false
-	for _, row := range tables[0].Rows {
-		if row[1] == "PSI" && row[4] != "0.000" {
-			foundFetch = true
-		}
+	// Disk-backed: the raw nanosecond stat must be nonzero (an SSD fetch
+	// is sub-millisecond; asserting on a seconds-resolution string would
+	// round it to zero — the old regression).
+	sys, _, _, err := Build(SystemSpec{
+		Owners: sc.Owners, Domain: sc.Domains[0], DiskDir: sc.DiskDir + "/exp1-raw",
+		AggCols: []string{"DT", "PK"},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !foundFetch {
-		t.Error("no data-fetch time recorded in disk-backed exp1")
+	r, err := RunOp(context.Background(), sys, "PSI", "DT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ServerFetchNS <= 0 {
+		t.Errorf("disk-backed PSI reported ServerFetchNS = %d, want > 0", r.ServerFetchNS)
+	}
+	// And the rendered cell must carry it at adaptive resolution.
+	for _, row := range tables[0].Rows {
+		if row[1] == "PSI" && (row[4] == "0" || row[4] == "0.000") {
+			t.Errorf("disk-backed exp1 PSI row renders fetch time as %q", row[4])
+		}
 	}
 }
 
@@ -178,12 +194,54 @@ func TestDiskAblationSmoke(t *testing.T) {
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d, want 4", len(rows))
 	}
-	// Memory rows must report zero fetch; disk rows nonzero.
-	if rows[0][4] != "0.000" {
+	// Memory rows must report zero fetch; disk rows nonzero at adaptive
+	// (µs/ns) resolution.
+	if rows[0][4] != "0" {
 		t.Errorf("memory mode reported fetch time %s", rows[0][4])
 	}
-	if rows[2][4] == "0.000" {
-		t.Errorf("disk mode reported no fetch time")
+	if rows[2][4] == "0" || rows[2][4] == "0.000" {
+		t.Errorf("disk mode reported no fetch time (cell %q)", rows[2][4])
+	}
+	// The raw nanosecond stat is the authoritative assertion.
+	for _, disk := range []bool{false, true} {
+		spec := SystemSpec{Owners: sc.Owners, Domain: sc.Domains[0], Seed: "disk-ablation-raw"}
+		if disk {
+			spec.DiskDir = sc.DiskDir + "/ablation-raw"
+		}
+		sys, _, _, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunOp(context.Background(), sys, "PSI", "DT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disk && r.ServerFetchNS <= 0 {
+			t.Errorf("disk mode: ServerFetchNS = %d, want > 0", r.ServerFetchNS)
+		}
+		if !disk && r.ServerFetchNS != 0 {
+			t.Errorf("memory mode: ServerFetchNS = %d, want 0", r.ServerFetchNS)
+		}
+	}
+}
+
+func TestThroughputSmoke(t *testing.T) {
+	sc := tinyScale(t)
+	tables, err := Throughput(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != len(sc.Inflight) {
+		t.Fatalf("rows = %d, want %d concurrency points", len(rows), len(sc.Inflight))
+	}
+	for _, row := range rows {
+		if row[4] != "0" {
+			t.Errorf("in-flight %s: %s queries failed", row[0], row[4])
+		}
+		if row[1] == "0.0" {
+			t.Errorf("in-flight %s: zero throughput", row[0])
+		}
 	}
 }
 

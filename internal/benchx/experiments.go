@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"prism"
 	"prism/internal/baseline"
 	"prism/internal/prg"
 	"prism/internal/report"
@@ -28,18 +29,25 @@ type Scale struct {
 	Fig5Fanout int
 	// Table13Keys is the per-owner set size for the 2-owner comparison.
 	Table13Keys int
+	// Inflight is the concurrency sweep for the throughput experiment:
+	// each entry is a scheduler in-flight bound.
+	Inflight []int
+	// ThroughputQueries is how many queries each throughput point runs.
+	ThroughputQueries int
 }
 
 // QuickScale is a laptop-friendly default; PaperScale matches §8.1.
 func QuickScale() Scale {
 	return Scale{
-		Domains:     []uint64{250_000, 1_000_000},
-		Owners:      10,
-		OwnersSweep: []int{10, 20, 30, 40, 50},
-		Threads:     []int{1, 2, 3, 4, 5},
-		Fig5Leaves:  100_000_000,
-		Fig5Fanout:  10,
-		Table13Keys: 4096,
+		Domains:           []uint64{250_000, 1_000_000},
+		Owners:            10,
+		OwnersSweep:       []int{10, 20, 30, 40, 50},
+		Threads:           []int{1, 2, 3, 4, 5},
+		Fig5Leaves:        100_000_000,
+		Fig5Fanout:        10,
+		Table13Keys:       4096,
+		Inflight:          []int{1, 2, 4, 8, 16},
+		ThroughputQueries: 48,
 	}
 }
 
@@ -59,7 +67,7 @@ func Exp1(ctx context.Context, sc Scale) ([]*report.Table, error) {
 	for _, domain := range sc.Domains {
 		tb := report.New(
 			fmt.Sprintf("Exp 1 / Figure 3 — %s OK domain, %d owners", human(domain), sc.Owners),
-			"threads", "op", "total(s)", "server-compute(s)", "data-fetch(s)", "owner(s)")
+			"threads", "op", "total(s)", "server-compute(s)", "data-fetch", "owner(s)")
 		sys, _, _, err := Build(SystemSpec{
 			Owners: sc.Owners, Domain: domain, DiskDir: sc.DiskDir,
 			AggCols: []string{"DT", "PK"},
@@ -79,7 +87,7 @@ func Exp1(ctx context.Context, sc Scale) ([]*report.Table, error) {
 					return nil, err
 				}
 				tb.Add(threads, op, report.Seconds(r.WallNS), report.Seconds(r.ServerComputeNS),
-					report.Seconds(r.ServerFetchNS), report.Seconds(r.OwnerNS))
+					report.Dur(r.ServerFetchNS), report.Seconds(r.OwnerNS))
 			}
 		}
 		tables = append(tables, tb)
@@ -237,7 +245,7 @@ func FanoutAblation(sc Scale) []*report.Table {
 // PSI-sum — isolating the "data fetch" cost of Figure 3.
 func DiskAblation(ctx context.Context, sc Scale) ([]*report.Table, error) {
 	tb := report.New("Ablation — in-memory vs disk-backed share serving",
-		"mode", "op", "total(s)", "server-compute(s)", "data-fetch(s)")
+		"mode", "op", "total(s)", "server-compute(s)", "data-fetch")
 	domain := sc.Domains[0]
 	for _, disk := range []bool{false, true} {
 		spec := SystemSpec{Owners: sc.Owners, Domain: domain, Seed: "disk-ablation"}
@@ -256,7 +264,7 @@ func DiskAblation(ctx context.Context, sc Scale) ([]*report.Table, error) {
 				return nil, err
 			}
 			tb.Add(mode, op, report.Seconds(r.WallNS), report.Seconds(r.ServerComputeNS),
-				report.Seconds(r.ServerFetchNS))
+				report.Dur(r.ServerFetchNS))
 		}
 	}
 	return []*report.Table{tb}, nil
@@ -327,6 +335,83 @@ func Table13(ctx context.Context, sc Scale) ([]*report.Table, error) {
 		nb.Add(n, comparisons, fmt.Sprintf("%.3f", el.Seconds()), "O(n²) per owner pair")
 	}
 	return []*report.Table{tb, nb}, nil
+}
+
+// throughputMix is the operator mix each throughput point cycles
+// through — the service-style workload of concurrent PSI/PSU/count/sum
+// traffic, routed round-robin across owners by the scheduler.
+var throughputMix = []prism.Request{
+	{Op: prism.OpPSI},
+	{Op: prism.OpPSU},
+	{Op: prism.OpPSICount},
+	{Op: prism.OpPSISum, Cols: []string{"DT"}},
+}
+
+// Throughput measures sustained queries/sec against the number of
+// queries in flight (the scheduler's concurrency bound). This is the
+// production-traffic experiment the paper does not run: it answers how
+// the three-server deployment behaves under many simultaneous queriers
+// rather than one looping querier.
+func Throughput(ctx context.Context, sc Scale) ([]*report.Table, error) {
+	domain := sc.Domains[0]
+	nq := sc.ThroughputQueries
+	if nq <= 0 {
+		nq = 48
+	}
+	inflight := sc.Inflight
+	if len(inflight) == 0 {
+		inflight = []int{1, 2, 4, 8, 16}
+	}
+	tb := report.New(
+		fmt.Sprintf("Throughput — %s OK domain, %d owners, %d mixed queries per point",
+			human(domain), sc.Owners, nq),
+		"in-flight", "queries/sec", "wall(s)", "mean-latency", "errors")
+	sys, _, _, err := Build(SystemSpec{Owners: sc.Owners, Domain: domain})
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]prism.Request, nq)
+	for i := range reqs {
+		reqs[i] = throughputMix[i%len(throughputMix)]
+	}
+	for _, k := range inflight {
+		sys.SetMaxInflight(k)
+		start := time.Now()
+		resps := sys.QueryBatch(ctx, reqs)
+		wall := time.Since(start)
+		var lat int64
+		nerr := 0
+		for _, r := range resps {
+			if r.Err != nil {
+				nerr++
+				continue
+			}
+			lat += statsOf(r).WallNS
+		}
+		okCount := nq - nerr
+		if okCount == 0 {
+			return nil, fmt.Errorf("benchx: throughput point %d: every query failed (first: %v)", k, resps[0].Err)
+		}
+		tb.Add(k, fmt.Sprintf("%.1f", float64(okCount)/wall.Seconds()),
+			report.Seconds(wall.Nanoseconds()), report.Dur(lat/int64(okCount)), nerr)
+	}
+	return []*report.Table{tb}, nil
+}
+
+// statsOf extracts the per-query stats from whichever result a response
+// carries.
+func statsOf(r *prism.Response) prism.QueryStats {
+	switch {
+	case r.Set != nil:
+		return r.Set.Stats
+	case r.Count != nil:
+		return r.Count.Stats
+	case r.Agg != nil:
+		return r.Agg.Stats
+	case r.Extreme != nil:
+		return r.Extreme.Stats
+	}
+	return prism.QueryStats{}
 }
 
 func human(n uint64) string {

@@ -45,6 +45,7 @@ func (r *AggResult) Avg(col string, cell uint64) (float64, bool) {
 func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, cols []string, withCount, verify bool) (*AggResult, error) {
 	wall := time.Now()
 	b := o.view.B
+	sess := o.newSession("agg")
 
 	start := time.Now()
 	z := make([]uint64, b)
@@ -55,15 +56,15 @@ func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, 
 		z[c] = 1
 	}
 	zStored := perm.Apply(o.view.DB1, z, nil)
-	zShares := share.ShamirSplitVector(o.rng, zStored, 1, 3)
+	zShares := share.ShamirSplitVector(sess.rng, zStored, 1, 3)
 	var vzShares [][]uint64
 	if verify {
 		vzStored := perm.Apply(o.view.DB2, z, nil)
-		vzShares = share.ShamirSplitVector(o.rng, vzStored, 1, 3)
+		vzShares = share.ShamirSplitVector(sess.rng, vzStored, 1, 3)
 	}
 	ownerNS := time.Since(start).Nanoseconds()
 
-	qid := o.freshQueryID("agg")
+	qid := sess.qid
 	replies, err := o.call3(ctx, func(phi int) any {
 		req := protocol.AggRequest{
 			Table:     table,

@@ -24,7 +24,9 @@ type bucketMeta struct {
 // the paper, where owners explicitly request child buckets.
 func (o *Owner) OutsourceBucketTree(ctx context.Context, base string, tree *bucket.Tree) error {
 	for k, level := range tree.Levels {
+		o.mu.Lock()
 		shares := share.AdditiveSplitVector(o.rng, level, o.view.Delta, 2)
+		o.mu.Unlock()
 		spec := protocol.TableSpec{
 			Name:  bucketLevelTable(base, k),
 			B:     uint64(len(level)),
@@ -88,7 +90,7 @@ func (o *Owner) BucketizedPSI(ctx context.Context, base string) (*BucketPSIResul
 		if len(frontier) == 0 {
 			break
 		}
-		qid := o.freshQueryID(fmt.Sprintf("bpsi-L%d", k))
+		qid := o.newSession(fmt.Sprintf("bpsi-L%d", k)).qid
 		table := bucketLevelTable(base, k)
 		req := protocol.PSIRequest{Table: table, QueryID: qid, Cells: frontier}
 		replies, err := o.call2(ctx, func(int) any { return req })

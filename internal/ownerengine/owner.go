@@ -103,6 +103,31 @@ type localTable struct {
 	chi  []uint16 // natural order; the owner's own membership bitmap
 }
 
+// querySession is the owner-side per-query state: a unique query id and
+// a private PRG supplying the query's share randomness. Sessions are
+// minted from the owner's root PRG under lock and then used lock-free,
+// so any number of queries (and outsourcing runs) proceed concurrently
+// without contending on — or nondeterministically interleaving — the
+// root stream.
+type querySession struct {
+	qid string
+	rng *prg.PRG
+}
+
+// newSession mints a per-query session. The qid embeds one nonce (shared
+// with the servers); the session PRG is seeded from a second nonce that
+// never leaves the owner, so an observer of the qid cannot reconstruct
+// the query's share randomness.
+func (o *Owner) newSession(prefix string) *querySession {
+	o.mu.Lock()
+	n1, n2 := o.rng.Uint64(), o.rng.Uint64()
+	o.mu.Unlock()
+	return &querySession{
+		qid: fmt.Sprintf("%s-%d-%x", prefix, o.Index, n1),
+		rng: prg.New(prg.SeedFromString(fmt.Sprintf("session/%d/%x/%x", o.Index, n1, n2))),
+	}
+}
+
 // New builds an owner engine. serverAddrs must have params.NumServers
 // entries; seed drives all share randomness (zero → fresh entropy).
 func New(index int, view *params.OwnerView, caller transport.Caller, serverAddrs []string, seed prg.Seed) (*Owner, error) {
@@ -191,6 +216,11 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 	stats.BuildNS = time.Since(start).Nanoseconds()
 
 	// ---- permute and secret-share ----
+	// Splitting draws from the owner's root PRG while holding the engine
+	// lock: outsourcing is Phase 1 (rare, heavyweight), so serialising it
+	// against query-session minting is cheap, stays race-free, and keeps
+	// the share stream deterministic for a given seed.
+	o.mu.Lock()
 	start = time.Now()
 	chiP := perm.Apply(o.view.DB1, chi, nil)
 	chiShares := share.AdditiveSplitVector(o.rng, chiP, o.view.Delta, 2)
@@ -215,6 +245,7 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 		}
 	}
 	stats.SplitNS = time.Since(start).Nanoseconds()
+	o.mu.Unlock()
 
 	// ---- upload ----
 	start = time.Now()

@@ -22,7 +22,7 @@ type SetResult struct {
 // PSI runs the §5.1 protocol and returns the common cells.
 func (o *Owner) PSI(ctx context.Context, table string) (*SetResult, error) {
 	wall := time.Now()
-	qid := o.freshQueryID("psi")
+	qid := o.newSession("psi").qid
 	replies, err := o.call2(ctx, func(int) any {
 		return protocol.PSIRequest{Table: table, QueryID: qid}
 	})
@@ -70,7 +70,7 @@ func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) err
 	if res == nil || uint64(len(res.fop)) != o.view.B {
 		return fmt.Errorf("ownerengine: VerifyPSI needs the PSI result vector")
 	}
-	qid := o.freshQueryID("psiv")
+	qid := o.newSession("psiv").qid
 	replies, err := o.call2(ctx, func(int) any {
 		return protocol.PSIVerifyRequest{Table: table, QueryID: qid}
 	})
@@ -109,7 +109,7 @@ func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) err
 // PSU runs the §7 protocol and returns the union cells.
 func (o *Owner) PSU(ctx context.Context, table string) (*SetResult, error) {
 	wall := time.Now()
-	qid := o.freshQueryID("psu")
+	qid := o.newSession("psu").qid
 	replies, err := o.call2(ctx, func(int) any {
 		return protocol.PSURequest{Table: table, QueryID: qid}
 	})
@@ -160,7 +160,7 @@ type CountResult struct {
 // enabling the per-cell r1·r2 ≡ 1 check without revealing positions.
 func (o *Owner) Count(ctx context.Context, table string, verify bool) (*CountResult, error) {
 	wall := time.Now()
-	qid := o.freshQueryID("count")
+	qid := o.newSession("count").qid
 	replies, err := o.call2(ctx, func(int) any {
 		return protocol.CountRequest{Table: table, QueryID: qid, Verify: verify}
 	})
@@ -220,7 +220,7 @@ func (o *Owner) Count(ctx context.Context, table string, verify bool) (*CountRes
 // nonzero entries.
 func (o *Owner) PSUCount(ctx context.Context, table string) (*CountResult, error) {
 	wall := time.Now()
-	qid := o.freshQueryID("psucount")
+	qid := o.newSession("psucount").qid
 	replies, err := o.call2(ctx, func(int) any {
 		return protocol.PSURequest{Table: table, QueryID: qid, Permute: true}
 	})
@@ -252,11 +252,4 @@ func (o *Owner) PSUCount(ctx context.Context, table string) (*CountResult, error
 	stats.OwnerNS = time.Since(start).Nanoseconds()
 	stats.WallNS = time.Since(wall).Nanoseconds()
 	return &CountResult{Count: count, Stats: stats}, nil
-}
-
-// freshQueryID derives a unique query id from the owner's PRG.
-func (o *Owner) freshQueryID(prefix string) string {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return fmt.Sprintf("%s-%d-%x", prefix, o.Index, o.rng.Uint64())
 }

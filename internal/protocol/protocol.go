@@ -236,6 +236,18 @@ type ClaimFetchReply struct {
 	Fpos  []uint16
 }
 
+// ---- query lifecycle ----
+
+// QueryDoneRequest retires every piece of per-query state a node holds
+// for the given query id (extreme-submission slots, claim vectors,
+// announcer results). Queriers send it best-effort once a max/min/median
+// query completes so long-running deployments do not accumulate session
+// state; nodes treat unknown ids as a no-op.
+type QueryDoneRequest struct{ QueryID string }
+
+// QueryDoneReply acknowledges the cleanup.
+type QueryDoneReply struct{}
+
 // Register registers every message type with gob for transport.
 func Register() {
 	for _, v := range []any{
@@ -252,6 +264,7 @@ func Register() {
 		AnnounceFetchRequest{}, AnnounceFetchReply{},
 		ClaimSubmitRequest{}, ClaimSubmitReply{},
 		ClaimFetchRequest{}, ClaimFetchReply{},
+		QueryDoneRequest{}, QueryDoneReply{},
 	} {
 		gob.Register(v)
 	}

@@ -92,3 +92,22 @@ func pad(s string, w int) string {
 func Seconds(ns int64) string {
 	return fmt.Sprintf("%.3f", float64(ns)/1e9)
 }
+
+// Dur renders a nanosecond count at adaptive resolution — seconds,
+// milliseconds, microseconds or nanoseconds — so sub-millisecond stats
+// (e.g. SSD share fetches) never round down to "0.000". Zero renders as
+// "0" exactly.
+func Dur(ns int64) string {
+	switch {
+	case ns == 0:
+		return "0"
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

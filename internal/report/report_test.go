@@ -52,3 +52,22 @@ func TestSeconds(t *testing.T) {
 		t.Errorf("Seconds(0) = %s", Seconds(0))
 	}
 }
+
+func TestDurAdaptiveResolution(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0"},
+		{742, "742ns"},
+		{1_500, "1.500µs"},
+		{835_000, "835.000µs"},
+		{2_500_000, "2.500ms"},
+		{1_500_000_000, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := Dur(c.ns); got != c.want {
+			t.Errorf("Dur(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prism/internal/field"
@@ -47,24 +48,39 @@ type Options struct {
 	Caller        transport.Caller
 }
 
-// Engine is one Prism server.
+// Engine is one Prism server. All request handlers are safe for
+// concurrent use: table columns are immutable once registered, the
+// worker-pool width is read atomically, and every piece of multi-round
+// query scratch lives in a qid-keyed session (never in engine-global
+// state), so any number of queries can be in flight simultaneously.
 type Engine struct {
 	view *params.ServerView
 	opts Options
+
+	// threads is the worker-pool width, read atomically by the per-cell
+	// loops so SetThreads can run while queries are in flight.
+	threads atomic.Int64
 
 	powTab []uint64 // g^e mod η' for e ∈ [0, δ)
 
 	mu     sync.RWMutex
 	tables map[string]*table
 
-	extMu    sync.Mutex
-	extremes map[string]*extremeState
-	claims   map[string]*claimState
+	sessMu   sync.Mutex
+	sessions map[string]*querySession
 }
 
 type table struct {
 	spec   protocol.TableSpec
 	owners map[int]*ownerCols
+}
+
+// tableView is an immutable snapshot of one table taken under the engine
+// lock: handlers work off the snapshot so a concurrent Store (another
+// owner registering, a re-outsource) can never race the query's reads.
+type tableView struct {
+	spec   protocol.TableSpec
+	owners []*ownerCols // dense, index = owner id
 }
 
 type ownerCols struct {
@@ -75,6 +91,16 @@ type ownerCols struct {
 	cnt    []uint64
 	vcnt   []uint64
 	onDisk bool
+}
+
+// querySession holds every piece of server-side state for one in-flight
+// multi-round query, keyed by qid. Each session has its own lock, so
+// concurrent queries neither contend nor interfere; QueryDone retires
+// the session.
+type querySession struct {
+	mu    sync.Mutex
+	ext   *extremeState
+	claim *claimState
 }
 
 type extremeState struct {
@@ -95,22 +121,59 @@ func New(v *params.ServerView, opts Options) *Engine {
 	if opts.Threads <= 0 {
 		opts.Threads = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		view:     v,
 		opts:     opts,
 		powTab:   modmath.PowTable(v.G, v.Delta, v.EtaPrime),
 		tables:   make(map[string]*table),
-		extremes: make(map[string]*extremeState),
-		claims:   make(map[string]*claimState),
+		sessions: make(map[string]*querySession),
+	}
+	e.threads.Store(int64(opts.Threads))
+	return e
+}
+
+// SetThreads adjusts the worker-pool width (thread-sweep benchmarks and
+// live reconfiguration). Safe to call while queries are in flight: loops
+// already running finish at their old width, subsequent loops use n.
+func (e *Engine) SetThreads(n int) {
+	if n > 0 {
+		e.threads.Store(int64(n))
 	}
 }
 
-// SetThreads adjusts the worker-pool width (used by the thread-sweep
-// benchmarks). Safe between queries.
-func (e *Engine) SetThreads(n int) {
-	if n > 0 {
-		e.opts.Threads = n
+// session returns (creating if needed) the state bundle for a query id.
+func (e *Engine) session(qid string) *querySession {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	s, ok := e.sessions[qid]
+	if !ok {
+		s = &querySession{}
+		e.sessions[qid] = s
 	}
+	return s
+}
+
+// peekSession returns the session for qid without creating one.
+func (e *Engine) peekSession(qid string) (*querySession, bool) {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	s, ok := e.sessions[qid]
+	return s, ok
+}
+
+// endSession drops all state for a query id.
+func (e *Engine) endSession(qid string) {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	delete(e.sessions, qid)
+}
+
+// Sessions reports the number of live query sessions (tests and
+// monitoring).
+func (e *Engine) Sessions() int {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	return len(e.sessions)
 }
 
 // Handle implements transport.Handler.
@@ -138,6 +201,9 @@ func (e *Engine) Handle(ctx context.Context, req any) (any, error) {
 		return e.handleClaimSubmit(r)
 	case protocol.ClaimFetchRequest:
 		return e.handleClaimFetch(r)
+	case protocol.QueryDoneRequest:
+		e.endSession(r.QueryID)
+		return protocol.QueryDoneReply{}, nil
 	default:
 		return nil, fmt.Errorf("server %d: unknown request type %T", e.view.Index, req)
 	}
@@ -183,6 +249,15 @@ func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
 		vcnt:   r.VCountCol,
 	}
 
+	// Spill to disk BEFORE registering: once an ownerCols is visible in
+	// the table map it is immutable, so concurrent queries can read it
+	// without holding the engine lock.
+	if e.opts.DiskBacked && e.opts.Store != nil {
+		if err := e.spill(r.Spec.Name, r.Owner, oc); err != nil {
+			return nil, err
+		}
+	}
+
 	e.mu.Lock()
 	t, ok := e.tables[r.Spec.Name]
 	if !ok {
@@ -194,12 +269,6 @@ func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
 	}
 	t.owners[r.Owner] = oc
 	e.mu.Unlock()
-
-	if e.opts.DiskBacked && e.opts.Store != nil {
-		if err := e.spill(r.Spec.Name, r.Owner, oc); err != nil {
-			return nil, err
-		}
-	}
 	return protocol.StoreReply{Cells: b}, nil
 }
 
@@ -254,26 +323,36 @@ func (e *Engine) spill(tableName string, owner int, oc *ownerCols) error {
 	return nil
 }
 
-// lookup fetches the table and checks all m owners have outsourced.
-func (e *Engine) lookup(name string) (*table, error) {
+// lookup snapshots the table under the engine lock and checks all m
+// owners have outsourced. The returned view is safe to read without
+// locks: ownerCols are immutable once registered, and later Stores only
+// swap map entries, never mutate visible columns.
+func (e *Engine) lookup(name string) (*tableView, error) {
 	e.mu.RLock()
 	t, ok := e.tables[name]
+	var v *tableView
+	if ok {
+		v = &tableView{spec: t.spec, owners: make([]*ownerCols, e.view.M)}
+		for j := 0; j < e.view.M; j++ {
+			v.owners[j] = t.owners[j] // nil when owner j has not outsourced
+		}
+	}
 	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("server %d: unknown table %q", e.view.Index, name)
 	}
-	if len(t.owners) != e.view.M {
-		return nil, fmt.Errorf("server %d: table %q has %d of %d owners", e.view.Index, name, len(t.owners), e.view.M)
+	for j, oc := range v.owners {
+		if oc == nil {
+			return nil, fmt.Errorf("server %d: table %q missing owner %d of %d", e.view.Index, name, j, e.view.M)
+		}
 	}
-	return t, nil
+	return v, nil
 }
 
 // chiShares returns every owner's χ share vector, fetching from disk in
-// disk-backed mode. The returned release function must be called when the
-// query is done (it lets fetched copies be collected).
-func (e *Engine) chiShares(t *table, bar bool, stats *protocol.Stats) ([][]uint16, error) {
+// disk-backed mode.
+func (e *Engine) chiShares(t *tableView, bar bool, stats *protocol.Stats) ([][]uint16, error) {
 	out := make([][]uint16, 0, len(t.owners))
-	start := time.Now()
 	for j := 0; j < e.view.M; j++ {
 		oc := t.owners[j]
 		var v []uint16
@@ -282,8 +361,12 @@ func (e *Engine) chiShares(t *table, bar bool, stats *protocol.Stats) ([][]uint1
 			if bar {
 				col = "chibar"
 			}
+			// Only real disk reads count as data-fetch time; the
+			// in-memory path is a slice handoff, not a fetch.
+			start := time.Now()
 			var err error
 			v, err = e.opts.Store.ReadU16(t.spec.Name, fmt.Sprintf("o%d.%s", j, col))
+			stats.FetchNS += time.Since(start).Nanoseconds()
 			if err != nil {
 				return nil, err
 			}
@@ -297,12 +380,11 @@ func (e *Engine) chiShares(t *table, bar bool, stats *protocol.Stats) ([][]uint1
 		}
 		out = append(out, v)
 	}
-	stats.FetchNS += time.Since(start).Nanoseconds()
 	return out, nil
 }
 
 // u64Col returns one owner's named uint64 column, disk-aware.
-func (e *Engine) u64Col(t *table, owner int, kind, col string, stats *protocol.Stats) ([]uint64, error) {
+func (e *Engine) u64Col(t *tableView, owner int, kind, col string, stats *protocol.Stats) ([]uint64, error) {
 	oc := t.owners[owner]
 	if oc.onDisk {
 		start := time.Now()
@@ -330,8 +412,10 @@ func (e *Engine) u64Col(t *table, owner int, kind, col string, stats *protocol.S
 // ---- parallel helper ----
 
 // parallel splits [0, n) into contiguous chunks across the worker pool.
+// The width is sampled once per loop, so SetThreads during a query is
+// race-free and only affects subsequent loops.
 func (e *Engine) parallel(n int, fn func(lo, hi int)) {
-	threads := e.opts.Threads
+	threads := int(e.threads.Load())
 	if threads > n {
 		threads = n
 	}
@@ -602,7 +686,7 @@ func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
 // sumColumn computes acc_i = S(z_i) · Σ_j S(col_i)_j over all owners —
 // the linear rearrangement of Equation 11 (servers multiply the selector
 // share into the summed column shares; degree rises to 2).
-func (e *Engine) sumColumn(t *table, kind, col string, z []uint64, stats *protocol.Stats) ([]uint64, error) {
+func (e *Engine) sumColumn(t *tableView, kind, col string, z []uint64, stats *protocol.Stats) ([]uint64, error) {
 	b := int(t.spec.B)
 	cols := make([][]uint64, 0, e.view.M)
 	for j := 0; j < e.view.M; j++ {
@@ -640,11 +724,15 @@ func (e *Engine) handleExtremeSubmit(ctx context.Context, r protocol.ExtremeSubm
 	if r.Owner < 0 || r.Owner >= e.view.M {
 		return nil, fmt.Errorf("server %d: owner %d out of range", e.view.Index, r.Owner)
 	}
-	e.extMu.Lock()
-	st, ok := e.extremes[r.QueryID]
-	if !ok {
-		st = &extremeState{kind: r.Kind, shares: make([][]byte, e.view.M)}
-		e.extremes[r.QueryID] = st
+	sess := e.session(r.QueryID)
+	sess.mu.Lock()
+	if sess.ext == nil {
+		sess.ext = &extremeState{kind: r.Kind, shares: make([][]byte, e.view.M)}
+	}
+	st := sess.ext
+	if st.kind != r.Kind {
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("server %d: query %q kind mismatch", e.view.Index, r.QueryID)
 	}
 	if st.shares[r.Owner] == nil {
 		st.shares[r.Owner] = r.VShare
@@ -663,7 +751,7 @@ func (e *Engine) handleExtremeSubmit(ctx context.Context, r protocol.ExtremeSubm
 			permuted[e.view.PF.Image(i)] = s
 		}
 	}
-	e.extMu.Unlock()
+	sess.mu.Unlock()
 
 	if complete {
 		if e.opts.Caller == nil || e.opts.AnnouncerAddr == "" {
@@ -683,15 +771,19 @@ func (e *Engine) handleExtremeSubmit(ctx context.Context, r protocol.ExtremeSubm
 }
 
 func (e *Engine) handleExtremeFetch(ctx context.Context, r protocol.ExtremeFetchRequest) (any, error) {
-	e.extMu.Lock()
-	st, ok := e.extremes[r.QueryID]
-	cached := ok && st.result != nil
+	sess, ok := e.peekSession(r.QueryID)
+	if !ok {
+		return nil, fmt.Errorf("server %d: unknown extreme query %q", e.view.Index, r.QueryID)
+	}
+	sess.mu.Lock()
+	st := sess.ext
+	cached := st != nil && st.result != nil
 	var res protocol.AnnounceFetchReply
 	if cached {
 		res = *st.result
 	}
-	e.extMu.Unlock()
-	if !ok {
+	sess.mu.Unlock()
+	if st == nil {
 		return nil, fmt.Errorf("server %d: unknown extreme query %q", e.view.Index, r.QueryID)
 	}
 	if !cached {
@@ -708,9 +800,9 @@ func (e *Engine) handleExtremeFetch(ctx context.Context, r protocol.ExtremeFetch
 		if !af.Ready {
 			return protocol.ExtremeFetchReply{Ready: false}, nil
 		}
-		e.extMu.Lock()
+		sess.mu.Lock()
 		st.result = &af
-		e.extMu.Unlock()
+		sess.mu.Unlock()
 		res = af
 	}
 	return protocol.ExtremeFetchReply{
@@ -730,13 +822,13 @@ func (e *Engine) handleClaimSubmit(r protocol.ClaimSubmitRequest) (any, error) {
 	if r.Owner < 0 || r.Owner >= e.view.M {
 		return nil, fmt.Errorf("server %d: owner %d out of range", e.view.Index, r.Owner)
 	}
-	e.extMu.Lock()
-	defer e.extMu.Unlock()
-	st, ok := e.claims[r.QueryID]
-	if !ok {
-		st = &claimState{fpos: make([]uint16, e.view.M), got: make(map[int]bool)}
-		e.claims[r.QueryID] = st
+	sess := e.session(r.QueryID)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.claim == nil {
+		sess.claim = &claimState{fpos: make([]uint16, e.view.M), got: make(map[int]bool)}
 	}
+	st := sess.claim
 	if !st.got[r.Owner] {
 		st.fpos[r.Owner] = r.Share // fpos[i] ← A(α)_i (§6.3 Step 6)
 		st.got[r.Owner] = true
@@ -745,10 +837,14 @@ func (e *Engine) handleClaimSubmit(r protocol.ClaimSubmitRequest) (any, error) {
 }
 
 func (e *Engine) handleClaimFetch(r protocol.ClaimFetchRequest) (any, error) {
-	e.extMu.Lock()
-	defer e.extMu.Unlock()
-	st, ok := e.claims[r.QueryID]
-	if !ok || len(st.got) < e.view.M {
+	sess, ok := e.peekSession(r.QueryID)
+	if !ok {
+		return protocol.ClaimFetchReply{Ready: false}, nil
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	st := sess.claim
+	if st == nil || len(st.got) < e.view.M {
 		return protocol.ClaimFetchReply{Ready: false}, nil
 	}
 	fpos := make([]uint16, len(st.fpos))

@@ -1,17 +1,72 @@
 package transport
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 )
+
+// MaxFrameBytes caps one wire frame (4-byte big-endian length prefix +
+// gob-encoded envelope). A peer announcing a larger frame is cut off
+// before any payload is read, so a corrupt or hostile peer cannot force
+// an arbitrary allocation. 256 MiB comfortably holds the largest legal
+// message (a 20M-cell Shamir column is 160 MB).
+const MaxFrameBytes = 256 << 20
+
+// ErrFrameTooLarge is returned when a peer announces a frame above
+// MaxFrameBytes, or when a caller tries to send one.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// writeFrame gob-encodes env and writes it as one length-prefixed frame.
+// Each frame carries a self-contained gob stream so that readers can
+// decode frames independently of connection history.
+func writeFrame(w io.Writer, env *envelope) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4)) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return err
+	}
+	n := buf.Len() - 4
+	if n > MaxFrameBytes {
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, n)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame and decodes the envelope.
+func readFrame(r io.Reader) (*envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w (%d bytes announced)", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if m, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("transport: truncated frame (%d of %d bytes): %w", m, n, err)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: corrupt frame: %w", err)
+	}
+	return &env, nil
+}
 
 // Serve accepts connections on ln and serves requests with h until the
 // context is cancelled or the listener is closed. Each connection is a
-// sequential stream of gob-encoded envelopes.
+// sequential stream of length-prefixed gob frames.
 func Serve(ctx context.Context, ln net.Listener, h Handler) error {
 	go func() {
 		<-ctx.Done()
@@ -31,19 +86,24 @@ func Serve(ctx context.Context, ln net.Listener, h Handler) error {
 
 func serveConn(ctx context.Context, conn net.Conn, h Handler) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
 	for {
-		var req envelope
-		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken peer; connection is per-client, just drop it
+		req, err := readFrame(conn)
+		if err != nil {
+			// Oversized announcements get an explicit error frame so the
+			// peer learns why; then the connection is dropped (the stream
+			// position is unrecoverable). Everything else (EOF, truncation)
+			// just drops the per-client connection.
+			if errors.Is(err, ErrFrameTooLarge) {
+				writeFrame(conn, &envelope{Err: err.Error()})
+			}
+			return
 		}
 		reply, err := h.Handle(ctx, req.Payload)
 		out := envelope{Payload: reply}
 		if err != nil {
 			out = envelope{Err: err.Error()}
 		}
-		if err := enc.Encode(&out); err != nil {
+		if err := writeFrame(conn, &out); err != nil {
 			return
 		}
 	}
@@ -60,10 +120,11 @@ type TCPClient struct {
 }
 
 type tcpConn struct {
-	mu   sync.Mutex
+	// sem serialises calls on the connection (capacity 1). A channel
+	// rather than a mutex so queued callers can abandon the wait when
+	// their context dies.
+	sem  chan struct{}
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
 }
 
 // NewTCPClient builds a client over an address book.
@@ -75,7 +136,9 @@ func NewTCPClient(book map[string]string) *TCPClient {
 	return &TCPClient{book: b, conns: make(map[string]*tcpConn)}
 }
 
-// Call sends req to the logical address and awaits the reply.
+// Call sends req to the logical address and awaits the reply. Cancelling
+// ctx mid-call interrupts the wire exchange (the connection is dropped,
+// since a partially-exchanged frame cannot be resumed).
 func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error) {
 	target, ok := c.lookup(addr)
 	if !ok {
@@ -85,16 +148,45 @@ func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if err := tc.enc.Encode(&envelope{Payload: req}); err != nil {
-		c.drop(addr)
-		return nil, fmt.Errorf("transport: send to %q: %w", addr, err)
+	// Acquire the per-connection slot; a caller queued behind a slow
+	// exchange can still honour its own cancellation.
+	select {
+	case tc.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	var reply envelope
-	if err := tc.dec.Decode(&reply); err != nil {
-		c.drop(addr)
-		return nil, fmt.Errorf("transport: receive from %q: %w", addr, err)
+	defer func() { <-tc.sem }()
+	// A previous call's cancellation may have left an expired deadline.
+	tc.conn.SetDeadline(time.Time{})
+	// Cancellation support: wake the blocked read/write by forcing an
+	// immediate deadline. The deadline is cleared again on the success
+	// path; on the error path the connection is dropped anyway.
+	stop := context.AfterFunc(ctx, func() {
+		tc.conn.SetDeadline(time.Now())
+	})
+	defer stop()
+	fail := func(op string, err error) (any, error) {
+		c.drop(addr, tc)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("transport: %s %q: %w", op, addr, err)
+	}
+	if err := writeFrame(tc.conn, &envelope{Payload: req}); err != nil {
+		return fail("send to", err)
+	}
+	reply, err := readFrame(tc.conn)
+	if err != nil {
+		return fail("receive from", err)
+	}
+	if !stop() {
+		// The cancellation fired while the reply was in flight; its
+		// SetDeadline(now) may land at any later moment, so the
+		// connection cannot be trusted for reuse. The reply itself is
+		// complete — drop the conn, return the reply.
+		c.drop(addr, tc)
+	} else {
+		tc.conn.SetDeadline(time.Time{})
 	}
 	if reply.Err != "" {
 		return nil, errors.New(reply.Err)
@@ -120,16 +212,19 @@ func (c *TCPClient) conn(ctx context.Context, addr, target string) (*tcpConn, er
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %q (%s): %w", addr, target, err)
 	}
-	tc := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	tc := &tcpConn{sem: make(chan struct{}, 1), conn: conn}
 	c.conns[addr] = tc
 	return tc, nil
 }
 
-func (c *TCPClient) drop(addr string) {
+// drop closes and unregisters tc — but only if it is still the cached
+// connection for addr, so a stale failure never tears down a healthy
+// replacement another call already dialled.
+func (c *TCPClient) drop(addr string, tc *tcpConn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if tc, ok := c.conns[addr]; ok {
-		tc.conn.Close()
+	tc.conn.Close()
+	if c.conns[addr] == tc {
 		delete(c.conns, addr)
 	}
 }

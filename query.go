@@ -18,12 +18,20 @@ type SetResult struct {
 
 // PSI computes the private set intersection over the common attribute
 // (paper §5.1), verifying the result when the system was built with
-// Verify (§5.2).
+// Verify (§5.2). The querying owner rotates round-robin; use
+// Owner.PSI to query as a specific owner.
 func (s *System) PSI(ctx context.Context) (*SetResult, error) {
-	q, err := s.querier()
+	ow, err := s.nextQuerier()
 	if err != nil {
 		return nil, err
 	}
+	return ow.PSI(ctx)
+}
+
+// PSI computes the private set intersection with this owner driving the
+// query. Safe to call concurrently with any other query.
+func (o *Owner) PSI(ctx context.Context) (*SetResult, error) {
+	s, q := o.sys, o.eng
 	res, err := q.PSI(ctx, s.table)
 	if err != nil {
 		return nil, err
@@ -40,10 +48,16 @@ func (s *System) PSI(ctx context.Context) (*SetResult, error) {
 // result verification only for PSI, count, sum and max — PSU replies are
 // therefore returned as-is even when the system runs with Verify.
 func (s *System) PSU(ctx context.Context) (*SetResult, error) {
-	q, err := s.querier()
+	ow, err := s.nextQuerier()
 	if err != nil {
 		return nil, err
 	}
+	return ow.PSU(ctx)
+}
+
+// PSU computes the private set union with this owner driving the query.
+func (o *Owner) PSU(ctx context.Context) (*SetResult, error) {
+	s, q := o.sys, o.eng
 	res, err := q.PSU(ctx, s.table)
 	if err != nil {
 		return nil, err
@@ -68,10 +82,16 @@ type CountResult struct {
 
 // PSICount reveals only |intersection| (paper §6.5).
 func (s *System) PSICount(ctx context.Context) (*CountResult, error) {
-	q, err := s.querier()
+	ow, err := s.nextQuerier()
 	if err != nil {
 		return nil, err
 	}
+	return ow.PSICount(ctx)
+}
+
+// PSICount reveals only |intersection|, driven by this owner.
+func (o *Owner) PSICount(ctx context.Context) (*CountResult, error) {
+	s, q := o.sys, o.eng
 	res, err := q.Count(ctx, s.table, s.cfg.Verify)
 	if err != nil {
 		return nil, err
@@ -81,10 +101,16 @@ func (s *System) PSICount(ctx context.Context) (*CountResult, error) {
 
 // PSUCount reveals only |union|.
 func (s *System) PSUCount(ctx context.Context) (*CountResult, error) {
-	q, err := s.querier()
+	ow, err := s.nextQuerier()
 	if err != nil {
 		return nil, err
 	}
+	return ow.PSUCount(ctx)
+}
+
+// PSUCount reveals only |union|, driven by this owner.
+func (o *Owner) PSUCount(ctx context.Context) (*CountResult, error) {
+	s, q := o.sys, o.eng
 	res, err := q.PSUCount(ctx, s.table)
 	if err != nil {
 		return nil, err
@@ -127,33 +153,66 @@ func (r *AggregateResult) Avg(col string, cell uint64) (float64, bool) {
 // PSISum computes the PSI-sum query of §6.1 over one or more aggregation
 // columns (Table 12 exercises 1-4 columns in one query).
 func (s *System) PSISum(ctx context.Context, cols ...string) (*AggregateResult, error) {
-	return s.aggregate(ctx, true, false, cols)
+	ow, err := s.nextQuerier()
+	if err != nil {
+		return nil, err
+	}
+	return ow.PSISum(ctx, cols...)
+}
+
+// PSISum computes the PSI-sum query driven by this owner.
+func (o *Owner) PSISum(ctx context.Context, cols ...string) (*AggregateResult, error) {
+	return o.aggregate(ctx, true, false, cols)
 }
 
 // PSIAvg computes the PSI-average query of §6.2 (sum and count columns in
 // one round).
 func (s *System) PSIAvg(ctx context.Context, cols ...string) (*AggregateResult, error) {
-	return s.aggregate(ctx, true, true, cols)
+	ow, err := s.nextQuerier()
+	if err != nil {
+		return nil, err
+	}
+	return ow.PSIAvg(ctx, cols...)
+}
+
+// PSIAvg computes the PSI-average query driven by this owner.
+func (o *Owner) PSIAvg(ctx context.Context, cols ...string) (*AggregateResult, error) {
+	return o.aggregate(ctx, true, true, cols)
 }
 
 // PSUSum aggregates over the union instead of the intersection (§2(3)).
 func (s *System) PSUSum(ctx context.Context, cols ...string) (*AggregateResult, error) {
-	return s.aggregate(ctx, false, false, cols)
+	ow, err := s.nextQuerier()
+	if err != nil {
+		return nil, err
+	}
+	return ow.PSUSum(ctx, cols...)
+}
+
+// PSUSum aggregates over the union, driven by this owner.
+func (o *Owner) PSUSum(ctx context.Context, cols ...string) (*AggregateResult, error) {
+	return o.aggregate(ctx, false, false, cols)
 }
 
 // PSUAvg averages over the union.
 func (s *System) PSUAvg(ctx context.Context, cols ...string) (*AggregateResult, error) {
-	return s.aggregate(ctx, false, true, cols)
-}
-
-func (s *System) aggregate(ctx context.Context, overPSI, withCount bool, cols []string) (*AggregateResult, error) {
-	if len(cols) == 0 {
-		return nil, fmt.Errorf("prism: aggregation needs at least one column")
-	}
-	q, err := s.querier()
+	ow, err := s.nextQuerier()
 	if err != nil {
 		return nil, err
 	}
+	return ow.PSUAvg(ctx, cols...)
+}
+
+// PSUAvg averages over the union, driven by this owner.
+func (o *Owner) PSUAvg(ctx context.Context, cols ...string) (*AggregateResult, error) {
+	return o.aggregate(ctx, false, true, cols)
+}
+
+func (o *Owner) aggregate(ctx context.Context, overPSI, withCount bool, cols []string) (*AggregateResult, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("prism: aggregation needs at least one column")
+	}
+	s, q := o.sys, o.eng
 	// Round 1: find the result set (§6.1 Steps 1-3).
 	var cells []uint64
 	var stats QueryStats
@@ -214,24 +273,48 @@ type ExtremeCell struct {
 // PSIMax finds, for every intersection value, the maximum of col across
 // all owners and which owners hold it (paper §6.3).
 func (s *System) PSIMax(ctx context.Context, col string) (*ExtremeResult, error) {
-	return s.extreme(ctx, protocol.KindMax, col)
+	ow, err := s.nextQuerier()
+	if err != nil {
+		return nil, err
+	}
+	return ow.PSIMax(ctx, col)
+}
+
+// PSIMax runs the max query with this owner driving the PSI round.
+func (o *Owner) PSIMax(ctx context.Context, col string) (*ExtremeResult, error) {
+	return o.extreme(ctx, protocol.KindMax, col)
 }
 
 // PSIMin is the symmetric minimum query.
 func (s *System) PSIMin(ctx context.Context, col string) (*ExtremeResult, error) {
-	return s.extreme(ctx, protocol.KindMin, col)
+	ow, err := s.nextQuerier()
+	if err != nil {
+		return nil, err
+	}
+	return ow.PSIMin(ctx, col)
+}
+
+// PSIMin runs the min query with this owner driving the PSI round.
+func (o *Owner) PSIMin(ctx context.Context, col string) (*ExtremeResult, error) {
+	return o.extreme(ctx, protocol.KindMin, col)
 }
 
 // PSIMedian finds the median of the per-owner totals of col (paper §6.4).
 func (s *System) PSIMedian(ctx context.Context, col string) (*ExtremeResult, error) {
-	return s.extreme(ctx, protocol.KindMedian, col)
-}
-
-func (s *System) extreme(ctx context.Context, kind protocol.ExtremeKind, col string) (*ExtremeResult, error) {
-	q, err := s.querier()
+	ow, err := s.nextQuerier()
 	if err != nil {
 		return nil, err
 	}
+	return ow.PSIMedian(ctx, col)
+}
+
+// PSIMedian runs the median query with this owner driving the PSI round.
+func (o *Owner) PSIMedian(ctx context.Context, col string) (*ExtremeResult, error) {
+	return o.extreme(ctx, protocol.KindMedian, col)
+}
+
+func (o *Owner) extreme(ctx context.Context, kind protocol.ExtremeKind, col string) (*ExtremeResult, error) {
+	s, q := o.sys, o.eng
 	// Round 1: PSI (§6.3 Steps 1-2). Every owner learns the common cells.
 	psi, err := q.PSI(ctx, s.table)
 	if err != nil {
@@ -263,11 +346,17 @@ func (s *System) extreme(ctx context.Context, kind protocol.ExtremeKind, col str
 }
 
 // extremeAtCell runs the §6.3/§6.4 rounds for one intersection value.
+// It orchestrates ALL owners (each must mask and submit its local value)
+// regardless of which owner drove the query.
 func (s *System) extremeAtCell(ctx context.Context, kind protocol.ExtremeKind, col string, cell uint64) (*ExtremeCell, QueryStats, error) {
 	var stats QueryStats
-	// The nonce keeps repeated queries from colliding with finished
-	// server-side round state (e.g. after a re-outsource).
+	// The nonce keeps concurrent and repeated queries from colliding in
+	// the servers' qid-keyed session state (e.g. after a re-outsource).
 	qid := fmt.Sprintf("ext-%s-%s-%d-%s-%d", s.table, col, cell, kind, s.qidNonce.Add(1))
+	// Retire the per-qid session state on the servers and the announcer
+	// once this cell's rounds are over (best-effort: a lost cleanup only
+	// leaves a dormant session behind).
+	defer s.endQuery(ctx, qid)
 
 	// Step 3: every owner masks and submits its local value.
 	locals := make([]uint64, len(s.owners))

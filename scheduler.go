@@ -1,0 +1,241 @@
+package prism
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// OpKind enumerates the operators the query scheduler can run.
+type OpKind int
+
+// Scheduler operator kinds.
+const (
+	OpPSI OpKind = iota
+	OpPSU
+	OpPSICount
+	OpPSUCount
+	OpPSISum
+	OpPSIAvg
+	OpPSUSum
+	OpPSUAvg
+	OpPSIMax
+	OpPSIMin
+	OpPSIMedian
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPSI:
+		return "PSI"
+	case OpPSU:
+		return "PSU"
+	case OpPSICount:
+		return "PSI Count"
+	case OpPSUCount:
+		return "PSU Count"
+	case OpPSISum:
+		return "PSI Sum"
+	case OpPSIAvg:
+		return "PSI Avg"
+	case OpPSUSum:
+		return "PSU Sum"
+	case OpPSUAvg:
+		return "PSU Avg"
+	case OpPSIMax:
+		return "PSI Max"
+	case OpPSIMin:
+		return "PSI Min"
+	case OpPSIMedian:
+		return "PSI Median"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Request describes one query for the scheduler. Sum/avg ops take one or
+// more aggregation columns; max/min/median take exactly one.
+type Request struct {
+	Op   OpKind
+	Cols []string
+	// PinOwner routes the query to OwnerIdx instead of letting the
+	// scheduler rotate round-robin (the zero-value default).
+	PinOwner bool
+	OwnerIdx int
+}
+
+// Response is the outcome of one scheduled query. Exactly one of Set,
+// Count, Agg, Extreme is non-nil on success, matching the request's Op.
+type Response struct {
+	Op    OpKind
+	Owner int // index of the owner that drove the query
+
+	Set     *SetResult
+	Count   *CountResult
+	Agg     *AggregateResult
+	Extreme *ExtremeResult
+	Err     error
+}
+
+// Future is the handle for an in-flight asynchronous query.
+type Future struct {
+	ch   chan *Response
+	once sync.Once
+	resp *Response
+}
+
+// Wait blocks until the query finishes and returns its response.
+// Repeated calls return the same response.
+func (f *Future) Wait() *Response {
+	f.once.Do(func() { f.resp = <-f.ch })
+	return f.resp
+}
+
+// limiter bounds the number of concurrently executing queries. Unlike a
+// semaphore channel its width can be changed while queries are in
+// flight (SetMaxInflight); running queries finish normally and the new
+// width applies as slots free up.
+type limiter struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	limit    int
+	inflight int
+}
+
+func newLimiter(limit int) *limiter {
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	l := &limiter{limit: limit}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// acquire blocks until a slot is free or ctx is done.
+func (l *limiter) acquire(ctx context.Context) error {
+	// Wake all waiters when the context dies so they can observe it.
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.inflight >= l.limit {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.inflight++
+	return nil
+}
+
+func (l *limiter) release() {
+	l.mu.Lock()
+	l.inflight--
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+func (l *limiter) setLimit(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	l.mu.Lock()
+	l.limit = n
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// SetMaxInflight changes the scheduler's concurrency bound while the
+// system is live. Queries already executing are unaffected; the new
+// bound governs when queued queries may start.
+func (s *System) SetMaxInflight(n int) { s.sched.setLimit(n) }
+
+// QueryAsync submits one query to the bounded scheduler and returns
+// immediately. The query starts once an in-flight slot is free and,
+// unless req.PinOwner is set, is routed to the next owner round-robin.
+// All scheduler entry points are safe for concurrent use.
+func (s *System) QueryAsync(ctx context.Context, req Request) *Future {
+	f := &Future{ch: make(chan *Response, 1)}
+	go func() {
+		if err := s.sched.acquire(ctx); err != nil {
+			f.ch <- &Response{Op: req.Op, Owner: -1, Err: err}
+			return
+		}
+		defer s.sched.release()
+		f.ch <- s.execute(ctx, req)
+	}()
+	return f
+}
+
+// QueryBatch runs a batch of queries through the scheduler and waits for
+// all of them. Responses are positionally parallel to reqs; per-query
+// failures land in Response.Err rather than failing the batch.
+func (s *System) QueryBatch(ctx context.Context, reqs []Request) []*Response {
+	futures := make([]*Future, len(reqs))
+	for i, r := range reqs {
+		futures[i] = s.QueryAsync(ctx, r)
+	}
+	out := make([]*Response, len(reqs))
+	for i, f := range futures {
+		out[i] = f.Wait()
+	}
+	return out
+}
+
+// execute runs one request synchronously on its target owner.
+func (s *System) execute(ctx context.Context, req Request) *Response {
+	var ow *Owner
+	if req.PinOwner {
+		if req.OwnerIdx < 0 || req.OwnerIdx >= len(s.owners) {
+			return &Response{Op: req.Op, Owner: req.OwnerIdx,
+				Err: fmt.Errorf("prism: owner index %d out of range [0,%d)", req.OwnerIdx, len(s.owners))}
+		}
+		ow = s.owners[req.OwnerIdx]
+	} else {
+		var err error
+		if ow, err = s.nextQuerier(); err != nil {
+			return &Response{Op: req.Op, Owner: -1, Err: err}
+		}
+	}
+	resp := &Response{Op: req.Op, Owner: ow.idx}
+	col := func() string {
+		if len(req.Cols) > 0 {
+			return req.Cols[0]
+		}
+		return ""
+	}
+	switch req.Op {
+	case OpPSI:
+		resp.Set, resp.Err = ow.PSI(ctx)
+	case OpPSU:
+		resp.Set, resp.Err = ow.PSU(ctx)
+	case OpPSICount:
+		resp.Count, resp.Err = ow.PSICount(ctx)
+	case OpPSUCount:
+		resp.Count, resp.Err = ow.PSUCount(ctx)
+	case OpPSISum:
+		resp.Agg, resp.Err = ow.PSISum(ctx, req.Cols...)
+	case OpPSIAvg:
+		resp.Agg, resp.Err = ow.PSIAvg(ctx, req.Cols...)
+	case OpPSUSum:
+		resp.Agg, resp.Err = ow.PSUSum(ctx, req.Cols...)
+	case OpPSUAvg:
+		resp.Agg, resp.Err = ow.PSUAvg(ctx, req.Cols...)
+	case OpPSIMax:
+		resp.Extreme, resp.Err = ow.PSIMax(ctx, col())
+	case OpPSIMin:
+		resp.Extreme, resp.Err = ow.PSIMin(ctx, col())
+	case OpPSIMedian:
+		resp.Extreme, resp.Err = ow.PSIMedian(ctx, col())
+	default:
+		resp.Err = fmt.Errorf("prism: unknown operator %v", req.Op)
+	}
+	return resp
+}

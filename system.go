@@ -10,6 +10,7 @@ import (
 	"prism/internal/announcer"
 	"prism/internal/ownerengine"
 	"prism/internal/params"
+	"prism/internal/protocol"
 	"prism/internal/serverengine"
 	"prism/internal/sharestore"
 	"prism/internal/transport"
@@ -32,6 +33,8 @@ type System struct {
 	owners   []*Owner
 	table    string
 	qidNonce atomic.Uint64
+	rr       atomic.Uint64 // round-robin cursor over querying owners
+	sched    *limiter      // bounds concurrently executing queries
 }
 
 // Owner is one DB owner's handle within a System.
@@ -61,6 +64,7 @@ func NewLocalSystem(cfg Config) (*System, error) {
 		sys:     sysParams,
 		network: transport.NewNetwork(),
 		table:   cfg.TableName,
+		sched:   newLimiter(cfg.MaxInflight),
 	}
 	s.network.EncodeWire = cfg.EncodeWire
 
@@ -188,13 +192,28 @@ func (s *System) OutsourceAll(ctx context.Context) (ShareGenStats, error) {
 	return total, nil
 }
 
-// querier returns the owner that drives queries (the paper picks a
-// random owner; we use owner 0 for determinism).
-func (s *System) querier() (*ownerengine.Owner, error) {
+// nextQuerier returns the owner that drives the next query. The paper
+// picks a random owner; we rotate round-robin so sustained traffic
+// spreads result-construction work evenly across owners (results are
+// owner-independent, so rotation never changes an answer).
+func (s *System) nextQuerier() (*Owner, error) {
 	if len(s.owners) == 0 {
 		return nil, errors.New("prism: no owners")
 	}
-	return s.owners[0].eng, nil
+	return s.owners[int((s.rr.Add(1)-1)%uint64(len(s.owners)))], nil
+}
+
+// endQuery retires qid-keyed session state on the additive-share servers
+// and the announcer. Best effort: cleanup failures are invisible to the
+// query's caller.
+func (s *System) endQuery(ctx context.Context, qid string) {
+	// Clean up even when the query itself was cancelled.
+	ctx = context.WithoutCancel(ctx)
+	req := protocol.QueryDoneRequest{QueryID: qid}
+	for phi := 0; phi < 2; phi++ {
+		s.network.Call(ctx, serverAddr(phi), req)
+	}
+	s.network.Call(ctx, "announcer", req)
 }
 
 // ShareGenStats reports Phase-1 costs.
