@@ -10,6 +10,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -25,6 +26,7 @@ func main() {
 	var (
 		viewPath = flag.String("view", "", "announcer view file from prism-init (required)")
 		listen   = flag.String("listen", ":7000", "listen address")
+		inflight = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 	)
 	flag.Parse()
 	if *viewPath == "" {
@@ -42,7 +44,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("prism-announcer: listening on %s (m=%d)\n", ln.Addr(), view.M)
-	if err := transport.Serve(ctx, ln, engine); err != nil {
+	serveOpts := []transport.ServeOption{transport.WithLogf(log.Printf)}
+	if *inflight > 0 {
+		serveOpts = append(serveOpts, transport.WithPerConnWorkers(*inflight))
+	}
+	if err := transport.Serve(ctx, ln, engine, serveOpts...); err != nil {
 		fatal(err)
 	}
 }

@@ -9,7 +9,11 @@
 //	prism-bench -exp exp4                # Figure 5 (100M-leaf tree)
 //	prism-bench -exp exp2 -csv out/      # also write CSV series
 //
-// Experiments: exp1 table12 exp2 exp3 exp4 sharegen table13 all
+// Experiments: exp1 table12 exp2 exp3 exp4 sharegen table13 fanout
+// diskablation throughput tcpthroughput all. The tcpthroughput
+// experiment runs the query mix over real loopback TCP twice — with the
+// serialised one-RPC-per-connection baseline and with the multiplexed
+// client — so the transport win is measured, not asserted.
 package main
 
 import (
@@ -26,12 +30,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|all")
+		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|all")
 		paper   = flag.Bool("paper", false, "use the paper's full sizes (5M/20M domains; needs ~16GB RAM)")
 		domain  = flag.Uint64("domain", 0, "override: single domain size")
 		owners  = flag.Int("owners", 0, "override: owner count for exp1/exp3/table12/sharegen")
 		csvDir  = flag.String("csv", "", "also write CSV files to this directory")
 		diskDir = flag.String("disk", "", "disk-backed share stores for exp1 fetch timing (default: temp dir)")
+		linkRTT = flag.Duration("rtt", -1, "tcpthroughput: simulated owner↔server link RTT (-1 = scale default, 0 = raw loopback)")
 	)
 	flag.Parse()
 
@@ -44,6 +49,9 @@ func main() {
 	}
 	if *owners != 0 {
 		sc.Owners = *owners
+	}
+	if *linkRTT >= 0 {
+		sc.LinkRTT = *linkRTT
 	}
 	if *diskDir != "" {
 		sc.DiskDir = *diskDir
@@ -122,6 +130,10 @@ func main() {
 	if want("throughput") {
 		matched = true
 		run("throughput", func() ([]*report.Table, error) { return benchx.Throughput(ctx, sc) })
+	}
+	if want("tcpthroughput") {
+		matched = true
+		run("tcpthroughput", func() ([]*report.Table, error) { return benchx.TCPThroughput(ctx, sc) })
 	}
 	if !matched {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

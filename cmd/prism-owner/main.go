@@ -48,6 +48,7 @@ func main() {
 		table    = flag.String("table", "main", "logical table name")
 		op       = flag.String("op", "", "outsource|psi|psu|count|psucount|sum|avg (required)")
 		verify   = flag.Bool("verify", false, "outsource verification columns / verify query results")
+		inflight = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 	)
 	flag.Parse()
 	if *viewPath == "" || *servers == "" || *op == "" {
@@ -68,7 +69,7 @@ func main() {
 		logical[i] = fmt.Sprintf("server/%d", i)
 		book[logical[i]] = strings.TrimSpace(a)
 	}
-	client := transport.NewTCPClient(book)
+	client := transport.NewTCPClientOpts(book, transport.ClientOptions{PerConnInflight: *inflight})
 	defer client.Close()
 
 	owner, err := ownerengine.New(*index, &view, client, logical, [32]byte{})

@@ -10,6 +10,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -29,7 +30,9 @@ func main() {
 		announcer = flag.String("announcer", "", "announcer host:port (needed for max/min/median)")
 		storeDir  = flag.String("store", "", "directory for the on-disk share store")
 		diskMode  = flag.Bool("disk", false, "serve columns from disk per query (fetch-time accounting)")
+		hotCols   = flag.Bool("hotcols", false, "with -disk: cache hot columns per table epoch instead of reading per query (disables per-query fetch-time accounting)")
 		threads   = flag.Int("threads", 0, "worker pool width (0 = GOMAXPROCS)")
+		inflight  = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 	)
 	flag.Parse()
 	if *viewPath == "" {
@@ -47,10 +50,13 @@ func main() {
 		}
 		opts.Store = st
 		opts.DiskBacked = *diskMode
+		opts.CacheColumns = *diskMode && *hotCols
 	}
 	if *announcer != "" {
 		opts.AnnouncerAddr = "announcer"
-		opts.Caller = transport.NewTCPClient(map[string]string{"announcer": *announcer})
+		opts.Caller = transport.NewTCPClientOpts(
+			map[string]string{"announcer": *announcer},
+			transport.ClientOptions{PerConnInflight: *inflight})
 	}
 	engine := serverengine.New(&view, opts)
 
@@ -62,7 +68,11 @@ func main() {
 	defer stop()
 	fmt.Printf("prism-server: S_%d listening on %s (m=%d, b=%d, δ=%d)\n",
 		view.Index, ln.Addr(), view.M, view.B, view.Delta)
-	if err := transport.Serve(ctx, ln, engine); err != nil {
+	serveOpts := []transport.ServeOption{transport.WithLogf(log.Printf)}
+	if *inflight > 0 {
+		serveOpts = append(serveOpts, transport.WithPerConnWorkers(*inflight))
+	}
+	if err := transport.Serve(ctx, ln, engine, serveOpts...); err != nil {
 		fatal(err)
 	}
 }

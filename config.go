@@ -8,6 +8,7 @@ import (
 
 	"prism/internal/domain"
 	"prism/internal/prg"
+	"prism/internal/transport"
 )
 
 // Domain is the publicly known domain of the set attribute A_c — or, for
@@ -155,6 +156,20 @@ type Config struct {
 	// QueryBatch) execute simultaneously. 0 → GOMAXPROCS. Resizable at
 	// runtime via System.SetMaxInflight.
 	MaxInflight int
+	// PerConnInflight bounds how many RPCs may be pipelined to one
+	// server at a time: on the TCP transport it is the per-connection
+	// multiplexing depth (client in-flight cap and server worker-pool
+	// width); the in-process fabric applies the same bound per server
+	// address so local-mode scheduling matches a wire deployment.
+	// 0 → transport.DefaultPerConnInflight.
+	PerConnInflight int
+	// HotColumns enables each server's per-table hot-column cache in
+	// disk-backed mode (DiskDir set): χ-shares and aggregation columns
+	// are read from the share store once per table epoch — invalidated
+	// when any owner re-outsources or the table is dropped — instead of
+	// once per query. Leave it off to measure true per-query fetch
+	// times (the Figure 3 data-fetch series).
+	HotColumns bool
 	// Seed makes the whole system deterministic; zero → fresh entropy.
 	Seed [32]byte
 	// DiskDir, when set, backs each server with an on-disk share store
@@ -178,6 +193,12 @@ func (c *Config) normalize() error {
 	}
 	if c.MaxAggValue == 0 {
 		c.MaxAggValue = 1 << 20
+	}
+	if c.PerConnInflight < 0 {
+		return errors.New("prism: PerConnInflight must be >= 0")
+	}
+	if c.PerConnInflight == 0 {
+		c.PerConnInflight = transport.DefaultPerConnInflight
 	}
 	if c.TableName == "" {
 		c.TableName = "main"

@@ -56,6 +56,22 @@
 //	fut := sys.QueryAsync(ctx, prism.Request{Op: prism.OpPSISum, Cols: []string{"cost"}})
 //	resps := sys.QueryBatch(ctx, reqs) // positional, per-query errors
 //
+// # Transport
+//
+// TCP deployments (cmd/prism-server and friends) speak a multiplexed
+// RPC framing: every frame carries a request id, one persistent
+// connection per peer carries any number of concurrent calls, and
+// servers dispatch each decoded request to a bounded per-connection
+// worker pool, so replies return as they complete — a cheap PSI round
+// is never stuck behind a slow aggregation on the same wire.
+// Config.PerConnInflight bounds the pipelining depth per connection
+// (the in-process fabric applies the same bound per server address so
+// local behaviour matches a wire deployment). Disk-backed servers can
+// additionally enable a per-table hot-column cache (Config.HotColumns):
+// χ-shares and aggregation columns are read from the share store once
+// per table epoch — invalidated when any owner re-outsources — instead
+// of once per query.
+//
 // See examples/ for complete programs, DESIGN.md for the architecture and
 // protocol details, and EXPERIMENTS.md for the reproduction of the
 // paper's evaluation.

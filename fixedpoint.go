@@ -24,16 +24,25 @@ func NewFixedPoint(k int) (*FixedPoint, error) {
 	return &FixedPoint{k: k, scale: math.Pow(10, float64(k))}, nil
 }
 
+// maxExactEncode is the largest scaled value Encode accepts: 2^53, the
+// top of float64's exactly-representable integer range. Beyond it,
+// consecutive integers are no longer distinguishable in the float64
+// product v*scale, so the encoding would silently round — corrupting
+// aggregates long before uint64 itself overflows.
+const maxExactEncode = uint64(1) << 53
+
 // Encode scales v to an integer, rounding to the nearest representable
 // value. Negative and non-finite inputs are rejected (the paper's max
-// protocol assumes positive integers).
+// protocol assumes positive integers), as are values whose scaled form
+// exceeds 2^53: past that point float64 cannot represent every integer,
+// so the result would be approximate rather than fixed-point.
 func (f *FixedPoint) Encode(v float64) (uint64, error) {
 	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 		return 0, fmt.Errorf("prism: cannot encode %v as a fixed-point aggregate", v)
 	}
 	scaled := math.Round(v * f.scale)
-	if scaled >= math.MaxUint64 {
-		return 0, fmt.Errorf("prism: %v overflows the fixed-point range at precision %d", v, f.k)
+	if scaled > float64(maxExactEncode) {
+		return 0, fmt.Errorf("prism: %v at precision %d scales beyond 2^53, the exactly-representable fixed-point range", v, f.k)
 	}
 	return uint64(scaled), nil
 }

@@ -44,6 +44,37 @@ func TestFixedPointRejects(t *testing.T) {
 	}
 }
 
+// TestFixedPointExactRangeBoundary pins Encode's guard to the float64
+// exactly-representable range: 2^53 encodes, anything scaling past it is
+// rejected — including the values the old >= MaxUint64 comparison let
+// through with silent integer precision loss.
+func TestFixedPointExactRangeBoundary(t *testing.T) {
+	fp0, _ := NewFixedPoint(0)
+	limit := float64(uint64(1) << 53)
+	got, err := fp0.Encode(limit)
+	if err != nil || got != uint64(1)<<53 {
+		t.Errorf("Encode(2^53) = %d, %v; want exact 2^53", got, err)
+	}
+	for _, v := range []float64{
+		limit * 1.000001, // just past the exact range
+		1e16,             // lossy: 1e16 > 2^53
+		1.5e19,           // old bug: passed the >= MaxUint64 float compare
+		float64(math.MaxUint64),
+	} {
+		if enc, err := fp0.Encode(v); err == nil {
+			t.Errorf("Encode(%g) = %d, want exact-range rejection", v, enc)
+		}
+	}
+	// The scale factor counts: at k=6, 1e10 scales to 1e16 — lossy.
+	fp6, _ := NewFixedPoint(6)
+	if _, err := fp6.Encode(1e10); err == nil {
+		t.Error("Encode(1e10) at precision 6 accepted beyond the exact range")
+	}
+	if got, err := fp6.Encode(1e9); err != nil || got != 1e15 {
+		t.Errorf("Encode(1e9) at precision 6 = %d, %v; want 1e15", got, err)
+	}
+}
+
 // TestFixedPointMaxEndToEnd runs the §4 float recipe through the real
 // max protocol: three owners with decimal readings.
 func TestFixedPointMaxEndToEnd(t *testing.T) {

@@ -32,6 +32,7 @@ type SystemSpec struct {
 	CommonKeys   int
 	Threads      int
 	DiskDir      string // non-empty → disk-backed servers (fetch timing)
+	HotColumns   bool   // per-table hot-column cache on disk-backed servers
 	AggCols      []string
 	Verify       bool
 	MaxValue     uint64
@@ -102,6 +103,7 @@ func Build(spec SystemSpec) (*prism.System, []*workload.OwnerData, prism.ShareGe
 		Threads:     spec.Threads,
 		Seed:        seed,
 		DiskDir:     spec.DiskDir,
+		HotColumns:  spec.HotColumns,
 	})
 	if err != nil {
 		return nil, nil, sg, err
@@ -128,6 +130,7 @@ type OpResult struct {
 	ServerFetchNS   int64
 	OwnerNS         int64
 	ResultSize      int
+	CacheHits       int // column reads served by the hot-column cache
 }
 
 // Ops enumerates the Figure 3 operators in presentation order.
@@ -207,6 +210,7 @@ func RunOp(ctx context.Context, sys *prism.System, op, col string) (OpResult, er
 		ServerFetchNS:   stats.ServerFetchNS,
 		OwnerNS:         stats.OwnerNS,
 		ResultSize:      size,
+		CacheHits:       stats.ServerCacheHits,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tinyScale keeps experiment smoke tests fast.
@@ -20,6 +21,7 @@ func tinyScale(t *testing.T) Scale {
 		Table13Keys:       256,
 		Inflight:          []int{1, 4},
 		ThroughputQueries: 8,
+		LinkRTT:           500 * time.Microsecond, // exercise the simulated-link path cheaply
 	}
 }
 
@@ -191,8 +193,8 @@ func TestDiskAblationSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := tables[0].Rows
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d, want 4", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (memory, disk, disk+hot × 2 ops)", len(rows))
 	}
 	// Memory rows must report zero fetch; disk rows nonzero at adaptive
 	// (µs/ns) resolution.
@@ -201,6 +203,15 @@ func TestDiskAblationSmoke(t *testing.T) {
 	}
 	if rows[2][4] == "0" || rows[2][4] == "0.000" {
 		t.Errorf("disk mode reported no fetch time (cell %q)", rows[2][4])
+	}
+	// Hot-column rows report the warm run: no fetch, nonzero cache hits.
+	for _, row := range rows[4:6] {
+		if row[4] != "0" {
+			t.Errorf("disk+hot warm run reported fetch time %s", row[4])
+		}
+		if row[5] == "0" {
+			t.Errorf("disk+hot warm run reported no cache hits (op %s)", row[1])
+		}
 	}
 	// The raw nanosecond stat is the authoritative assertion.
 	for _, disk := range []bool{false, true} {
@@ -242,6 +253,32 @@ func TestThroughputSmoke(t *testing.T) {
 		if row[1] == "0.0" {
 			t.Errorf("in-flight %s: zero throughput", row[0])
 		}
+	}
+}
+
+func TestTCPThroughputSmoke(t *testing.T) {
+	sc := tinyScale(t)
+	tables, err := TCPThroughput(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// Two transport modes × the in-flight sweep.
+	if want := 2 * len(sc.Inflight); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	modes := map[string]bool{}
+	for _, row := range rows {
+		modes[row[0]] = true
+		if row[4] != "0" {
+			t.Errorf("%s @%s: %s queries failed", row[0], row[1], row[4])
+		}
+		if row[2] == "0.0" {
+			t.Errorf("%s @%s: zero throughput", row[0], row[1])
+		}
+	}
+	if len(modes) != 2 {
+		t.Errorf("transport modes = %v, want serialised + multiplexed", modes)
 	}
 }
 

@@ -1,0 +1,224 @@
+package benchx
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prism/internal/ownerengine"
+	"prism/internal/params"
+	"prism/internal/prg"
+	"prism/internal/report"
+	"prism/internal/serverengine"
+	"prism/internal/transport"
+	"prism/internal/workload"
+)
+
+// tcpFabric is a complete Prism deployment over loopback TCP: three
+// served engines plus per-mode owner handles. It exists to measure the
+// wire transport itself (framing, multiplexing, per-connection worker
+// pools) — the in-process Throughput experiment deliberately excludes
+// it.
+type tcpFabric struct {
+	sys     *params.System
+	book    map[string]string
+	logical []string
+	data    []*workload.OwnerData
+	cancel  context.CancelFunc
+}
+
+// newTCPFabric generates the workload and params, builds the three
+// server engines, and serves them over loopback TCP with the given
+// per-connection worker-pool width. A non-zero rtt is added to every
+// exchange, modelling the owner↔server link of a multi-machine
+// deployment: the sleep occupies the RPC (and, in serialised mode, the
+// whole connection) exactly the way wire propagation does, without
+// adding CPU work.
+func newTCPFabric(owners int, domain uint64, serverWorkers int, rtt time.Duration) (*tcpFabric, error) {
+	data, err := workload.Generate(workload.Config{
+		Owners:       owners,
+		DomainSize:   domain,
+		KeysPerOwner: defaultKeys(domain),
+		CommonKeys:   4,
+		MaxValue:     1000,
+		Seed:         prg.SeedFromString("tcp-throughput"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := params.Generate(params.Config{
+		NumOwners:  owners,
+		DomainSize: domain,
+		MaxAgg:     1000 * uint64(owners+1),
+		Seed:       prg.SeedFromString("tcp-throughput-params"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &tcpFabric{sys: sys, book: make(map[string]string), data: data, cancel: cancel}
+	for phi := 0; phi < params.NumServers; phi++ {
+		view, err := sys.ForServer(phi)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		addr := fmt.Sprintf("server/%d", phi)
+		f.logical = append(f.logical, addr)
+		f.book[addr] = ln.Addr().String()
+		eng := serverengine.New(view, serverengine.Options{})
+		h := transport.Handler(eng)
+		if rtt > 0 {
+			h = transport.HandlerFunc(func(ctx context.Context, req any) (any, error) {
+				select {
+				case <-time.After(rtt):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return eng.Handle(ctx, req)
+			})
+		}
+		go transport.Serve(ctx, ln, h, transport.WithPerConnWorkers(serverWorkers))
+	}
+	return f, nil
+}
+
+func (f *tcpFabric) Close() { f.cancel() }
+
+// owners builds one owner handle per DB owner, all sharing client (and
+// thus its per-target multiplexed connections), loads the workload and
+// outsources it over the wire.
+func (f *tcpFabric) owners(ctx context.Context, client transport.Caller) ([]*ownerengine.Owner, error) {
+	out := make([]*ownerengine.Owner, len(f.data))
+	for j, d := range f.data {
+		o, err := ownerengine.New(j, f.sys.ForOwner(), client, f.logical, prg.SeedFromString("tcp-owner"))
+		if err != nil {
+			return nil, err
+		}
+		if err := o.Load(&ownerengine.Data{Cells: d.Cells, Aggs: d.Aggs}); err != nil {
+			return nil, err
+		}
+		if _, err := o.Outsource(ctx, ownerengine.OutsourceSpec{
+			Table: "t", AggCols: []string{"DT"}, WithCount: true,
+		}); err != nil {
+			return nil, err
+		}
+		out[j] = o
+	}
+	return out, nil
+}
+
+func defaultKeys(domain uint64) int {
+	k := int(domain / 10)
+	if k > 100_000 {
+		k = 100_000
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// tcpMix cycles a PSI / PSU / PSI-count operator mix, the same
+// service-style traffic as the in-process Throughput experiment.
+func tcpMix(ctx context.Context, o *ownerengine.Owner, i int) error {
+	var err error
+	switch i % 3 {
+	case 0:
+		_, err = o.PSI(ctx, "t")
+	case 1:
+		_, err = o.PSU(ctx, "t")
+	default:
+		_, err = o.Count(ctx, "t", false)
+	}
+	return err
+}
+
+// TCPThroughput measures sustained queries/sec over the real TCP
+// transport against the number of queries in flight, once with the
+// serialised one-RPC-per-connection baseline (client pipelining bound
+// forced to 1 — the pre-multiplexing wire behaviour) and once with the
+// multiplexed client. The delta isolates what request multiplexing and
+// the server's per-connection worker pool buy under concurrent load;
+// everything else (engines, workload, loopback TCP) is identical.
+func TCPThroughput(ctx context.Context, sc Scale) ([]*report.Table, error) {
+	domain := sc.Domains[0]
+	nq := sc.ThroughputQueries
+	if nq <= 0 {
+		nq = 48
+	}
+	inflight := sc.Inflight
+	if len(inflight) == 0 {
+		inflight = []int{1, 2, 4, 8, 16}
+	}
+	link := "raw loopback"
+	if sc.LinkRTT > 0 {
+		link = fmt.Sprintf("simulated %s link RTT", sc.LinkRTT)
+	}
+	tb := report.New(
+		fmt.Sprintf("TCP transport throughput — %s OK domain, %d owners, %d mixed queries per point, %s",
+			human(domain), sc.Owners, nq, link),
+		"transport", "in-flight", "queries/sec", "wall(s)", "errors")
+
+	modes := []struct {
+		name string
+		pci  int
+	}{
+		{"serialised (1 RPC/conn)", 1},
+		{"multiplexed", transport.DefaultPerConnInflight},
+	}
+	for _, mode := range modes {
+		fabric, err := newTCPFabric(sc.Owners, domain, transport.DefaultPerConnInflight, sc.LinkRTT)
+		if err != nil {
+			return nil, err
+		}
+		client := transport.NewTCPClientOpts(fabric.book, transport.ClientOptions{PerConnInflight: mode.pci})
+		owners, err := fabric.owners(ctx, client)
+		if err != nil {
+			client.Close()
+			fabric.Close()
+			return nil, err
+		}
+		for _, k := range inflight {
+			var next, nerr atomic.Int64
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < k; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1) - 1)
+						if i >= nq {
+							return
+						}
+						if err := tcpMix(ctx, owners[i%len(owners)], i); err != nil {
+							nerr.Add(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			ok := nq - int(nerr.Load())
+			if ok == 0 {
+				client.Close()
+				fabric.Close()
+				return nil, fmt.Errorf("benchx: tcp throughput %s @%d: every query failed", mode.name, k)
+			}
+			tb.Add(mode.name, k, fmt.Sprintf("%.1f", float64(ok)/wall.Seconds()),
+				report.Seconds(wall.Nanoseconds()), int(nerr.Load()))
+		}
+		client.Close()
+		fabric.Close()
+	}
+	return []*report.Table{tb}, nil
+}

@@ -22,6 +22,7 @@ type Stats struct {
 	FetchNS   int64 // time reading shares from the share store
 	ComputeNS int64 // time in the oblivious compute loop
 	Cells     int   // cells processed
+	CacheHits int   // column reads served by the hot-column cache
 }
 
 // Add accumulates s2 into s.
@@ -29,6 +30,7 @@ func (s *Stats) Add(s2 Stats) {
 	s.FetchNS += s2.FetchNS
 	s.ComputeNS += s2.ComputeNS
 	s.Cells += s2.Cells
+	s.CacheHits += s2.CacheHits
 }
 
 // ---- Phase 1: data outsourcing (owner → server) ----

@@ -1,0 +1,104 @@
+package serverengine
+
+import (
+	"errors"
+	"sync"
+)
+
+// colCache is a per-table hot-column cache for disk-backed serving: the
+// χ-share and uint64 aggregation columns a query fetches from the share
+// store are loaded once per table epoch instead of once per query
+// session. An epoch ends whenever the table changes (a Store from any
+// owner, a Drop): the engine swaps in a fresh cache so later queries
+// never serve stale columns. Columns already cached stay visible to
+// queries holding the old snapshot, but a cache miss always reads the
+// store's current files — so, exactly as without the cache, a query
+// overlapping a re-outsource may combine columns from two epochs. That
+// coordination is the caller's documented responsibility (see the
+// package README: don't re-outsource a table being queried at that
+// instant).
+//
+// Loads are single-flight: under concurrent traffic the first query
+// reads a column from disk while the rest wait on the entry, so 40
+// simultaneous queries cost one disk read per column, not 40.
+type colCache struct {
+	mu      sync.Mutex
+	entries map[string]*colEntry
+}
+
+type colEntry struct {
+	ready chan struct{} // closed once the load completes
+	u16   []uint16
+	u64   []uint64
+	err   error
+}
+
+func newColCache() *colCache {
+	return &colCache{entries: make(map[string]*colEntry)}
+}
+
+// getU16 returns the cached column under key, loading it via load on
+// first use. hit reports whether the load was skipped (served from the
+// cache, possibly after waiting out another query's in-flight load).
+// Failed loads are not cached. finish is guaranteed even when load
+// panics (the transport recovers handler panics, so an abandoned entry
+// would otherwise park every later query on ready forever).
+func (c *colCache) getU16(key string, load func() ([]uint16, error)) (v []uint16, hit bool, err error) {
+	e, hit := c.entry(key)
+	if !hit {
+		defer func() { c.finish(key, e) }()
+		e.err = errLoadAborted
+		e.u16, e.err = load()
+		return e.u16, false, e.err
+	}
+	<-e.ready
+	return e.u16, true, e.err
+}
+
+// getU64 is getU16 for uint64 columns.
+func (c *colCache) getU64(key string, load func() ([]uint64, error)) (v []uint64, hit bool, err error) {
+	e, hit := c.entry(key)
+	if !hit {
+		defer func() { c.finish(key, e) }()
+		e.err = errLoadAborted
+		e.u64, e.err = load()
+		return e.u64, false, e.err
+	}
+	<-e.ready
+	return e.u64, true, e.err
+}
+
+// errLoadAborted is what waiters observe when a column load panicked
+// before assigning its real result.
+var errLoadAborted = errors.New("serverengine: column load aborted")
+
+// entry claims or joins the entry for key. When the caller claimed it
+// (hit false) it must load the column and call finish.
+func (c *colCache) entry(key string) (*colEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, true
+	}
+	e := &colEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	return e, false
+}
+
+// finish publishes a completed load, dropping failed entries so a
+// transient disk error does not poison the epoch.
+func (c *colCache) finish(key string, e *colEntry) {
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+}
+
+// Len reports the number of cached columns (tests and monitoring).
+func (c *colCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

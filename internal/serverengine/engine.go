@@ -42,6 +42,12 @@ type Options struct {
 	// then fetch them per request and report real fetch times.
 	Store      *sharestore.Store
 	DiskBacked bool
+	// CacheColumns enables the per-table hot-column cache for
+	// disk-backed serving: χ-shares and uint64 aggregation columns are
+	// read from the store once per table epoch (invalidated whenever a
+	// Store or Drop changes the table) instead of once per query.
+	// Cache hits report zero fetch time and count in Stats.CacheHits.
+	CacheColumns bool
 	// AnnouncerAddr and Caller let the engine forward max/min/median
 	// slot arrays to S_a.
 	AnnouncerAddr string
@@ -68,11 +74,22 @@ type Engine struct {
 
 	sessMu   sync.Mutex
 	sessions map[string]*querySession
+
+	// storeMu serialises Stores per (table, owner) so two concurrent
+	// conflicting uploads cannot interleave their unlocked disk spills;
+	// different owners' uploads still proceed in parallel (they write
+	// disjoint files).
+	storeMuMu sync.Mutex
+	storeMus  map[string]*sync.Mutex
 }
 
 type table struct {
 	spec   protocol.TableSpec
 	owners map[int]*ownerCols
+	// cache is the current epoch's hot-column cache (nil unless
+	// CacheColumns); every Store/Drop swaps in a fresh one, so queries
+	// holding the old snapshot never see the new epoch's columns.
+	cache *colCache
 }
 
 // tableView is an immutable snapshot of one table taken under the engine
@@ -81,6 +98,7 @@ type table struct {
 type tableView struct {
 	spec   protocol.TableSpec
 	owners []*ownerCols // dense, index = owner id
+	cache  *colCache    // the epoch's cache at snapshot time (may be nil)
 }
 
 type ownerCols struct {
@@ -127,6 +145,7 @@ func New(v *params.ServerView, opts Options) *Engine {
 		powTab:   modmath.PowTable(v.G, v.Delta, v.EtaPrime),
 		tables:   make(map[string]*table),
 		sessions: make(map[string]*querySession),
+		storeMus: make(map[string]*sync.Mutex),
 	}
 	e.threads.Store(int64(opts.Threads))
 	return e
@@ -249,6 +268,30 @@ func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
 		vcnt:   r.VCountCol,
 	}
 
+	// One upload at a time per (table, owner): the spill below runs
+	// outside the engine lock, and two interleaved conflicting uploads
+	// from the same owner would otherwise mix their bytes on disk.
+	mu := e.storeLock(fmt.Sprintf("%s/%d", r.Spec.Name, r.Owner))
+	mu.Lock()
+	defer mu.Unlock()
+
+	// Reject a conflicting re-store before anything touches disk: a
+	// spill for a table with a different cell count would overwrite the
+	// owner's on-disk columns with wrong-length data while queries keep
+	// serving the registered spec.
+	conflict := func() error {
+		if t, ok := e.tables[r.Spec.Name]; ok && t.spec.B != b {
+			return fmt.Errorf("server %d: table %q cell-count conflict", e.view.Index, r.Spec.Name)
+		}
+		return nil
+	}
+	e.mu.Lock()
+	err := conflict()
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
 	// Spill to disk BEFORE registering: once an ownerCols is visible in
 	// the table map it is immutable, so concurrent queries can read it
 	// without holding the engine lock.
@@ -259,17 +302,35 @@ func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
 	}
 
 	e.mu.Lock()
+	// Re-check: a concurrent Store may have created the table while the
+	// spill ran unlocked.
+	if err := conflict(); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
 	t, ok := e.tables[r.Spec.Name]
 	if !ok {
 		t = &table{spec: r.Spec, owners: make(map[int]*ownerCols)}
 		e.tables[r.Spec.Name] = t
-	} else if t.spec.B != b {
-		e.mu.Unlock()
-		return nil, fmt.Errorf("server %d: table %q cell-count conflict", e.view.Index, r.Spec.Name)
 	}
 	t.owners[r.Owner] = oc
+	if e.opts.CacheColumns && e.opts.DiskBacked {
+		t.cache = newColCache() // new table epoch: invalidate hot columns
+	}
 	e.mu.Unlock()
 	return protocol.StoreReply{Cells: b}, nil
+}
+
+// storeLock returns the upload mutex for a (table, owner) key.
+func (e *Engine) storeLock(key string) *sync.Mutex {
+	e.storeMuMu.Lock()
+	defer e.storeMuMu.Unlock()
+	mu, ok := e.storeMus[key]
+	if !ok {
+		mu = &sync.Mutex{}
+		e.storeMus[key] = mu
+	}
+	return mu
 }
 
 func (e *Engine) handleDrop(r protocol.DropRequest) (any, error) {
@@ -332,7 +393,7 @@ func (e *Engine) lookup(name string) (*tableView, error) {
 	t, ok := e.tables[name]
 	var v *tableView
 	if ok {
-		v = &tableView{spec: t.spec, owners: make([]*ownerCols, e.view.M)}
+		v = &tableView{spec: t.spec, owners: make([]*ownerCols, e.view.M), cache: t.cache}
 		for j := 0; j < e.view.M; j++ {
 			v.owners[j] = t.owners[j] // nil when owner j has not outsourced
 		}
@@ -361,12 +422,25 @@ func (e *Engine) chiShares(t *tableView, bar bool, stats *protocol.Stats) ([][]u
 			if bar {
 				col = "chibar"
 			}
-			// Only real disk reads count as data-fetch time; the
-			// in-memory path is a slice handoff, not a fetch.
-			start := time.Now()
+			key := fmt.Sprintf("o%d.%s", j, col)
+			load := func() ([]uint16, error) {
+				// Only real disk reads count as data-fetch time; the
+				// in-memory path is a slice handoff, not a fetch.
+				start := time.Now()
+				v, err := e.opts.Store.ReadU16(t.spec.Name, key)
+				stats.FetchNS += time.Since(start).Nanoseconds()
+				return v, err
+			}
 			var err error
-			v, err = e.opts.Store.ReadU16(t.spec.Name, fmt.Sprintf("o%d.%s", j, col))
-			stats.FetchNS += time.Since(start).Nanoseconds()
+			if t.cache != nil {
+				var hit bool
+				v, hit, err = t.cache.getU16(key, load)
+				if hit {
+					stats.CacheHits++
+				}
+			} else {
+				v, err = load()
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -387,14 +461,24 @@ func (e *Engine) chiShares(t *tableView, bar bool, stats *protocol.Stats) ([][]u
 func (e *Engine) u64Col(t *tableView, owner int, kind, col string, stats *protocol.Stats) ([]uint64, error) {
 	oc := t.owners[owner]
 	if oc.onDisk {
-		start := time.Now()
 		name := fmt.Sprintf("o%d.%s", owner, kind)
 		if col != "" {
 			name += "." + col
 		}
-		v, err := e.opts.Store.ReadU64(t.spec.Name, name)
-		stats.FetchNS += time.Since(start).Nanoseconds()
-		return v, err
+		load := func() ([]uint64, error) {
+			start := time.Now()
+			v, err := e.opts.Store.ReadU64(t.spec.Name, name)
+			stats.FetchNS += time.Since(start).Nanoseconds()
+			return v, err
+		}
+		if t.cache != nil {
+			v, hit, err := t.cache.getU64(name, load)
+			if hit {
+				stats.CacheHits++
+			}
+			return v, err
+		}
+		return load()
 	}
 	switch kind {
 	case "sum":

@@ -213,9 +213,9 @@ func TestTCPCallCancellationMidCall(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("Call did not return after cancellation")
 	}
-	// The client must recover: the dead connection was dropped, a fresh
-	// call dials anew (and times out on the still-blocking handler with
-	// its own deadline, not the stale cancellation).
+	// The connection survives a wait-side cancellation; a fresh call
+	// reuses it (and times out on the still-blocking handler with its
+	// own deadline, not the stale cancellation).
 	ctx2, cancel2 := context.WithTimeout(context.Background(), 300*time.Millisecond)
 	defer cancel2()
 	if _, err := c.Call(ctx2, "s", protocol.PSIRequest{Table: "again"}); !errors.Is(err, context.DeadlineExceeded) {

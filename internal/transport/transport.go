@@ -8,6 +8,17 @@
 //   - TCP (tcp.go): length-delimited gob frames over net.Conn for real
 //     multi-process deployments (cmd/prism-server etc.).
 //
+// The TCP transport is multiplexed: every frame carries a request id, so
+// one persistent connection per peer serves many concurrent RPCs. The
+// client interleaves requests on the shared connection (a writer token
+// keeps frames atomic, a demux reader routes replies by id) and the
+// server dispatches each decoded request to a bounded per-connection
+// worker pool, so a slow call never blocks cheap ones queued behind it.
+// Replies may return in any order. The number of RPCs in flight on one
+// connection is bounded by DefaultPerConnInflight unless overridden
+// (ClientOptions.PerConnInflight / WithPerConnWorkers); the in-process
+// Network mirrors the same bound per address via SetPerAddrInflight.
+//
 // Prism's trust model requires that servers never talk to each other;
 // the address-based topology makes that auditable: engines are handed a
 // Caller scoped to the peers they may contact.
@@ -42,6 +53,8 @@ type Caller interface {
 type Network struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	sems     map[string]chan struct{}
+	inflight int
 	// EncodeWire forces every call through a gob encode/decode cycle,
 	// matching what the TCP transport does on the wire.
 	EncodeWire bool
@@ -49,7 +62,40 @@ type Network struct {
 
 // NewNetwork returns an empty in-process network.
 func NewNetwork() *Network {
-	return &Network{handlers: make(map[string]Handler)}
+	return &Network{handlers: make(map[string]Handler), sems: make(map[string]chan struct{})}
+}
+
+// SetPerAddrInflight bounds how many calls may execute concurrently per
+// address, mirroring the TCP transport's per-connection pipelining bound
+// so local-mode behaviour matches a wire deployment. 0 removes the
+// bound. Takes effect for calls issued after it returns.
+func (n *Network) SetPerAddrInflight(k int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inflight = k
+	n.sems = make(map[string]chan struct{}) // resize on next use
+}
+
+// acquireSlot claims an in-flight slot for addr (when bounded), honouring
+// ctx while queued. The release func is nil-safe to call exactly once.
+func (n *Network) acquireSlot(ctx context.Context, addr string) (func(), error) {
+	n.mu.Lock()
+	if n.inflight <= 0 {
+		n.mu.Unlock()
+		return func() {}, nil
+	}
+	sem, ok := n.sems[addr]
+	if !ok {
+		sem = make(chan struct{}, n.inflight)
+		n.sems[addr] = sem
+	}
+	n.mu.Unlock()
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Register installs the handler for a logical address.
@@ -77,6 +123,11 @@ func (n *Network) Call(ctx context.Context, addr string, req any) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	release, err := n.acquireSlot(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if n.EncodeWire {
 		rt, err := roundTrip(req)
 		if err != nil {
@@ -109,8 +160,13 @@ func roundTrip(v any) (any, error) {
 	return out.Payload, nil
 }
 
-// envelope wraps an arbitrary registered payload for gob.
+// envelope wraps an arbitrary registered payload for gob. ID correlates
+// a reply with its request on a multiplexed connection: the client
+// assigns ids starting at 1 and the server echoes them. ID 0 marks a
+// connection-level message (a protocol-violation error frame), which
+// dooms every call in flight on that connection.
 type envelope struct {
+	ID      uint64
 	Payload any
 	Err     string
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"prism/internal/announcer"
@@ -67,6 +68,9 @@ func NewLocalSystem(cfg Config) (*System, error) {
 		sched:   newLimiter(cfg.MaxInflight),
 	}
 	s.network.EncodeWire = cfg.EncodeWire
+	// Mirror the TCP transport's per-connection pipelining bound so
+	// local-mode behaviour matches a wire deployment.
+	s.network.SetPerAddrInflight(cfg.PerConnInflight)
 
 	for phi := 0; phi < params.NumServers; phi++ {
 		view, err := sysParams.ForServer(phi)
@@ -85,6 +89,7 @@ func NewLocalSystem(cfg Config) (*System, error) {
 			}
 			opts.Store = store
 			opts.DiskBacked = true
+			opts.CacheColumns = cfg.HotColumns
 		}
 		eng := serverengine.New(view, opts)
 		s.servers[phi] = eng
@@ -205,15 +210,22 @@ func (s *System) nextQuerier() (*Owner, error) {
 
 // endQuery retires qid-keyed session state on the additive-share servers
 // and the announcer. Best effort: cleanup failures are invisible to the
-// query's caller.
+// query's caller. The three calls are independent fire-and-forget
+// notifications, so they go out concurrently — on a real network the
+// cleanup costs one round trip, not three, per extreme-query cell.
 func (s *System) endQuery(ctx context.Context, qid string) {
 	// Clean up even when the query itself was cancelled.
 	ctx = context.WithoutCancel(ctx)
 	req := protocol.QueryDoneRequest{QueryID: qid}
-	for phi := 0; phi < 2; phi++ {
-		s.network.Call(ctx, serverAddr(phi), req)
+	var wg sync.WaitGroup
+	for _, addr := range []string{serverAddr(0), serverAddr(1), "announcer"} {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			s.network.Call(ctx, addr, req)
+		}(addr)
 	}
-	s.network.Call(ctx, "announcer", req)
+	wg.Wait()
 }
 
 // ShareGenStats reports Phase-1 costs.
@@ -236,6 +248,9 @@ type QueryStats struct {
 	WallNS          int64
 	Rounds          int
 	Cells           int
+	// ServerCacheHits counts column reads served by the servers'
+	// hot-column cache (Config.HotColumns) instead of the share store.
+	ServerCacheHits int
 }
 
 func fromEngineStats(q ownerengine.QueryStats) QueryStats {
@@ -246,6 +261,7 @@ func fromEngineStats(q ownerengine.QueryStats) QueryStats {
 		WallNS:          q.WallNS,
 		Rounds:          q.Rounds,
 		Cells:           q.Server.Cells,
+		ServerCacheHits: q.Server.CacheHits,
 	}
 }
 
@@ -256,4 +272,5 @@ func (q *QueryStats) add(o ownerengine.QueryStats) {
 	q.WallNS += o.WallNS
 	q.Rounds += o.Rounds
 	q.Cells += o.Server.Cells
+	q.ServerCacheHits += o.Server.CacheHits
 }
