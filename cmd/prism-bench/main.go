@@ -10,10 +10,14 @@
 //	prism-bench -exp exp2 -csv out/      # also write CSV series
 //
 // Experiments: exp1 table12 exp2 exp3 exp4 sharegen table13 fanout
-// diskablation throughput tcpthroughput all. The tcpthroughput
-// experiment runs the query mix over real loopback TCP twice — with the
-// serialised one-RPC-per-connection baseline and with the multiplexed
-// client — so the transport win is measured, not asserted.
+// diskablation throughput tcpthroughput domainscale all. The
+// tcpthroughput experiment runs the query mix over real loopback TCP
+// twice — with the serialised one-RPC-per-connection baseline and with
+// the multiplexed client — so the transport win is measured, not
+// asserted. The domainscale experiment compares the monolithic wire
+// mode against sharded exchanges (-shard cells per frame) across domain
+// sizes, reporting peak frame bytes and queries/sec; monolithic rows
+// whose frames exceed the transport cap report FRAME OVERFLOW.
 package main
 
 import (
@@ -30,13 +34,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|all")
+		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|all")
 		paper   = flag.Bool("paper", false, "use the paper's full sizes (5M/20M domains; needs ~16GB RAM)")
 		domain  = flag.Uint64("domain", 0, "override: single domain size")
 		owners  = flag.Int("owners", 0, "override: owner count for exp1/exp3/table12/sharegen")
 		csvDir  = flag.String("csv", "", "also write CSV files to this directory")
 		diskDir = flag.String("disk", "", "disk-backed share stores for exp1 fetch timing (default: temp dir)")
 		linkRTT = flag.Duration("rtt", -1, "tcpthroughput: simulated owner↔server link RTT (-1 = scale default, 0 = raw loopback)")
+		shard   = flag.Uint64("shard", 0, "domainscale: shard size in cells for the sharded wire mode (0 = 65536)")
 	)
 	flag.Parse()
 
@@ -52,6 +57,9 @@ func main() {
 	}
 	if *linkRTT >= 0 {
 		sc.LinkRTT = *linkRTT
+	}
+	if *shard != 0 {
+		sc.ShardCells = *shard
 	}
 	if *diskDir != "" {
 		sc.DiskDir = *diskDir
@@ -134,6 +142,10 @@ func main() {
 	if want("tcpthroughput") {
 		matched = true
 		run("tcpthroughput", func() ([]*report.Table, error) { return benchx.TCPThroughput(ctx, sc) })
+	}
+	if want("domainscale") {
+		matched = true
+		run("domainscale", func() ([]*report.Table, error) { return benchx.DomainScale(ctx, sc) })
 	}
 	if !matched {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -21,6 +21,10 @@
 // aggregations (max/min/median) need all owners online in one
 // coordinated flow; see examples/federated for a complete multi-process
 // deployment that drives them over TCP.
+//
+// For large domains pass -shard N to move uploads and query vectors as
+// N-cell windows instead of one O(b) frame per exchange (see the README
+// "Domain sharding" section for tuning).
 package main
 
 import (
@@ -49,6 +53,7 @@ func main() {
 		op       = flag.String("op", "", "outsource|psi|psu|count|psucount|sum|avg (required)")
 		verify   = flag.Bool("verify", false, "outsource verification columns / verify query results")
 		inflight = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
+		shard    = flag.Uint64("shard", 0, "shard size in cells for uploads and query vectors (0 = one frame per exchange)")
 	)
 	flag.Parse()
 	if *viewPath == "" || *servers == "" || *op == "" {
@@ -76,6 +81,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	owner.SetShardCells(*shard)
 	ctx := context.Background()
 	var colList []string
 	if *cols != "" {

@@ -15,7 +15,11 @@ import (
 // 64-cell integer domain, two aggregation columns, verification on, and
 // the gob wire round-trip forced so concurrent queries also exercise
 // message encoding. Cells 3, 5 and 7 are common to every owner.
-func concSystem(t testing.TB) *System {
+func concSystem(t testing.TB) *System { return concSystemShard(t, 0) }
+
+// concSystemShard is concSystem with a shard size: the same data and
+// seed, so results are comparable between wire modes.
+func concSystemShard(t testing.TB, shardCells uint64) *System {
 	t.Helper()
 	dom, err := IntDomain(1, 64)
 	if err != nil {
@@ -29,6 +33,7 @@ func concSystem(t testing.TB) *System {
 		Verify:      true,
 		Seed:        [32]byte{9, 9, 9},
 		EncodeWire:  true,
+		ShardCells:  shardCells,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -182,9 +187,12 @@ func TestQueryAsyncPinnedOwner(t *testing.T) {
 			t.Errorf("owner %d result diverged: %s != %s", j, got, want)
 		}
 	}
-	resp := sys.QueryAsync(context.Background(), Request{Op: OpPSI, PinOwner: true, OwnerIdx: 99}).Wait()
-	if resp.Err == nil {
-		t.Error("out-of-range pinned owner accepted")
+	// Out-of-range pins must surface as error responses, never panics.
+	for _, idx := range []int{99, -1, sys.Owners()} {
+		resp := sys.QueryAsync(context.Background(), Request{Op: OpPSI, PinOwner: true, OwnerIdx: idx}).Wait()
+		if resp.Err == nil {
+			t.Errorf("out-of-range pinned owner %d accepted", idx)
+		}
 	}
 }
 
@@ -299,24 +307,40 @@ func TestLimiterBoundsAndResize(t *testing.T) {
 	tiny.release()
 }
 
-// TestServerSessionsRetired asserts extreme-query session state is
-// cleaned up on servers once queries finish — sustained traffic must not
-// accumulate qid scratch.
+// TestServerSessionsRetired asserts per-query session state is cleaned
+// up on ALL engines once queries finish — sustained traffic must not
+// accumulate qid scratch on any of the three servers or the announcer
+// (the Shamir server used to be skipped by the cleanup loop, leaking
+// its sessions unboundedly).
 func TestServerSessionsRetired(t *testing.T) {
 	sys := concSystem(t)
 	var reqs []Request
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, mixedOps...) // full mixed concurrent workload
+	}
 	for i := 0; i < 6; i++ {
 		reqs = append(reqs, Request{Op: OpPSIMax, Cols: []string{"v"}},
-			Request{Op: OpPSIMedian, Cols: []string{"w"}})
+			Request{Op: OpPSIMedian, Cols: []string{"w"}},
+			Request{Op: OpPSIMin, Cols: []string{"v"}})
 	}
 	for _, r := range sys.QueryBatch(context.Background(), reqs) {
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
 	}
-	for phi := 0; phi < 2; phi++ {
-		if n := sys.servers[phi].Sessions(); n != 0 {
+	assertNoSessions(t, sys)
+}
+
+// assertNoSessions checks every server engine and the announcer hold
+// zero live query sessions.
+func assertNoSessions(t testing.TB, sys *System) {
+	t.Helper()
+	for phi, e := range sys.servers {
+		if n := e.Sessions(); n != 0 {
 			t.Errorf("server %d still holds %d query sessions after all queries completed", phi, n)
 		}
+	}
+	if n := sys.ann.Sessions(); n != 0 {
+		t.Errorf("announcer still holds %d query sessions after all queries completed", n)
 	}
 }

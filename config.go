@@ -163,6 +163,20 @@ type Config struct {
 	// address so local-mode scheduling matches a wire deployment.
 	// 0 → transport.DefaultPerConnInflight.
 	PerConnInflight int
+	// ShardCells splits every O(b) owner↔server exchange — table
+	// uploads, PSI/PSU/count vectors, aggregation selectors and replies
+	// — into windows of at most ShardCells cells, each moving as its own
+	// frame over the multiplexed transport, with partial results merged
+	// incrementally owner-side. This bounds per-request frame size (and
+	// per-request buffer lifetime) by the shard size regardless of the
+	// domain, so domains whose monolithic frames would exceed
+	// transport.MaxFrameBytes become servable. 0 (the default) keeps the
+	// monolithic one-frame-per-exchange wire behaviour. A query keeps at
+	// most 8 shard exchanges in flight, so the effective pipelining
+	// depth per server connection is min(8, PerConnInflight). With
+	// disk-backed servers, enable HotColumns alongside sharding: without
+	// the cache every shard re-reads the full column from the store.
+	ShardCells uint64
 	// HotColumns enables each server's per-table hot-column cache in
 	// disk-backed mode (DiskDir set): χ-shares and aggregation columns
 	// are read from the share store once per table epoch — invalidated

@@ -72,6 +72,25 @@
 // per table epoch — invalidated when any owner re-outsources — instead
 // of once per query.
 //
+// # Domain sharding
+//
+// Every Prism exchange is O(b) in the domain size. Config.ShardCells
+// splits each one — table uploads, PSI/PSU/count vectors, aggregation
+// selectors and replies — into windows of at most that many cells, each
+// moving as its own frame over the multiplexed transport (up to 8 shard
+// exchanges in flight per query), with partial results merged
+// incrementally owner-side. Frame size and per-request buffers are then
+// bounded by the shard size regardless of the domain, so domains whose
+// monolithic frames would exceed transport.MaxFrameBytes become
+// servable; sharded uploads register the table only once every window
+// has arrived, so queries never observe a half-uploaded epoch. The
+// default 0 preserves the monolithic one-frame-per-exchange wire
+// behaviour. With disk-backed servers enable HotColumns alongside
+// sharding (each window reads its columns through the per-epoch cache);
+// the effective pipelining depth per connection is
+// min(8, PerConnInflight). The prism-bench domainscale experiment
+// measures queries/sec and peak frame size in both modes.
+//
 // See examples/ for complete programs, DESIGN.md for the architecture and
 // protocol details, and EXPERIMENTS.md for the reproduction of the
 // paper's evaluation.

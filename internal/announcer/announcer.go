@@ -43,6 +43,15 @@ func New(v *params.AnnouncerView) *Engine {
 	return &Engine{view: v, pending: make(map[string]*state)}
 }
 
+// Sessions reports the number of live per-query states (tests and
+// monitoring): it must return to zero once queriers retire their query
+// ids, or sustained max/min/median traffic accumulates state forever.
+func (e *Engine) Sessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
 // Handle implements transport.Handler.
 func (e *Engine) Handle(_ context.Context, req any) (any, error) {
 	switch r := req.(type) {

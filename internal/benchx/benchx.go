@@ -33,6 +33,8 @@ type SystemSpec struct {
 	Threads      int
 	DiskDir      string // non-empty → disk-backed servers (fetch timing)
 	HotColumns   bool   // per-table hot-column cache on disk-backed servers
+	ShardCells   uint64 // shard size for O(b) exchanges (0 = monolithic)
+	EncodeWire   bool   // gob round-trip per call (frame-size measurement)
 	AggCols      []string
 	Verify       bool
 	MaxValue     uint64
@@ -104,6 +106,8 @@ func Build(spec SystemSpec) (*prism.System, []*workload.OwnerData, prism.ShareGe
 		Seed:        seed,
 		DiskDir:     spec.DiskDir,
 		HotColumns:  spec.HotColumns,
+		ShardCells:  spec.ShardCells,
+		EncodeWire:  spec.EncodeWire,
 	})
 	if err != nil {
 		return nil, nil, sg, err

@@ -2,6 +2,7 @@ package benchx
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -280,6 +281,63 @@ func TestTCPThroughputSmoke(t *testing.T) {
 	if len(modes) != 2 {
 		t.Errorf("transport modes = %v, want serialised + multiplexed", modes)
 	}
+}
+
+func TestDomainScaleSmoke(t *testing.T) {
+	sc := tinyScale(t)
+	sc.Domains = []uint64{2048}
+	sc.ShardCells = 256
+	sc.ThroughputQueries = 6
+	tables, err := DomainScale(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 2 { // monolithic + sharded at one domain size
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	peak := map[string][2]string{}
+	for _, row := range rows {
+		if strings.Contains(row[2], "OVERFLOW") || strings.Contains(row[3], "OVERFLOW") {
+			t.Errorf("%s mode overflowed at smoke scale: %v", row[1], row)
+		}
+		if row[4] == "0.0" {
+			t.Errorf("%s mode reported zero throughput", row[1])
+		}
+		peak[row[1]] = [2]string{row[2], row[3]}
+	}
+	// The experiment's point: sharded frames must be strictly smaller
+	// than monolithic ones during both outsourcing and querying.
+	mono, sharded := peak["monolithic"], peak["sharded"]
+	for i, phase := range []string{"outsource", "query"} {
+		mb, errM := parseHumanBytes(mono[i])
+		sb, errS := parseHumanBytes(sharded[i])
+		if errM != nil || errS != nil {
+			t.Fatalf("unparseable peak frame cells %q / %q", mono[i], sharded[i])
+		}
+		if sb >= mb {
+			t.Errorf("%s peak frame: sharded %q not below monolithic %q", phase, sharded[i], mono[i])
+		}
+	}
+}
+
+// parseHumanBytes inverts humanBytes for smoke assertions.
+func parseHumanBytes(s string) (float64, error) {
+	var v float64
+	var unit string
+	if _, err := fmt.Sscanf(s, "%f %s", &v, &unit); err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "MiB":
+		v *= 1 << 20
+	case "KiB":
+		v *= 1 << 10
+	case "B":
+	default:
+		return 0, fmt.Errorf("unknown unit %q", unit)
+	}
+	return v, nil
 }
 
 // TestFig5FullScale runs the actual 100M-leaf Figure 5 point for the

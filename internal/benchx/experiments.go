@@ -2,6 +2,7 @@ package benchx
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"prism/internal/baseline"
 	"prism/internal/prg"
 	"prism/internal/report"
+	"prism/internal/transport"
 	"prism/internal/workload"
 )
 
@@ -39,6 +41,9 @@ type Scale struct {
 	// separate machines; loopback alone hides the wire wait that
 	// head-of-line blocking turns into dead time). 0 = raw loopback.
 	LinkRTT time.Duration
+	// ShardCells is the shard size the domainscale experiment compares
+	// against the monolithic wire mode (0 → 65536 cells).
+	ShardCells uint64
 }
 
 // QuickScale is a laptop-friendly default; PaperScale matches §8.1.
@@ -421,6 +426,107 @@ func Throughput(ctx context.Context, sc Scale) ([]*report.Table, error) {
 			report.Seconds(wall.Nanoseconds()), report.Dur(lat/int64(okCount)), nerr)
 	}
 	return []*report.Table{tb}, nil
+}
+
+// domainScaleMix is the operator mix of the domainscale experiment:
+// every O(b) exchange shape — stored-order PSI vectors, permuted count
+// vectors, and the three-server aggregation round with its O(b)
+// selector uploads.
+var domainScaleMix = []prism.Request{
+	{Op: prism.OpPSI},
+	{Op: prism.OpPSICount},
+	{Op: prism.OpPSISum, Cols: []string{"DT"}},
+}
+
+// DomainScale measures how the sharded data plane scales with domain
+// size: peak frame bytes during outsourcing and querying plus sustained
+// queries/sec, for the monolithic wire mode vs sharded exchanges, at
+// each configured domain size. The system runs with EncodeWire so every
+// message really is gob-encoded and measured — and subject to the
+// transport frame cap: a monolithic configuration whose frames exceed
+// transport.FrameLimit() lands in the table as a "frame overflow" row
+// instead of aborting the experiment, because that failure is exactly
+// the wall sharding removes.
+func DomainScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
+	shard := sc.ShardCells
+	if shard == 0 {
+		shard = 1 << 16
+	}
+	nq := sc.ThroughputQueries
+	if nq <= 0 {
+		nq = 24
+	}
+	const inflight = 8
+	tb := report.New(
+		fmt.Sprintf("Domain scale — %d owners, %d mixed queries per point, %d in flight, shard %s cells",
+			sc.Owners, nq, inflight, human(shard)),
+		"domain", "wire mode", "outsource peak frame", "query peak frame", "queries/sec", "wall(s)")
+
+	overflow := func(err error) bool { return errors.Is(err, transport.ErrFrameTooLarge) }
+	for _, domain := range sc.Domains {
+		for _, mode := range []struct {
+			name  string
+			cells uint64
+		}{
+			{"monolithic", 0},
+			{"sharded", shard},
+		} {
+			sys, _, _, err := Build(SystemSpec{
+				Owners: sc.Owners, Domain: domain,
+				ShardCells: mode.cells, EncodeWire: true,
+			})
+			if err != nil {
+				if overflow(err) {
+					tb.Add(human(domain), mode.name, "FRAME OVERFLOW", "-", "-", "-")
+					continue
+				}
+				return nil, err
+			}
+			outPeak := sys.PeakFrameBytes()
+			sys.ResetPeakFrame()
+			sys.SetMaxInflight(inflight)
+
+			reqs := make([]prism.Request, nq)
+			for i := range reqs {
+				reqs[i] = domainScaleMix[i%len(domainScaleMix)]
+			}
+			start := time.Now()
+			resps := sys.QueryBatch(ctx, reqs)
+			wall := time.Since(start)
+			nerr := 0
+			var firstErr error
+			for _, r := range resps {
+				if r.Err != nil {
+					nerr++
+					if firstErr == nil {
+						firstErr = r.Err
+					}
+				}
+			}
+			if nerr == nq && overflow(firstErr) {
+				tb.Add(human(domain), mode.name, humanBytes(outPeak), "FRAME OVERFLOW", "-", "-")
+				continue
+			}
+			if nerr > 0 {
+				return nil, fmt.Errorf("benchx: domainscale %s @%s: %d/%d queries failed (first: %v)",
+					mode.name, human(domain), nerr, nq, firstErr)
+			}
+			tb.Add(human(domain), mode.name, humanBytes(outPeak), humanBytes(sys.PeakFrameBytes()),
+				fmt.Sprintf("%.1f", float64(nq)/wall.Seconds()), report.Seconds(wall.Nanoseconds()))
+		}
+	}
+	return []*report.Table{tb}, nil
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // statsOf extracts the per-query stats from whichever result a response

@@ -42,6 +42,12 @@ func (r *AggResult) Avg(col string, cell uint64) (float64, bool) {
 // PF_db2-ordered v-columns and the two reconstructions are compared at
 // every cell — a server that skips or fabricates cells cannot keep both
 // copies consistent without knowing PF_db2⊙PF_db1⁻¹ (DESIGN.md §4).
+//
+// With sharding, every request carries only a window of the selector
+// shares and every reply a window of the degree-2 sums; each window is
+// Lagrange-interpolated into a single stored-order accumulator as its
+// three replies arrive, so the owner holds one reconstruction vector per
+// column instead of three servers' worth of reply vectors.
 func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, cols []string, withCount, verify bool) (*AggResult, error) {
 	wall := time.Now()
 	b := o.view.B
@@ -64,49 +70,91 @@ func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, 
 	}
 	ownerNS := time.Since(start).Nanoseconds()
 
+	// Stored-order accumulators, one per requested column (+count), each
+	// filled window by window as shard replies land.
+	sums := make(map[string][]uint64, len(cols))
+	vsums := make(map[string][]uint64)
+	for _, col := range cols {
+		sums[col] = make([]uint64, b)
+		if verify {
+			vsums[col] = make([]uint64, b)
+		}
+	}
+	var cnts, vcnts []uint64
+	if withCount {
+		cnts = make([]uint64, b)
+		if verify {
+			vcnts = make([]uint64, b)
+		}
+	}
+
 	qid := sess.qid
-	replies, err := o.call3(ctx, func(phi int) any {
+	var stats QueryStats
+	stats.Rounds = 1
+	p := o.plan(b)
+	err := o.forEachShard(ctx, p, 3, func(phi int, rg protocol.Range) any {
 		req := protocol.AggRequest{
 			Table:     table,
 			QueryID:   qid,
 			Cols:      cols,
 			WithCount: withCount,
-			Z:         zShares[phi],
+			Z:         zShares[phi][rg.Offset:rg.End()],
+		}
+		if p.wire {
+			req.Shard = rg
 		}
 		if verify {
-			req.VZ = vzShares[phi]
+			req.VZ = vzShares[phi][rg.Offset:rg.End()]
 		}
 		return req
+	}, func(rg protocol.Range, replies []any) error {
+		reps := make([]protocol.AggReply, 3)
+		for phi, r := range replies {
+			rep, ok := r.(protocol.AggReply)
+			if !ok {
+				return fmt.Errorf("ownerengine: unexpected aggregation reply %T", r)
+			}
+			reps[phi] = rep
+			stats.Server.Add(rep.Stats)
+		}
+		start := time.Now()
+		for _, col := range cols {
+			if err := o.interpolateWindow(sums[col], rg,
+				reps[0].Sums[col], reps[1].Sums[col], reps[2].Sums[col]); err != nil {
+				return fmt.Errorf("ownerengine: column %q: %w", col, err)
+			}
+			if verify {
+				if err := o.interpolateWindow(vsums[col], rg,
+					reps[0].VSums[col], reps[1].VSums[col], reps[2].VSums[col]); err != nil {
+					return fmt.Errorf("ownerengine: v-column %q: %w", col, err)
+				}
+			}
+		}
+		if withCount {
+			if err := o.interpolateWindow(cnts, rg,
+				reps[0].Counts, reps[1].Counts, reps[2].Counts); err != nil {
+				return fmt.Errorf("ownerengine: count column: %w", err)
+			}
+			if verify {
+				if err := o.interpolateWindow(vcnts, rg,
+					reps[0].VCounts, reps[1].VCounts, reps[2].VCounts); err != nil {
+					return fmt.Errorf("ownerengine: v-count column: %w", err)
+				}
+			}
+		}
+		stats.OwnerNS += time.Since(start).Nanoseconds()
+		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	var stats QueryStats
-	stats.Rounds = 1
-	reps := make([]protocol.AggReply, 3)
-	for phi, r := range replies {
-		rep, ok := r.(protocol.AggReply)
-		if !ok {
-			return nil, fmt.Errorf("ownerengine: unexpected aggregation reply %T", r)
-		}
-		reps[phi] = rep
-		stats.Server.Add(rep.Stats)
 	}
 
 	start = time.Now()
 	res := &AggResult{Sums: make(map[string]map[uint64]uint64, len(cols))}
 	for _, col := range cols {
-		nat, err := o.reconstructNatural(
-			[3][]uint64{reps[0].Sums[col], reps[1].Sums[col], reps[2].Sums[col]}, o.view.DB1)
-		if err != nil {
-			return nil, fmt.Errorf("ownerengine: column %q: %w", col, err)
-		}
+		nat := perm.ApplyInverse(o.view.DB1, sums[col], nil)
 		if verify {
-			vnat, err := o.reconstructNatural(
-				[3][]uint64{reps[0].VSums[col], reps[1].VSums[col], reps[2].VSums[col]}, o.view.DB2)
-			if err != nil {
-				return nil, fmt.Errorf("ownerengine: v-column %q: %w", col, err)
-			}
+			vnat := perm.ApplyInverse(o.view.DB2, vsums[col], nil)
 			for i := range nat {
 				if nat[i] != vnat[i] {
 					return nil, fmt.Errorf("%w: column %q cell %d differs between main and verification copies", ErrVerificationFailed, col, i)
@@ -120,17 +168,9 @@ func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, 
 		res.Sums[col] = picked
 	}
 	if withCount {
-		nat, err := o.reconstructNatural(
-			[3][]uint64{reps[0].Counts, reps[1].Counts, reps[2].Counts}, o.view.DB1)
-		if err != nil {
-			return nil, fmt.Errorf("ownerengine: count column: %w", err)
-		}
+		nat := perm.ApplyInverse(o.view.DB1, cnts, nil)
 		if verify {
-			vnat, err := o.reconstructNatural(
-				[3][]uint64{reps[0].VCounts, reps[1].VCounts, reps[2].VCounts}, o.view.DB2)
-			if err != nil {
-				return nil, fmt.Errorf("ownerengine: v-count column: %w", err)
-			}
+			vnat := perm.ApplyInverse(o.view.DB2, vcnts, nil)
 			for i := range nat {
 				if nat[i] != vnat[i] {
 					return nil, fmt.Errorf("%w: count cell %d differs between main and verification copies", ErrVerificationFailed, i)
@@ -142,28 +182,26 @@ func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, 
 			res.Counts[c] = nat[c]
 		}
 	}
-	stats.OwnerNS = ownerNS + time.Since(start).Nanoseconds()
+	stats.OwnerNS = ownerNS + stats.OwnerNS + time.Since(start).Nanoseconds()
 	stats.WallNS = time.Since(wall).Nanoseconds()
 	res.Stats = stats
 	return res, nil
 }
 
-// reconstructNatural Lagrange-interpolates three degree-2 share vectors
-// and un-permutes the result into natural cell order.
-func (o *Owner) reconstructNatural(shares [3][]uint64, p perm.Perm) ([]uint64, error) {
-	b := int(o.view.B)
-	for phi := range shares {
-		if len(shares[phi]) != b {
-			return nil, fmt.Errorf("share vector %d has %d cells, want %d", phi, len(shares[phi]), b)
-		}
+// interpolateWindow Lagrange-interpolates one window of three degree-2
+// share vectors into dst[rg.Offset:rg.End()) (stored order).
+func (o *Owner) interpolateWindow(dst []uint64, rg protocol.Range, s0, s1, s2 []uint64) error {
+	n := int(rg.Count)
+	if len(s0) != n || len(s1) != n || len(s2) != n {
+		return fmt.Errorf("share vectors have %d/%d/%d cells, want %d", len(s0), len(s1), len(s2), n)
 	}
-	stored := make([]uint64, b)
 	w := o.w3
-	for i := 0; i < b; i++ {
-		acc := field.Mul(w[0], shares[0][i])
-		acc = field.Add(acc, field.Mul(w[1], shares[1][i]))
-		acc = field.Add(acc, field.Mul(w[2], shares[2][i]))
-		stored[i] = acc
+	out := dst[rg.Offset:rg.End()]
+	for i := 0; i < n; i++ {
+		acc := field.Mul(w[0], s0[i])
+		acc = field.Add(acc, field.Mul(w[1], s1[i]))
+		acc = field.Add(acc, field.Mul(w[2], s2[i]))
+		out[i] = acc
 	}
-	return perm.ApplyInverse(p, stored, nil), nil
+	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prism/internal/domain"
@@ -88,6 +89,15 @@ type Owner struct {
 	servers []string // logical addresses of the NumServers servers
 	rng     *prg.PRG
 
+	// shardCells splits every O(b) exchange into bounded frames
+	// (SetShardCells); 0 keeps the monolithic wire behaviour.
+	shardCells atomic.Uint64
+	// uploadEpoch/uploadSeq mint ordered sharded-upload ids
+	// ("<epoch>/<seq>") so servers can tell a fresh retry from the
+	// stragglers of an abandoned attempt (see protocol.StoreRequest).
+	uploadEpoch string
+	uploadSeq   atomic.Uint64
+
 	mu         sync.Mutex
 	data       *Data
 	tables     map[string]*localTable
@@ -138,7 +148,7 @@ func New(index int, view *params.OwnerView, caller transport.Caller, serverAddrs
 	if seed == zero {
 		seed = prg.NewSeed()
 	}
-	return &Owner{
+	o := &Owner{
 		Index:      index,
 		view:       view,
 		caller:     caller,
@@ -147,7 +157,9 @@ func New(index int, view *params.OwnerView, caller transport.Caller, serverAddrs
 		tables:     make(map[string]*localTable),
 		bucketMeta: make(map[string]*bucketMeta),
 		w3:         share.LagrangeWeights(3),
-	}, nil
+	}
+	o.uploadEpoch = fmt.Sprintf("o%d-%x", index, o.rng.Uint64())
+	return o, nil
 }
 
 // View exposes the owner's parameter view (for orchestration layers).
@@ -248,6 +260,9 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 	o.mu.Unlock()
 
 	// ---- upload ----
+	// With sharding, each window moves the same column layout restricted
+	// to [Offset, End()) — zero-copy subslices of the share vectors — and
+	// the servers register the table only once every window has landed.
 	start = time.Now()
 	pspec := protocol.TableSpec{
 		Name:      spec.Table,
@@ -256,35 +271,63 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 		HasVerify: spec.Verify,
 		HasCount:  spec.WithCount,
 	}
-	reqs := make([]protocol.StoreRequest, params.NumServers)
-	for phi := range reqs {
+	p := o.plan(b)
+	// Ordered per attempt: servers supersede older assemblies and
+	// reject this attempt's stragglers once a newer retry appears.
+	uploadID := fmt.Sprintf("%s/%d", o.uploadEpoch, o.uploadSeq.Add(1))
+	var completed [params.NumServers]bool
+	err = o.forEachShard(ctx, p, params.NumServers, func(phi int, rg protocol.Range) any {
+		lo, hi := rg.Offset, rg.End()
 		req := protocol.StoreRequest{Owner: o.Index, Spec: pspec}
+		if p.wire {
+			req.Shard = rg
+			req.UploadID = uploadID
+		}
 		if phi < 2 {
-			req.ChiAdd = chiShares[phi]
+			req.ChiAdd = chiShares[phi][lo:hi]
 			if spec.Verify {
-				req.ChiBarAdd = barShares[phi]
+				req.ChiBarAdd = barShares[phi][lo:hi]
 			}
 		}
 		req.SumCols = make(map[string][]uint64, len(sumShares))
 		for col, sh := range sumShares {
-			req.SumCols[col] = sh[phi]
+			req.SumCols[col] = sh[phi][lo:hi]
 		}
 		if spec.Verify {
 			req.VSumCols = make(map[string][]uint64, len(vsumShares))
 			for col, sh := range vsumShares {
-				req.VSumCols[col] = sh[phi]
+				req.VSumCols[col] = sh[phi][lo:hi]
 			}
 		}
 		if spec.WithCount {
-			req.CountCol = cntShares[phi]
+			req.CountCol = cntShares[phi][lo:hi]
 			if spec.Verify {
-				req.VCountCol = vcntShares[phi]
+				req.VCountCol = vcntShares[phi][lo:hi]
 			}
 		}
-		reqs[phi] = req
-	}
-	if err := o.storeAll(ctx, reqs); err != nil {
+		return req
+	}, func(rg protocol.Range, replies []any) error {
+		for phi, r := range replies {
+			rep, ok := r.(protocol.StoreReply)
+			if !ok {
+				return fmt.Errorf("ownerengine: unexpected store reply %T", r)
+			}
+			if rep.Cells == b {
+				completed[phi] = true // this server registered the table
+			}
+		}
+		return nil
+	})
+	if err != nil {
 		return stats, err
+	}
+	// Every server must have acknowledged the completing window — a
+	// concurrent Drop can wipe a half-assembled upload, in which case no
+	// shard ever reports Spec.B cells and the table never registered.
+	for phi, done := range completed {
+		if !done {
+			return stats, fmt.Errorf("ownerengine: server %d never completed the sharded upload of %q (table dropped mid-upload?)", phi, spec.Table)
+		}
 	}
 	stats.UploadNS = time.Since(start).Nanoseconds()
 
@@ -343,18 +386,3 @@ func (o *Owner) call2(ctx context.Context, build func(phi int) any) ([2]any, err
 	return out, errors.Join(errs[0], errs[1])
 }
 
-// call3 issues requests to all three servers concurrently.
-func (o *Owner) call3(ctx context.Context, build func(phi int) any) ([3]any, error) {
-	var out [3]any
-	errs := [3]error{}
-	var wg sync.WaitGroup
-	for phi := 0; phi < 3; phi++ {
-		wg.Add(1)
-		go func(phi int) {
-			defer wg.Done()
-			out[phi], errs[phi] = o.caller.Call(ctx, o.servers[phi], build(phi))
-		}(phi)
-	}
-	wg.Wait()
-	return out, errors.Join(errs[0], errs[1], errs[2])
-}

@@ -19,48 +19,70 @@ type SetResult struct {
 	Stats QueryStats
 }
 
-// PSI runs the §5.1 protocol and returns the common cells.
+// PSI runs the §5.1 protocol and returns the common cells. With sharding
+// enabled the stored-order vector is fetched window by window and the
+// per-cell recombination (Equation 4) folds each window in as its pair
+// of replies arrives, so no whole-domain reply frame ever exists.
 func (o *Owner) PSI(ctx context.Context, table string) (*SetResult, error) {
 	wall := time.Now()
 	qid := o.newSession("psi").qid
-	replies, err := o.call2(ctx, func(int) any {
-		return protocol.PSIRequest{Table: table, QueryID: qid}
+	b := o.view.B
+	eta := o.view.Eta
+	p := o.plan(b)
+	var stats QueryStats
+	stats.Rounds = 1
+	fopStored := make([]uint64, b)
+	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
+		req := protocol.PSIRequest{Table: table, QueryID: qid}
+		if p.wire {
+			req.Shard = rg
+		}
+		return req
+	}, func(rg protocol.Range, replies []any) error {
+		outs, err := psiPair(replies, rg, &stats)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		// fop_i ← out¹_i · out²_i mod η (Equation 4), stored order.
+		for i := range outs[0] {
+			fopStored[rg.Offset+uint64(i)] = modmath.MulMod(outs[0][i], outs[1][i], eta)
+		}
+		stats.OwnerNS += time.Since(start).Nanoseconds()
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	var stats QueryStats
-	stats.Rounds = 1
-	outs := make([][]uint64, 2)
-	for phi, r := range replies {
-		rep, ok := r.(protocol.PSIReply)
-		if !ok {
-			return nil, fmt.Errorf("ownerengine: unexpected PSI reply %T", r)
-		}
-		outs[phi] = rep.Out
-		stats.Server.Add(rep.Stats)
-	}
-	if len(outs[0]) != len(outs[1]) || uint64(len(outs[0])) != o.view.B {
-		return nil, fmt.Errorf("ownerengine: PSI reply length mismatch (%d, %d)", len(outs[0]), len(outs[1]))
-	}
 
 	start := time.Now()
-	// fop_i ← out¹_i · out²_i mod η (Equation 4), then undo PF_db1.
-	eta := o.view.Eta
-	fopStored := make([]uint64, len(outs[0]))
-	for i := range fopStored {
-		fopStored[i] = modmath.MulMod(outs[0][i], outs[1][i], eta)
-	}
-	fop := perm.ApplyInverse(o.view.DB1, fopStored, nil)
+	fop := perm.ApplyInverse(o.view.DB1, fopStored, nil) // undo PF_db1
 	var cells []uint64
 	for i, v := range fop {
 		if v == 1%eta {
 			cells = append(cells, uint64(i))
 		}
 	}
-	stats.OwnerNS = time.Since(start).Nanoseconds()
+	stats.OwnerNS += time.Since(start).Nanoseconds()
 	stats.WallNS = time.Since(wall).Nanoseconds()
 	return &SetResult{Cells: cells, fop: fop, Stats: stats}, nil
+}
+
+// psiPair type-checks and length-checks one window's pair of PSI replies.
+func psiPair(replies []any, rg protocol.Range, stats *QueryStats) ([2][]uint64, error) {
+	var outs [2][]uint64
+	for phi, r := range replies {
+		rep, ok := r.(protocol.PSIReply)
+		if !ok {
+			return outs, fmt.Errorf("ownerengine: unexpected PSI reply %T", r)
+		}
+		outs[phi] = rep.Out
+		stats.Server.Add(rep.Stats)
+	}
+	if uint64(len(outs[0])) != rg.Count || uint64(len(outs[1])) != rg.Count {
+		return outs, fmt.Errorf("ownerengine: PSI reply length mismatch (%d, %d)", len(outs[0]), len(outs[1]))
+	}
+	return outs, nil
 }
 
 // VerifyPSI runs the §5.2 verification round against a prior PSI result:
@@ -71,30 +93,40 @@ func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) err
 		return fmt.Errorf("ownerengine: VerifyPSI needs the PSI result vector")
 	}
 	qid := o.newSession("psiv").qid
-	replies, err := o.call2(ctx, func(int) any {
-		return protocol.PSIVerifyRequest{Table: table, QueryID: qid}
+	b := o.view.B
+	eta := o.view.Eta
+	p := o.plan(b)
+	r2Stored := make([]uint64, b)
+	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
+		req := protocol.PSIVerifyRequest{Table: table, QueryID: qid}
+		if p.wire {
+			req.Shard = rg
+		}
+		return req
+	}, func(rg protocol.Range, replies []any) error {
+		var vouts [2][]uint64
+		for phi, r := range replies {
+			rep, ok := r.(protocol.PSIVerifyReply)
+			if !ok {
+				return fmt.Errorf("ownerengine: unexpected verify reply %T", r)
+			}
+			vouts[phi] = rep.Vout
+			res.Stats.Server.Add(rep.Stats)
+		}
+		if uint64(len(vouts[0])) != rg.Count || uint64(len(vouts[1])) != rg.Count {
+			return fmt.Errorf("ownerengine: verify reply length mismatch")
+		}
+		start := time.Now()
+		for i := range vouts[0] {
+			r2Stored[rg.Offset+uint64(i)] = modmath.MulMod(vouts[0][i], vouts[1][i], eta)
+		}
+		res.Stats.OwnerNS += time.Since(start).Nanoseconds()
+		return nil
 	})
 	if err != nil {
 		return err
 	}
-	vouts := make([][]uint64, 2)
-	for phi, r := range replies {
-		rep, ok := r.(protocol.PSIVerifyReply)
-		if !ok {
-			return fmt.Errorf("ownerengine: unexpected verify reply %T", r)
-		}
-		vouts[phi] = rep.Vout
-		res.Stats.Server.Add(rep.Stats)
-	}
-	if len(vouts[0]) != len(vouts[1]) || uint64(len(vouts[0])) != o.view.B {
-		return fmt.Errorf("ownerengine: verify reply length mismatch")
-	}
 	start := time.Now()
-	eta := o.view.Eta
-	r2Stored := make([]uint64, len(vouts[0]))
-	for i := range r2Stored {
-		r2Stored[i] = modmath.MulMod(vouts[0][i], vouts[1][i], eta)
-	}
 	r2 := perm.ApplyInverse(o.view.DB2, r2Stored, nil)
 	for i := range r2 {
 		if modmath.MulMod(res.fop[i], r2[i], eta) != 1%eta {
@@ -110,32 +142,34 @@ func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) err
 func (o *Owner) PSU(ctx context.Context, table string) (*SetResult, error) {
 	wall := time.Now()
 	qid := o.newSession("psu").qid
-	replies, err := o.call2(ctx, func(int) any {
-		return protocol.PSURequest{Table: table, QueryID: qid}
+	b := o.view.B
+	delta := o.view.Delta
+	p := o.plan(b)
+	var stats QueryStats
+	stats.Rounds = 1
+	fopStored := make([]uint64, b)
+	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
+		req := protocol.PSURequest{Table: table, QueryID: qid}
+		if p.wire {
+			req.Shard = rg
+		}
+		return req
+	}, func(rg protocol.Range, replies []any) error {
+		outs, err := psuPair(replies, rg, &stats)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := range outs[0] {
+			fopStored[rg.Offset+uint64(i)] = (uint64(outs[0][i]) + uint64(outs[1][i])) % delta // Equation 19
+		}
+		stats.OwnerNS += time.Since(start).Nanoseconds()
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	var stats QueryStats
-	stats.Rounds = 1
-	outs := make([][]uint16, 2)
-	for phi, r := range replies {
-		rep, ok := r.(protocol.PSUReply)
-		if !ok {
-			return nil, fmt.Errorf("ownerengine: unexpected PSU reply %T", r)
-		}
-		outs[phi] = rep.Out
-		stats.Server.Add(rep.Stats)
-	}
-	if len(outs[0]) != len(outs[1]) || uint64(len(outs[0])) != o.view.B {
-		return nil, fmt.Errorf("ownerengine: PSU reply length mismatch")
-	}
 	start := time.Now()
-	delta := o.view.Delta
-	fopStored := make([]uint64, len(outs[0]))
-	for i := range fopStored {
-		fopStored[i] = (uint64(outs[0][i]) + uint64(outs[1][i])) % delta // Equation 19
-	}
 	fop := perm.ApplyInverse(o.view.DB1, fopStored, nil)
 	var cells []uint64
 	for i, v := range fop {
@@ -143,9 +177,26 @@ func (o *Owner) PSU(ctx context.Context, table string) (*SetResult, error) {
 			cells = append(cells, uint64(i))
 		}
 	}
-	stats.OwnerNS = time.Since(start).Nanoseconds()
+	stats.OwnerNS += time.Since(start).Nanoseconds()
 	stats.WallNS = time.Since(wall).Nanoseconds()
 	return &SetResult{Cells: cells, fop: fop, Stats: stats}, nil
+}
+
+// psuPair type-checks and length-checks one window's pair of PSU replies.
+func psuPair(replies []any, rg protocol.Range, stats *QueryStats) ([2][]uint16, error) {
+	var outs [2][]uint16
+	for phi, r := range replies {
+		rep, ok := r.(protocol.PSUReply)
+		if !ok {
+			return outs, fmt.Errorf("ownerengine: unexpected PSU reply %T", r)
+		}
+		outs[phi] = rep.Out
+		stats.Server.Add(rep.Stats)
+	}
+	if uint64(len(outs[0])) != rg.Count || uint64(len(outs[1])) != rg.Count {
+		return outs, fmt.Errorf("ownerengine: PSU reply length mismatch")
+	}
+	return outs, nil
 }
 
 // CountResult is the outcome of a PSI-count query (§6.5).
@@ -158,98 +209,102 @@ type CountResult struct {
 // owner learns the cardinality but not the positions. With verify, the
 // χ̄-side arrives PF_s2-permuted and both align under PF_i (Equation 1),
 // enabling the per-cell r1·r2 ≡ 1 check without revealing positions.
+// Sharded windows cover the permuted vectors, so counting (and the
+// position-wise verification) folds in per window — a count query never
+// materialises a whole-domain vector on either side of the wire.
 func (o *Owner) Count(ctx context.Context, table string, verify bool) (*CountResult, error) {
 	wall := time.Now()
 	qid := o.newSession("count").qid
-	replies, err := o.call2(ctx, func(int) any {
-		return protocol.CountRequest{Table: table, QueryID: qid, Verify: verify}
+	b := o.view.B
+	eta := o.view.Eta
+	p := o.plan(b)
+	var stats QueryStats
+	stats.Rounds = 1
+	count := 0
+	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
+		req := protocol.CountRequest{Table: table, QueryID: qid, Verify: verify}
+		if p.wire {
+			req.Shard = rg
+		}
+		return req
+	}, func(rg protocol.Range, replies []any) error {
+		var outs, vouts [2][]uint64
+		for phi, r := range replies {
+			rep, ok := r.(protocol.CountReply)
+			if !ok {
+				return fmt.Errorf("ownerengine: unexpected count reply %T", r)
+			}
+			outs[phi] = rep.Out
+			vouts[phi] = rep.Vout
+			stats.Server.Add(rep.Stats)
+		}
+		if uint64(len(outs[0])) != rg.Count || uint64(len(outs[1])) != rg.Count {
+			return fmt.Errorf("ownerengine: count reply length mismatch")
+		}
+		if verify && (vouts[0] == nil || vouts[1] == nil ||
+			uint64(len(vouts[0])) != rg.Count || uint64(len(vouts[1])) != rg.Count) {
+			return fmt.Errorf("ownerengine: count verification vectors missing")
+		}
+		start := time.Now()
+		for i := range outs[0] {
+			v := modmath.MulMod(outs[0][i], outs[1][i], eta)
+			if v == 1%eta {
+				count++
+			}
+			if verify {
+				r2 := modmath.MulMod(vouts[0][i], vouts[1][i], eta)
+				if modmath.MulMod(v, r2, eta) != 1%eta {
+					return fmt.Errorf("%w: count position %d fails r1·r2 ≡ 1", ErrVerificationFailed, rg.Offset+uint64(i))
+				}
+			}
+		}
+		stats.OwnerNS += time.Since(start).Nanoseconds()
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	var stats QueryStats
-	stats.Rounds = 1
-	outs := make([][]uint64, 2)
-	vouts := make([][]uint64, 2)
-	for phi, r := range replies {
-		rep, ok := r.(protocol.CountReply)
-		if !ok {
-			return nil, fmt.Errorf("ownerengine: unexpected count reply %T", r)
-		}
-		outs[phi] = rep.Out
-		vouts[phi] = rep.Vout
-		stats.Server.Add(rep.Stats)
-	}
-	if len(outs[0]) != len(outs[1]) || uint64(len(outs[0])) != o.view.B {
-		return nil, fmt.Errorf("ownerengine: count reply length mismatch")
-	}
-	start := time.Now()
-	eta := o.view.Eta
-	count := 0
-	var fop []uint64
 	if verify {
-		fop = make([]uint64, len(outs[0]))
-	}
-	for i := range outs[0] {
-		v := modmath.MulMod(outs[0][i], outs[1][i], eta)
-		if v == 1%eta {
-			count++
-		}
-		if verify {
-			fop[i] = v
-		}
-	}
-	if verify {
-		if vouts[0] == nil || vouts[1] == nil || len(vouts[0]) != len(fop) || len(vouts[1]) != len(fop) {
-			return nil, fmt.Errorf("ownerengine: count verification vectors missing")
-		}
-		for i := range fop {
-			r2 := modmath.MulMod(vouts[0][i], vouts[1][i], eta)
-			if modmath.MulMod(fop[i], r2, eta) != 1%eta {
-				return nil, fmt.Errorf("%w: count position %d fails r1·r2 ≡ 1", ErrVerificationFailed, i)
-			}
-		}
 		stats.Rounds++
 	}
-	stats.OwnerNS = time.Since(start).Nanoseconds()
 	stats.WallNS = time.Since(wall).Nanoseconds()
 	return &CountResult{Count: count, Stats: stats}, nil
 }
 
 // PSUCount runs PSU count: PF_s1-permuted masked sums; the owner counts
-// nonzero entries.
+// nonzero entries, folding each permuted window in as it arrives.
 func (o *Owner) PSUCount(ctx context.Context, table string) (*CountResult, error) {
 	wall := time.Now()
 	qid := o.newSession("psucount").qid
-	replies, err := o.call2(ctx, func(int) any {
-		return protocol.PSURequest{Table: table, QueryID: qid, Permute: true}
+	b := o.view.B
+	delta := o.view.Delta
+	p := o.plan(b)
+	var stats QueryStats
+	stats.Rounds = 1
+	count := 0
+	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
+		req := protocol.PSURequest{Table: table, QueryID: qid, Permute: true}
+		if p.wire {
+			req.Shard = rg
+		}
+		return req
+	}, func(rg protocol.Range, replies []any) error {
+		outs, err := psuPair(replies, rg, &stats)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := range outs[0] {
+			if (uint64(outs[0][i])+uint64(outs[1][i]))%delta != 0 {
+				count++
+			}
+		}
+		stats.OwnerNS += time.Since(start).Nanoseconds()
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	var stats QueryStats
-	stats.Rounds = 1
-	outs := make([][]uint16, 2)
-	for phi, r := range replies {
-		rep, ok := r.(protocol.PSUReply)
-		if !ok {
-			return nil, fmt.Errorf("ownerengine: unexpected PSU reply %T", r)
-		}
-		outs[phi] = rep.Out
-		stats.Server.Add(rep.Stats)
-	}
-	if len(outs[0]) != len(outs[1]) || uint64(len(outs[0])) != o.view.B {
-		return nil, fmt.Errorf("ownerengine: PSU count reply length mismatch")
-	}
-	start := time.Now()
-	delta := o.view.Delta
-	count := 0
-	for i := range outs[0] {
-		if (uint64(outs[0][i])+uint64(outs[1][i]))%delta != 0 {
-			count++
-		}
-	}
-	stats.OwnerNS = time.Since(start).Nanoseconds()
 	stats.WallNS = time.Since(wall).Nanoseconds()
 	return &CountResult{Count: count, Stats: stats}, nil
 }

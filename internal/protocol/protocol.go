@@ -4,7 +4,10 @@
 // registered for transport over the generic envelope.
 package protocol
 
-import "encoding/gob"
+import (
+	"encoding/gob"
+	"fmt"
+)
 
 // TableSpec describes one outsourced table (paper Table 11 layout).
 type TableSpec struct {
@@ -14,6 +17,44 @@ type TableSpec struct {
 	HasVerify bool     // χ̄ and v-columns present
 	HasCount  bool     // per-cell tuple-count column (aOK) present
 	Plain     bool     // stored in natural cell order (bucket-tree levels)
+}
+
+// Range selects the cell window [Offset, Offset+Count) of one sharded
+// exchange, so a query over a b-cell domain can move as many bounded
+// frames instead of one O(b) frame. The zero value (Count == 0) means
+// "the whole domain in a single frame" — the pre-sharding wire
+// behaviour: gob omits zero-valued fields, so a zero range adds no
+// per-message payload bytes and old decoders interoperate (the one-time
+// type descriptor each stream sends does grow to describe the new
+// fields).
+//
+// Which positions the window indexes depends on the exchange: Store,
+// PSI, PSIVerify, Agg and unpermuted PSU shard over stored (owner-
+// permuted) cell positions; Count and permuted PSU shard over positions
+// of the server-permuted reply vector, so the two servers' shard replies
+// stay aligned pair-wise and a count verification round can still match
+// Out against Vout position by position (Equation 1).
+type Range struct {
+	Offset uint64
+	Count  uint64
+}
+
+// End returns Offset+Count, the first cell past the window.
+func (r Range) End() uint64 { return r.Offset + r.Count }
+
+// Sharded reports whether the range selects a proper window rather than
+// the whole-domain compatibility mode.
+func (r Range) Sharded() bool { return r.Count > 0 }
+
+// Validate checks the window lies within a b-cell vector.
+func (r Range) Validate(b uint64) error {
+	if r.Count == 0 {
+		return fmt.Errorf("protocol: empty shard range at offset %d", r.Offset)
+	}
+	if r.Offset >= b || r.Count > b-r.Offset {
+		return fmt.Errorf("protocol: shard [%d, %d) outside domain of %d cells", r.Offset, r.End(), b)
+	}
+	return nil
 }
 
 // Stats carries per-request server-side timing so the benchmark harness
@@ -38,9 +79,28 @@ func (s *Stats) Add(s2 Stats) {
 // StoreRequest uploads one owner's secret-shared table to one server.
 // χ is stored permuted by PF_db1, χ̄ by PF_db2 (see DESIGN.md §4); all
 // Shamir columns follow χ's order, v-columns follow χ̄'s order.
+//
+// With Shard set, every column carries only the Shard.Count cells at
+// [Shard.Offset, Shard.End()) of the full Spec.B-cell table; the server
+// assembles the shards and registers the table only once all cells have
+// arrived, so queries never observe a half-uploaded epoch.
 type StoreRequest struct {
-	Owner     int
-	Spec      TableSpec
+	Owner int
+	Spec  TableSpec
+	Shard Range // zero → whole table in one frame
+	// UploadID identifies one sharded upload attempt. Owners mint ids of
+	// the form "<epoch>/<seq>" with seq increasing per attempt: a shard
+	// carrying a newer id than the pending assembly supersedes it (a
+	// retry after a failed or cancelled upload starts clean), while a
+	// shard with an older seq of the same epoch — or a duplicate of an
+	// attempt that already completed — is rejected, so in-flight
+	// stragglers of an abandoned attempt can neither reset a newer
+	// retry's assembly nor re-register stale data after it completed.
+	// Attempts from different epochs (an owner restart) cannot be
+	// ordered and resolve last-writer-wins. Ids that don't parse fall
+	// back to plain last-attempt-supersedes. Empty for monolithic
+	// stores.
+	UploadID  string
 	ChiAdd    []uint16            // additive share of χ (servers 0,1)
 	ChiBarAdd []uint16            // additive share of χ̄ (servers 0,1; verify only)
 	SumCols   map[string][]uint64 // Shamir share (this server's point) per agg column
@@ -49,7 +109,10 @@ type StoreRequest struct {
 	VCountCol []uint64
 }
 
-// StoreReply acknowledges the upload.
+// StoreReply acknowledges the upload. Cells is the number of cells the
+// server now holds for this owner's table: Spec.B for a monolithic
+// store, the cumulative covered count for a sharded one (== Spec.B once
+// the final shard lands).
 type StoreReply struct{ Cells uint64 }
 
 // DropRequest removes a stored table (all owners) from a server.
@@ -61,9 +124,12 @@ type DropReply struct{}
 // ---- PSI (paper §5.1) ----
 
 // PSIRequest asks a server for the PSI output vector over a table.
+// With Shard set the reply covers only the stored cells in the window
+// (mutually exclusive with the Cells frontier).
 type PSIRequest struct {
 	Table   string
 	QueryID string
+	Shard   Range    // zero → all cells in one frame
 	Cells   []uint32 // nil → all cells; else the bucket-tree frontier (§6.6)
 }
 
@@ -79,6 +145,7 @@ type PSIReply struct {
 type PSIVerifyRequest struct {
 	Table   string
 	QueryID string
+	Shard   Range // zero → all cells in one frame
 }
 
 // PSIVerifyReply carries Vout_i = g^(Σ_j A(x̄_i)_j mod δ) mod η'.
@@ -90,10 +157,14 @@ type PSIVerifyReply struct {
 // ---- PSI count (paper §6.5) ----
 
 // CountRequest asks for the PF_s1-permuted PSI vector; with Verify also
-// the PF_s2-permuted χ̄ vector, aligned under PF_i (Eq. 1).
+// the PF_s2-permuted χ̄ vector, aligned under PF_i (Eq. 1). Shard, when
+// set, windows the permuted reply vectors: Out covers positions
+// [Offset, End()) of the PF_s1-permuted vector and Vout the same window
+// of the PF_s2-permuted vector, so the pair stays aligned per position.
 type CountRequest struct {
 	Table   string
 	QueryID string
+	Shard   Range // zero → whole permuted vector in one frame
 	Verify  bool
 }
 
@@ -108,10 +179,15 @@ type CountReply struct {
 
 // PSURequest asks for the PRG-masked additive sums. QueryID doubles as
 // the PRG nonce so both servers derive identical masks per query.
+// Shard windows stored positions when Permute is false, and positions
+// of the PF_s1-permuted output when Permute is true (sharded permuted
+// masks are then indexed by output position — both servers derive the
+// same stream, which is all Equation 18 needs).
 type PSURequest struct {
 	Table   string
 	QueryID string
-	Permute bool // true → PF_s1-permuted output (PSU count mode)
+	Shard   Range // zero → whole vector in one frame
+	Permute bool  // true → PF_s1-permuted output (PSU count mode)
 }
 
 // PSUReply carries out_i = ((Σ_j A(x_i)_j) · rand_i) mod δ.
@@ -124,9 +200,13 @@ type PSUReply struct {
 
 // AggRequest carries the querier's Shamir-shared selector z and names the
 // aggregation columns; the server returns Σ_j S(x_i2)_j · S(z_i).
+// With Shard set, Z (and VZ) carry only the Shard.Count selector shares
+// for stored cells [Offset, End()) — in χ (PF_db1) order for Z and χ̄
+// (PF_db2) order for VZ — and the reply vectors cover the same window.
 type AggRequest struct {
 	Table     string
 	QueryID   string
+	Shard     Range // zero → whole-domain selector in one frame
 	Cols      []string
 	WithCount bool     // also aggregate the count column (average queries)
 	Z         []uint64 // this server's share of z, χ (PF_db1) order

@@ -14,6 +14,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +73,24 @@ type Engine struct {
 
 	mu     sync.RWMutex
 	tables map[string]*table
+
+	// pending assembles sharded uploads (table → owner → partial
+	// columns); a table epoch is registered only once every cell of
+	// every column has arrived, so queries never see a half-upload.
+	// storeMarks records the highest upload attempt seen per table and
+	// owner so stragglers of an abandoned attempt are rejected instead
+	// of clobbering a newer retry (see UploadID); Drop reclaims a
+	// table's marks along with its pending assemblies, so neither map
+	// grows with the server's lifetime table churn.
+	pendMu     sync.Mutex
+	pending    map[string]map[int]*pendingStore
+	storeMarks map[string]map[int]uploadMark
+
+	// s1inv/s2inv are the inverses of the server-side permutations,
+	// materialised once on the first sharded Count/permuted-PSU request
+	// (they index the permuted reply vectors by output position).
+	s1invOnce, s2invOnce sync.Once
+	s1inv, s2inv         perm.Perm
 
 	sessMu   sync.Mutex
 	sessions map[string]*querySession
@@ -134,18 +154,57 @@ type claimState struct {
 	got  map[int]bool
 }
 
+// pendingStore is one owner's in-progress sharded upload: full-length
+// columns filled shard by shard, with the received windows tracked so
+// overlapping or duplicate shards are rejected instead of silently
+// overwriting cells. id is the attempt's UploadID — a shard from a
+// newer attempt supersedes the whole assembly, so a retry after a
+// failed upload never collides with its own stale windows.
+type pendingStore struct {
+	id      string
+	spec    protocol.TableSpec
+	oc      *ownerCols
+	got     []protocol.Range
+	covered uint64
+}
+
+// uploadMark is the newest upload attempt observed for one
+// (table, owner): attempts of the same epoch with a lower seq are
+// stale (abandoned and already superseded) and rejected.
+type uploadMark struct {
+	epoch string
+	seq   uint64
+}
+
+// parseUploadID splits an "<epoch>/<seq>" upload id. ok is false for
+// ids that don't follow the ordered format (foreign clients); those
+// fall back to plain last-attempt-supersedes semantics.
+func parseUploadID(id string) (epoch string, seq uint64, ok bool) {
+	i := strings.LastIndexByte(id, '/')
+	if i < 0 {
+		return "", 0, false
+	}
+	seq, err := strconv.ParseUint(id[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return id[:i], seq, true
+}
+
 // New builds an engine for server view v.
 func New(v *params.ServerView, opts Options) *Engine {
 	if opts.Threads <= 0 {
 		opts.Threads = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		view:     v,
-		opts:     opts,
-		powTab:   modmath.PowTable(v.G, v.Delta, v.EtaPrime),
-		tables:   make(map[string]*table),
-		sessions: make(map[string]*querySession),
-		storeMus: make(map[string]*sync.Mutex),
+		view:       v,
+		opts:       opts,
+		powTab:     modmath.PowTable(v.G, v.Delta, v.EtaPrime),
+		tables:     make(map[string]*table),
+		pending:    make(map[string]map[int]*pendingStore),
+		storeMarks: make(map[string]map[int]uploadMark),
+		sessions:   make(map[string]*querySession),
+		storeMus:   make(map[string]*sync.Mutex),
 	}
 	e.threads.Store(int64(opts.Threads))
 	return e
@@ -238,39 +297,21 @@ func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
 	if !r.Spec.Plain && b != e.view.B {
 		return nil, fmt.Errorf("server %d: table %q has %d cells, system domain is %d", e.view.Index, r.Spec.Name, b, e.view.B)
 	}
-	isAdditive := e.view.Index < 2
-	if isAdditive {
-		if uint64(len(r.ChiAdd)) != b {
-			return nil, fmt.Errorf("server %d: χ share length %d != %d cells", e.view.Index, len(r.ChiAdd), b)
+	n := b // cells carried by this request
+	if r.Shard.Sharded() {
+		if err := r.Shard.Validate(b); err != nil {
+			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
 		}
-		if r.Spec.HasVerify && uint64(len(r.ChiBarAdd)) != b {
-			return nil, fmt.Errorf("server %d: χ̄ share length %d != %d cells", e.view.Index, len(r.ChiBarAdd), b)
-		}
+		n = r.Shard.Count
 	}
-	for _, col := range r.Spec.AggCols {
-		if uint64(len(r.SumCols[col])) != b {
-			return nil, fmt.Errorf("server %d: column %q share length mismatch", e.view.Index, col)
-		}
-		if r.Spec.HasVerify && uint64(len(r.VSumCols[col])) != b {
-			return nil, fmt.Errorf("server %d: v-column %q share length mismatch", e.view.Index, col)
-		}
-	}
-	if r.Spec.HasCount && uint64(len(r.CountCol)) != b {
-		return nil, fmt.Errorf("server %d: count column length mismatch", e.view.Index)
-	}
-
-	oc := &ownerCols{
-		chi:    r.ChiAdd,
-		chibar: r.ChiBarAdd,
-		sums:   r.SumCols,
-		vsums:  r.VSumCols,
-		cnt:    r.CountCol,
-		vcnt:   r.VCountCol,
+	if err := e.checkStoreLens(&r, n); err != nil {
+		return nil, err
 	}
 
 	// One upload at a time per (table, owner): the spill below runs
 	// outside the engine lock, and two interleaved conflicting uploads
 	// from the same owner would otherwise mix their bytes on disk.
+	// Sharded uploads serialise their shard copies on the same lock.
 	mu := e.storeLock(fmt.Sprintf("%s/%d", r.Spec.Name, r.Owner))
 	mu.Lock()
 	defer mu.Unlock()
@@ -279,24 +320,218 @@ func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
 	// spill for a table with a different cell count would overwrite the
 	// owner's on-disk columns with wrong-length data while queries keep
 	// serving the registered spec.
-	conflict := func() error {
-		if t, ok := e.tables[r.Spec.Name]; ok && t.spec.B != b {
-			return fmt.Errorf("server %d: table %q cell-count conflict", e.view.Index, r.Spec.Name)
-		}
-		return nil
-	}
 	e.mu.Lock()
-	err := conflict()
+	err := e.storeConflict(r.Spec)
 	e.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 
+	if r.Shard.Sharded() {
+		oc, covered, err := e.absorbShard(&r)
+		if err != nil {
+			return nil, err
+		}
+		if oc == nil {
+			return protocol.StoreReply{Cells: covered}, nil // more shards to come
+		}
+		return e.finishStore(r.Spec, r.Owner, oc)
+	}
+
+	return e.finishStore(r.Spec, r.Owner, &ownerCols{
+		chi:    r.ChiAdd,
+		chibar: r.ChiBarAdd,
+		sums:   r.SumCols,
+		vsums:  r.VSumCols,
+		cnt:    r.CountCol,
+		vcnt:   r.VCountCol,
+	})
+}
+
+// checkStoreLens validates that every column the spec calls for carries
+// exactly n cells (the whole table, or one shard's window).
+func (e *Engine) checkStoreLens(r *protocol.StoreRequest, n uint64) error {
+	if e.view.Index < 2 {
+		if uint64(len(r.ChiAdd)) != n {
+			return fmt.Errorf("server %d: χ share length %d != %d cells", e.view.Index, len(r.ChiAdd), n)
+		}
+		if r.Spec.HasVerify && uint64(len(r.ChiBarAdd)) != n {
+			return fmt.Errorf("server %d: χ̄ share length %d != %d cells", e.view.Index, len(r.ChiBarAdd), n)
+		}
+	}
+	for _, col := range r.Spec.AggCols {
+		if uint64(len(r.SumCols[col])) != n {
+			return fmt.Errorf("server %d: column %q share length mismatch", e.view.Index, col)
+		}
+		if r.Spec.HasVerify && uint64(len(r.VSumCols[col])) != n {
+			return fmt.Errorf("server %d: v-column %q share length mismatch", e.view.Index, col)
+		}
+	}
+	if r.Spec.HasCount && uint64(len(r.CountCol)) != n {
+		return fmt.Errorf("server %d: count column length mismatch", e.view.Index)
+	}
+	if r.Spec.HasCount && r.Spec.HasVerify && uint64(len(r.VCountCol)) != n {
+		return fmt.Errorf("server %d: v-count column length mismatch", e.view.Index)
+	}
+	return nil
+}
+
+// storeConflict rejects a (re-)store whose cell count disagrees with the
+// registered table. Caller holds e.mu.
+func (e *Engine) storeConflict(spec protocol.TableSpec) error {
+	if t, ok := e.tables[spec.Name]; ok && t.spec.B != spec.B {
+		return fmt.Errorf("server %d: table %q cell-count conflict", e.view.Index, spec.Name)
+	}
+	return nil
+}
+
+// absorbShard copies one shard's column windows into the owner's pending
+// upload, creating it on the first shard. It returns the assembled
+// columns once every cell has arrived (nil while incomplete), plus the
+// covered cell count. Caller holds the (table, owner) store lock.
+func (e *Engine) absorbShard(r *protocol.StoreRequest) (*ownerCols, uint64, error) {
+	e.pendMu.Lock()
+	byOwner := e.pending[r.Spec.Name]
+	var p *pendingStore
+	if byOwner != nil {
+		p = byOwner[r.Owner]
+	}
+	if epoch, seq, okID := parseUploadID(r.UploadID); okID {
+		// Reject stragglers of an attempt the owner already abandoned or
+		// completed: over a real network, cancelled requests can still
+		// execute server-side after the owner has started (or finished)
+		// a retry, and must neither reset a newer assembly, re-register
+		// stale columns, nor re-create a full-size assembly from a
+		// duplicate of an attempt that already completed. (Attempts from
+		// different epochs — an owner restart — cannot be ordered and
+		// resolve last-writer-wins; colliding with a restarted owner's
+		// stragglers fails that upload loudly, and its next attempt
+		// succeeds once they drain.)
+		marks := e.storeMarks[r.Spec.Name]
+		if marks == nil {
+			marks = make(map[int]uploadMark)
+			e.storeMarks[r.Spec.Name] = marks
+		}
+		if m, have := marks[r.Owner]; have && m.epoch == epoch &&
+			(seq < m.seq || (seq == m.seq && (p == nil || p.id != r.UploadID))) {
+			e.pendMu.Unlock()
+			return nil, 0, fmt.Errorf("server %d: table %q upload attempt %q superseded or already completed", e.view.Index, r.Spec.Name, r.UploadID)
+		}
+		marks[r.Owner] = uploadMark{epoch: epoch, seq: seq}
+	}
+	if p == nil || p.id != r.UploadID {
+		// First shard, or a fresh attempt superseding a stale assembly
+		// left behind by a failed/cancelled upload.
+		p = &pendingStore{id: r.UploadID, spec: r.Spec, oc: e.newPendingCols(r.Spec)}
+		if byOwner == nil {
+			byOwner = make(map[int]*pendingStore)
+			e.pending[r.Spec.Name] = byOwner
+		}
+		byOwner[r.Owner] = p
+	}
+	e.pendMu.Unlock()
+
+	if !specEqual(p.spec, r.Spec) {
+		return nil, 0, fmt.Errorf("server %d: table %q shard spec differs from first shard", e.view.Index, r.Spec.Name)
+	}
+	for _, g := range p.got {
+		if r.Shard.Offset < g.End() && g.Offset < r.Shard.End() {
+			return nil, 0, fmt.Errorf("server %d: table %q shard [%d, %d) overlaps received [%d, %d)",
+				e.view.Index, r.Spec.Name, r.Shard.Offset, r.Shard.End(), g.Offset, g.End())
+		}
+	}
+
+	off := r.Shard.Offset
+	oc := p.oc
+	if oc.chi != nil {
+		copy(oc.chi[off:], r.ChiAdd)
+	}
+	if oc.chibar != nil {
+		copy(oc.chibar[off:], r.ChiBarAdd)
+	}
+	for _, col := range r.Spec.AggCols {
+		copy(oc.sums[col][off:], r.SumCols[col])
+		if r.Spec.HasVerify {
+			copy(oc.vsums[col][off:], r.VSumCols[col])
+		}
+	}
+	if oc.cnt != nil {
+		copy(oc.cnt[off:], r.CountCol)
+	}
+	if oc.vcnt != nil && r.VCountCol != nil {
+		copy(oc.vcnt[off:], r.VCountCol)
+	}
+	p.got = append(p.got, r.Shard)
+	p.covered += r.Shard.Count
+	if p.covered < r.Spec.B {
+		return nil, p.covered, nil
+	}
+
+	// Complete: retire the pending entry; the caller registers oc.
+	e.pendMu.Lock()
+	delete(byOwner, r.Owner)
+	if len(byOwner) == 0 {
+		delete(e.pending, r.Spec.Name)
+	}
+	e.pendMu.Unlock()
+	return oc, p.covered, nil
+}
+
+// newPendingCols allocates full-length columns for the table layout this
+// server holds under spec.
+func (e *Engine) newPendingCols(spec protocol.TableSpec) *ownerCols {
+	b := spec.B
+	oc := &ownerCols{}
+	if e.view.Index < 2 {
+		oc.chi = make([]uint16, b)
+		if spec.HasVerify {
+			oc.chibar = make([]uint16, b)
+		}
+	}
+	if len(spec.AggCols) > 0 {
+		oc.sums = make(map[string][]uint64, len(spec.AggCols))
+		if spec.HasVerify {
+			oc.vsums = make(map[string][]uint64, len(spec.AggCols))
+		}
+		for _, col := range spec.AggCols {
+			oc.sums[col] = make([]uint64, b)
+			if spec.HasVerify {
+				oc.vsums[col] = make([]uint64, b)
+			}
+		}
+	}
+	if spec.HasCount {
+		oc.cnt = make([]uint64, b)
+		if spec.HasVerify {
+			oc.vcnt = make([]uint64, b)
+		}
+	}
+	return oc
+}
+
+// specEqual compares the table layouts of two shards.
+func specEqual(a, b protocol.TableSpec) bool {
+	if a.Name != b.Name || a.B != b.B || a.HasVerify != b.HasVerify ||
+		a.HasCount != b.HasCount || a.Plain != b.Plain || len(a.AggCols) != len(b.AggCols) {
+		return false
+	}
+	for i := range a.AggCols {
+		if a.AggCols[i] != b.AggCols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// finishStore spills (disk mode) and registers one owner's assembled
+// columns as the table's current epoch. Caller holds the (table, owner)
+// store lock.
+func (e *Engine) finishStore(spec protocol.TableSpec, owner int, oc *ownerCols) (any, error) {
 	// Spill to disk BEFORE registering: once an ownerCols is visible in
 	// the table map it is immutable, so concurrent queries can read it
 	// without holding the engine lock.
 	if e.opts.DiskBacked && e.opts.Store != nil {
-		if err := e.spill(r.Spec.Name, r.Owner, oc); err != nil {
+		if err := e.spill(spec.Name, owner, oc); err != nil {
 			return nil, err
 		}
 	}
@@ -304,21 +539,21 @@ func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
 	e.mu.Lock()
 	// Re-check: a concurrent Store may have created the table while the
 	// spill ran unlocked.
-	if err := conflict(); err != nil {
+	if err := e.storeConflict(spec); err != nil {
 		e.mu.Unlock()
 		return nil, err
 	}
-	t, ok := e.tables[r.Spec.Name]
+	t, ok := e.tables[spec.Name]
 	if !ok {
-		t = &table{spec: r.Spec, owners: make(map[int]*ownerCols)}
-		e.tables[r.Spec.Name] = t
+		t = &table{spec: spec, owners: make(map[int]*ownerCols)}
+		e.tables[spec.Name] = t
 	}
-	t.owners[r.Owner] = oc
+	t.owners[owner] = oc
 	if e.opts.CacheColumns && e.opts.DiskBacked {
 		t.cache = newColCache() // new table epoch: invalidate hot columns
 	}
 	e.mu.Unlock()
-	return protocol.StoreReply{Cells: b}, nil
+	return protocol.StoreReply{Cells: spec.B}, nil
 }
 
 // storeLock returns the upload mutex for a (table, owner) key.
@@ -337,6 +572,10 @@ func (e *Engine) handleDrop(r protocol.DropRequest) (any, error) {
 	e.mu.Lock()
 	delete(e.tables, r.Table)
 	e.mu.Unlock()
+	e.pendMu.Lock()
+	delete(e.pending, r.Table)    // abandon half-assembled sharded uploads
+	delete(e.storeMarks, r.Table) // and reclaim its attempt marks
+	e.pendMu.Unlock()
 	if e.opts.Store != nil {
 		if err := e.opts.Store.DropTable(r.Table); err != nil {
 			return nil, err
@@ -525,6 +764,32 @@ func (e *Engine) parallel(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ---- sharding helpers ----
+
+// s1Inverse returns PF_s1⁻¹, materialised once: sharded Count/permuted-
+// PSU replies are windows of the permuted output vector, so the engine
+// maps output positions back to stored cells.
+func (e *Engine) s1Inverse() perm.Perm {
+	e.s1invOnce.Do(func() { e.s1inv = e.view.S1.Inverse() })
+	return e.s1inv
+}
+
+// s2Inverse returns PF_s2⁻¹ (verification side of sharded counts).
+func (e *Engine) s2Inverse() perm.Perm {
+	e.s2invOnce.Do(func() { e.s2inv = e.view.S2.Inverse() })
+	return e.s2inv
+}
+
+// sliceShares windows every owner's share vector to [rg.Offset, rg.End())
+// — zero-copy views into the (immutable) stored columns.
+func sliceShares[T any](shares [][]T, rg protocol.Range) [][]T {
+	out := make([][]T, len(shares))
+	for j, s := range shares {
+		out[j] = s[rg.Offset:rg.End()]
+	}
+	return out
+}
+
 // ---- PSI (§5.1 Step 2) ----
 
 // psiVector computes out_i = g^((Σ_j A(x_i)_j ⊖ A(m)) mod δ) mod η' for
@@ -582,6 +847,16 @@ func (e *Engine) handlePSI(r protocol.PSIRequest) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.Shard.Sharded() {
+		if r.Cells != nil {
+			return nil, fmt.Errorf("server %d: PSI request mixes a shard range with a cell frontier", e.view.Index)
+		}
+		if err := r.Shard.Validate(t.spec.B); err != nil {
+			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
+		}
+		out := e.psiVector(sliceShares(shares, r.Shard), nil, true, &stats)
+		return protocol.PSIReply{Out: out, Stats: stats}, nil
+	}
 	for _, c := range r.Cells {
 		if uint64(c) >= t.spec.B {
 			return nil, fmt.Errorf("server %d: cell %d out of range", e.view.Index, c)
@@ -609,6 +884,12 @@ func (e *Engine) handlePSIVerify(r protocol.PSIVerifyRequest) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.Shard.Sharded() {
+		if err := r.Shard.Validate(t.spec.B); err != nil {
+			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
+		}
+		shares = sliceShares(shares, r.Shard)
+	}
 	// No ⊖A(m) on the verification side (Equation 7).
 	out := e.psiVector(shares, nil, false, &stats)
 	return protocol.PSIVerifyReply{Vout: out, Stats: stats}, nil
@@ -631,6 +912,27 @@ func (e *Engine) handleCount(r protocol.CountRequest) (any, error) {
 	shares, err := e.chiShares(t, false, &stats)
 	if err != nil {
 		return nil, err
+	}
+	if r.Shard.Sharded() {
+		// The window indexes the PF_s1-permuted output vector, so the
+		// engine evaluates the stored cells PF_s1⁻¹ maps it to; Out and
+		// Vout windows at the same offsets stay aligned (Eq. 1).
+		if err := r.Shard.Validate(t.spec.B); err != nil {
+			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
+		}
+		reply := protocol.CountReply{Out: e.psiVectorAt(shares, e.s1Inverse(), r.Shard, true, &stats)}
+		if r.Verify {
+			if !t.spec.HasVerify {
+				return nil, fmt.Errorf("server %d: table %q lacks verification columns", e.view.Index, r.Table)
+			}
+			vshares, err := e.chiShares(t, true, &stats)
+			if err != nil {
+				return nil, err
+			}
+			reply.Vout = e.psiVectorAt(vshares, e.s2Inverse(), r.Shard, false, &stats)
+		}
+		reply.Stats = stats
+		return reply, nil
 	}
 	raw := e.psiVector(shares, nil, true, &stats)
 	start := time.Now()
@@ -655,6 +957,34 @@ func (e *Engine) handleCount(r protocol.CountRequest) (any, error) {
 	return reply, nil
 }
 
+// psiVectorAt computes the PSI output for the window [rg.Offset,
+// rg.End()) of a server-permuted reply vector: position k is evaluated
+// at stored cell inv[k]. Same per-cell work as psiVector, scattered
+// reads instead of a sequential scan.
+func (e *Engine) psiVectorAt(shares [][]uint16, inv perm.Perm, rg protocol.Range, subtractM bool, stats *protocol.Stats) []uint64 {
+	delta := e.view.Delta
+	mShare := uint64(0)
+	if subtractM {
+		mShare = uint64(e.view.MShare) % delta
+	}
+	start := time.Now()
+	out := make([]uint64, rg.Count)
+	e.parallel(int(rg.Count), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := inv[rg.Offset+uint64(k)]
+			var sum uint64
+			for _, sv := range shares {
+				sum += uint64(sv[i])
+			}
+			e2 := (sum%delta + delta - mShare) % delta
+			out[k] = e.powTab[e2]
+		}
+	})
+	stats.ComputeNS += time.Since(start).Nanoseconds()
+	stats.Cells += int(rg.Count)
+	return out
+}
+
 // ---- PSU (§7, Equation 18) ----
 
 func (e *Engine) handlePSU(r protocol.PSURequest) (any, error) {
@@ -670,40 +1000,83 @@ func (e *Engine) handlePSU(r protocol.PSURequest) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.Shard.Sharded() {
+		if err := r.Shard.Validate(t.spec.B); err != nil {
+			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
+		}
+		var out []uint16
+		if r.Permute {
+			// The window indexes the PF_s1-permuted output; masks are
+			// derived per output position ("psup" label) so both servers
+			// agree without streaming past scattered stored cells.
+			inv := e.s1Inverse()
+			out = e.psuMasked(shares, r.Shard, r.QueryID, "psup",
+				func(k uint64) uint64 { return uint64(inv[k]) }, &stats)
+		} else {
+			out = e.psuMasked(shares, r.Shard, r.QueryID, "psu", nil, &stats)
+		}
+		return protocol.PSUReply{Out: out, Stats: stats}, nil
+	}
+	n := uint64(len(shares[0]))
+	out := e.psuMasked(shares, protocol.Range{Offset: 0, Count: n}, r.QueryID, "psu", nil, &stats)
+	if r.Permute {
+		start := time.Now()
+		out = perm.Apply(e.view.S1, out, nil)
+		stats.ComputeNS += time.Since(start).Nanoseconds()
+	}
+	return protocol.PSUReply{Out: out, Stats: stats}, nil
+}
+
+// psuMasked computes masked PSU sums for the window rg of one reply
+// vector: position k evaluates stored cell index(k) (nil index =
+// identity, i.e. a stored-order window). Masks are derived per
+// fixed-size block of positions from the shared seed, the query id and
+// label, so both servers produce identical rand[] regardless of thread
+// counts or shard boundaries; boundary blocks fast-forward their stream
+// to the window's first position, which makes a sharded stored-order
+// reply agree cell for cell with the monolithic one (same "psu"
+// streams).
+func (e *Engine) psuMasked(shares [][]uint16, rg protocol.Range, qid, label string, index func(uint64) uint64, stats *protocol.Stats) []uint16 {
 	delta := e.view.Delta
-	n := len(shares[0])
-	out := make([]uint16, n)
+	out := make([]uint16, rg.Count)
+	if rg.Count == 0 {
+		return out // zero-cell table: rg.End()-1 below would wrap
+	}
 	start := time.Now()
-	// Masks are derived per fixed-size block from the shared seed and the
-	// query id, so both servers produce identical rand[] regardless of
-	// their local thread counts.
-	nBlocks := (n + psuBlock - 1) / psuBlock
-	e.parallel(nBlocks, func(blo, bhi int) {
-		for blk := blo; blk < bhi; blk++ {
-			lo := blk * psuBlock
-			hi := lo + psuBlock
-			if hi > n {
-				hi = n
+	firstBlk := int(rg.Offset / psuBlock)
+	lastBlk := int((rg.End() - 1) / psuBlock)
+	e.parallel(lastBlk-firstBlk+1, func(blo, bhi int) {
+		for bk := blo; bk < bhi; bk++ {
+			blk := firstBlk + bk
+			blkStart := uint64(blk) * psuBlock
+			lo, hi := blkStart, blkStart+psuBlock
+			if lo < rg.Offset {
+				lo = rg.Offset
 			}
-			g := prg.New(e.view.PSUSeed.Derive(fmt.Sprintf("psu/%s/%d", r.QueryID, blk)))
-			for i := lo; i < hi; i++ {
+			if hi > rg.End() {
+				hi = rg.End()
+			}
+			g := prg.New(e.view.PSUSeed.Derive(fmt.Sprintf("%s/%s/%d", label, qid, blk)))
+			for skip := blkStart; skip < lo; skip++ {
+				g.Range1(delta) // fast-forward the block stream to lo
+			}
+			for k := lo; k < hi; k++ {
+				i := k
+				if index != nil {
+					i = index(k)
+				}
 				var sum uint64
 				for _, sv := range shares {
 					sum += uint64(sv[i])
 				}
 				mask := g.Range1(delta)
-				out[i] = uint16(sum % delta * mask % delta)
+				out[k-rg.Offset] = uint16(sum % delta * mask % delta)
 			}
 		}
 	})
 	stats.ComputeNS += time.Since(start).Nanoseconds()
-	stats.Cells += n
-	if r.Permute {
-		start = time.Now()
-		out = perm.Apply(e.view.S1, out, nil)
-		stats.ComputeNS += time.Since(start).Nanoseconds()
-	}
-	return protocol.PSUReply{Out: out, Stats: stats}, nil
+	stats.Cells += int(rg.Count)
+	return out
 }
 
 // ---- aggregation round 2 (§6.1 Step 4, Equation 11) ----
@@ -713,16 +1086,22 @@ func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := int(t.spec.B)
-	if len(r.Z) != b {
-		return nil, fmt.Errorf("server %d: selector length %d != %d cells", e.view.Index, len(r.Z), b)
+	rg := protocol.Range{Offset: 0, Count: t.spec.B}
+	if r.Shard.Sharded() {
+		if err := r.Shard.Validate(t.spec.B); err != nil {
+			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
+		}
+		rg = r.Shard
+	}
+	if uint64(len(r.Z)) != rg.Count {
+		return nil, fmt.Errorf("server %d: selector length %d != %d cells", e.view.Index, len(r.Z), rg.Count)
 	}
 	verify := r.VZ != nil
 	if verify {
 		if !t.spec.HasVerify {
 			return nil, fmt.Errorf("server %d: table %q lacks verification columns", e.view.Index, r.Table)
 		}
-		if len(r.VZ) != b {
+		if uint64(len(r.VZ)) != rg.Count {
 			return nil, fmt.Errorf("server %d: v-selector length mismatch", e.view.Index)
 		}
 	}
@@ -733,13 +1112,13 @@ func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
 	}
 
 	for _, col := range r.Cols {
-		acc, err := e.sumColumn(t, "sum", col, r.Z, &stats)
+		acc, err := e.sumColumn(t, "sum", col, r.Z, rg, &stats)
 		if err != nil {
 			return nil, err
 		}
 		reply.Sums[col] = acc
 		if verify {
-			vacc, err := e.sumColumn(t, "vsum", col, r.VZ, &stats)
+			vacc, err := e.sumColumn(t, "vsum", col, r.VZ, rg, &stats)
 			if err != nil {
 				return nil, err
 			}
@@ -750,13 +1129,13 @@ func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
 		if !t.spec.HasCount {
 			return nil, fmt.Errorf("server %d: table %q has no count column", e.view.Index, r.Table)
 		}
-		acc, err := e.sumColumn(t, "cnt", "", r.Z, &stats)
+		acc, err := e.sumColumn(t, "cnt", "", r.Z, rg, &stats)
 		if err != nil {
 			return nil, err
 		}
 		reply.Counts = acc
 		if verify {
-			vacc, err := e.sumColumn(t, "vcnt", "", r.VZ, &stats)
+			vacc, err := e.sumColumn(t, "vcnt", "", r.VZ, rg, &stats)
 			if err != nil {
 				return nil, err
 			}
@@ -767,11 +1146,11 @@ func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
 	return reply, nil
 }
 
-// sumColumn computes acc_i = S(z_i) · Σ_j S(col_i)_j over all owners —
-// the linear rearrangement of Equation 11 (servers multiply the selector
-// share into the summed column shares; degree rises to 2).
-func (e *Engine) sumColumn(t *tableView, kind, col string, z []uint64, stats *protocol.Stats) ([]uint64, error) {
-	b := int(t.spec.B)
+// sumColumn computes acc_i = S(z_i) · Σ_j S(col_i)_j over all owners for
+// the stored cells in rg — the linear rearrangement of Equation 11
+// (servers multiply the selector share into the summed column shares;
+// degree rises to 2). z is parallel to the window, not the full column.
+func (e *Engine) sumColumn(t *tableView, kind, col string, z []uint64, rg protocol.Range, stats *protocol.Stats) ([]uint64, error) {
 	cols := make([][]uint64, 0, e.view.M)
 	for j := 0; j < e.view.M; j++ {
 		v, err := e.u64Col(t, j, kind, col, stats)
@@ -781,11 +1160,12 @@ func (e *Engine) sumColumn(t *tableView, kind, col string, z []uint64, stats *pr
 		if v == nil {
 			return nil, fmt.Errorf("server %d: owner %d missing %s/%s column", e.view.Index, j, kind, col)
 		}
-		cols = append(cols, v)
+		cols = append(cols, v[rg.Offset:rg.End()])
 	}
-	acc := make([]uint64, b)
+	n := int(rg.Count)
+	acc := make([]uint64, n)
 	start := time.Now()
-	e.parallel(b, func(lo, hi int) {
+	e.parallel(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s field.Elem
 			for _, cv := range cols {
@@ -795,7 +1175,7 @@ func (e *Engine) sumColumn(t *tableView, kind, col string, z []uint64, stats *pr
 		}
 	})
 	stats.ComputeNS += time.Since(start).Nanoseconds()
-	stats.Cells += b
+	stats.Cells += n
 	return acc, nil
 }
 

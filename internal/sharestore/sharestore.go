@@ -47,9 +47,16 @@ func (s *Store) colPath(table, col string) string {
 	return filepath.Join(s.dir, sanitize(table), sanitize(col)+".col")
 }
 
-// sanitize keeps table/column names filesystem-safe.
+// sanitize keeps table/column names filesystem-safe and injective:
+// names built only from safe characters map to themselves, and any name
+// that needs rewriting gets a short hash of the raw name appended, so
+// two distinct names (e.g. "a/b" and "a_b") can never share an on-disk
+// path and silently cross-clobber each other's columns. Safe names that
+// already end in the "-xxxxxxxx" hash suffix are diverted through the
+// hashed form as well — otherwise the safe name "a_b-<crc of a/b>"
+// would collide with the rewritten "a/b".
 func sanitize(name string) string {
-	return strings.Map(func(r rune) rune {
+	mapped := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '-', r == '_', r == '.':
@@ -58,6 +65,24 @@ func sanitize(name string) string {
 			return '_'
 		}
 	}, name)
+	if mapped == name && name != "" && !looksHashed(name) {
+		return name
+	}
+	return fmt.Sprintf("%s-%08x", mapped, crc32.ChecksumIEEE([]byte(name)))
+}
+
+// looksHashed reports whether name ends in sanitize's "-xxxxxxxx"
+// suffix form.
+func looksHashed(name string) bool {
+	if len(name) < 9 || name[len(name)-9] != '-' {
+		return false
+	}
+	for _, c := range name[len(name)-8:] {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // header is the fixed-size column file preamble.

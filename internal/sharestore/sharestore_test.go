@@ -188,6 +188,56 @@ func TestSanitizeHostileNames(t *testing.T) {
 	}
 }
 
+// TestSanitizeInjective pins the fix for the name-collision clobber:
+// "a/b" and "a_b" used to sanitise onto the same on-disk path, so
+// storing one silently overwrote the other's columns.
+func TestSanitizeInjective(t *testing.T) {
+	s := testStore(t)
+	if err := s.WriteU16("a/b", "c", []uint16{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteU16("a_b", "c", []uint16{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteU16("a:b", "c", []uint16{3}); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]uint16{"a/b": 1, "a_b": 2, "a:b": 3} {
+		got, err := s.ReadU16(name, "c")
+		if err != nil {
+			t.Fatalf("table %q: %v", name, err)
+		}
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("table %q clobbered: got %v, want [%d]", name, got, want)
+		}
+	}
+	// Same collision for column names within one table.
+	if err := s.WriteU16("t", "x/y", []uint16{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteU16("t", "x_y", []uint16{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.ReadU16("t", "x/y"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("column x/y clobbered: %v", got)
+	}
+	// Safe names keep their natural paths (no hash suffix churn).
+	if sanitize("plain-name_0.9") != "plain-name_0.9" {
+		t.Fatal("safe name was rewritten")
+	}
+	// Pairwise distinctness, including the second-order collision: a safe
+	// name equal to another name's hashed form must not share its path.
+	names := []string{"a/b", "a_b", "a:b", sanitize("a/b"), "x-deadbeef"}
+	seen := map[string]string{}
+	for _, n := range names {
+		s := sanitize(n)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("sanitize(%q) == sanitize(%q) == %q", n, prev, s)
+		}
+		seen[s] = n
+	}
+}
+
 func TestOverwrite(t *testing.T) {
 	s := testStore(t)
 	s.WriteU16("t", "c", []uint16{1, 2, 3})

@@ -11,15 +11,43 @@ import (
 	"net"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// MaxFrameBytes caps one wire frame (4-byte big-endian length prefix +
-// gob-encoded envelope). A peer announcing a larger frame is cut off
-// before any payload is read, so a corrupt or hostile peer cannot force
-// an arbitrary allocation. 256 MiB comfortably holds the largest legal
-// message (a 20M-cell Shamir column is 160 MB).
+// MaxFrameBytes is the default cap on one wire frame (4-byte big-endian
+// length prefix + gob-encoded envelope). A peer announcing a larger
+// frame is cut off before any payload is read, so a corrupt or hostile
+// peer cannot force an arbitrary allocation. 256 MiB holds the largest
+// legal monolithic message at the paper's scales (a 20M-cell Shamir
+// column is 160 MB); domains beyond that must shard their exchanges
+// (ownerengine.SetShardCells / prism.Config.ShardCells) — sharding
+// bounds every frame by the shard size regardless of the domain.
 const MaxFrameBytes = 256 << 20
+
+// frameLimit is the active cap, read on every encode/decode. It exists
+// so tests can exercise the cap without gigabyte allocations and so
+// embedders can tighten it below the default.
+var frameLimit atomic.Int64
+
+func init() { frameLimit.Store(MaxFrameBytes) }
+
+// FrameLimit returns the active per-frame byte cap.
+func FrameLimit() int64 { return frameLimit.Load() }
+
+// SetFrameLimit changes the active per-frame byte cap and returns a
+// function restoring the previous value. n <= 0 restores the default.
+// Intended for tests (shrinking the cap to provoke ErrFrameTooLarge
+// cheaply) and for deployments that want a tighter bound than the
+// 256 MiB default; it applies process-wide, including to frames already
+// in flight on live connections.
+func SetFrameLimit(n int64) (restore func()) {
+	if n <= 0 {
+		n = MaxFrameBytes
+	}
+	prev := frameLimit.Swap(n)
+	return func() { frameLimit.Store(prev) }
+}
 
 // DefaultPerConnInflight is the default bound on RPCs in flight on one
 // connection: the client's pipelining cap and the server's
@@ -47,7 +75,7 @@ func encodeFrame(env *envelope) ([]byte, error) {
 		return nil, err
 	}
 	n := buf.Len() - 4
-	if n > MaxFrameBytes {
+	if int64(n) > FrameLimit() {
 		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, n)
 	}
 	b := buf.Bytes()
@@ -74,7 +102,7 @@ func readFrame(r io.Reader) (*envelope, error) {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameBytes {
+	if int64(n) > FrameLimit() {
 		return nil, fmt.Errorf("%w (%d bytes announced)", ErrFrameTooLarge, n)
 	}
 	body := make([]byte, n)

@@ -30,6 +30,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Handler processes one request and produces a reply.
@@ -56,8 +57,13 @@ type Network struct {
 	sems     map[string]chan struct{}
 	inflight int
 	// EncodeWire forces every call through a gob encode/decode cycle,
-	// matching what the TCP transport does on the wire.
+	// matching what the TCP transport does on the wire — including the
+	// frame cap: an encoding larger than FrameLimit() fails the call
+	// with ErrFrameTooLarge exactly as the TCP transport would.
 	EncodeWire bool
+	// peakFrame tracks the largest encoded message observed (EncodeWire
+	// only) so benchmarks can report peak frame size per configuration.
+	peakFrame atomic.Int64
 }
 
 // NewNetwork returns an empty in-process network.
@@ -129,7 +135,7 @@ func (n *Network) Call(ctx context.Context, addr string, req any) (any, error) {
 	}
 	defer release()
 	if n.EncodeWire {
-		rt, err := roundTrip(req)
+		rt, err := n.roundTrip(req)
 		if err != nil {
 			return nil, fmt.Errorf("transport: encoding request for %q: %w", addr, err)
 		}
@@ -137,7 +143,7 @@ func (n *Network) Call(ctx context.Context, addr string, req any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := roundTrip(reply)
+		out, err := n.roundTrip(reply)
 		if err != nil {
 			return nil, fmt.Errorf("transport: encoding reply from %q: %w", addr, err)
 		}
@@ -146,12 +152,32 @@ func (n *Network) Call(ctx context.Context, addr string, req any) (any, error) {
 	return h.Handle(ctx, req)
 }
 
-// roundTrip encodes and decodes v through gob, as the TCP transport would.
-func roundTrip(v any) (any, error) {
+// PeakFrameBytes reports the largest gob-encoded message this network
+// has moved since the last reset. Only populated when EncodeWire is on
+// (without it no message is ever encoded).
+func (n *Network) PeakFrameBytes() int64 { return n.peakFrame.Load() }
+
+// ResetPeakFrame clears the peak-frame measurement (e.g. between the
+// outsourcing and query phases of a benchmark).
+func (n *Network) ResetPeakFrame() { n.peakFrame.Store(0) }
+
+// roundTrip encodes and decodes v through gob, as the TCP transport
+// would, enforcing the same frame cap and recording the peak size.
+func (n *Network) roundTrip(v any) (any, error) {
 	var buf bytes.Buffer
 	env := envelope{Payload: v}
 	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
 		return nil, err
+	}
+	size := int64(buf.Len())
+	if size > FrameLimit() {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, size)
+	}
+	for {
+		prev := n.peakFrame.Load()
+		if size <= prev || n.peakFrame.CompareAndSwap(prev, size) {
+			break
+		}
 	}
 	var out envelope
 	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {

@@ -109,6 +109,7 @@ func NewLocalSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		eng.SetShardCells(cfg.ShardCells)
 		s.owners = append(s.owners, &Owner{sys: s, eng: eng, idx: i})
 	}
 	return s, nil
@@ -132,6 +133,25 @@ func (s *System) SetServerThreads(n int) {
 		e.SetThreads(n)
 	}
 }
+
+// SetShardCells changes every owner's shard size at runtime (0 restores
+// the monolithic wire behaviour). Queries already in flight keep the
+// plan they started with; see Config.ShardCells.
+func (s *System) SetShardCells(n uint64) {
+	for _, o := range s.owners {
+		o.eng.SetShardCells(n)
+	}
+}
+
+// PeakFrameBytes reports the largest gob-encoded message the in-process
+// fabric has moved since the last ResetPeakFrame. Only populated when
+// the system runs with Config.EncodeWire (otherwise messages are passed
+// by reference and never encoded). The domainscale benchmark uses it to
+// show sharding bounding frame sizes.
+func (s *System) PeakFrameBytes() int64 { return s.network.PeakFrameBytes() }
+
+// ResetPeakFrame clears the peak-frame measurement.
+func (s *System) ResetPeakFrame() { s.network.ResetPeakFrame() }
 
 // Load installs rows as this owner's private table.
 func (o *Owner) Load(rows []Row) error {
@@ -208,17 +228,26 @@ func (s *System) nextQuerier() (*Owner, error) {
 	return s.owners[int((s.rr.Add(1)-1)%uint64(len(s.owners)))], nil
 }
 
-// endQuery retires qid-keyed session state on the additive-share servers
-// and the announcer. Best effort: cleanup failures are invisible to the
-// query's caller. The three calls are independent fire-and-forget
-// notifications, so they go out concurrently — on a real network the
-// cleanup costs one round trip, not three, per extreme-query cell.
+// endQuery retires qid-keyed session state on every server and the
+// announcer. All params.NumServers servers get the notification — not
+// just the two additive-share servers: any engine that accumulated
+// qid-keyed scratch for this query must retire it, or sustained traffic
+// leaks sessions without bound. Best effort: cleanup failures are
+// invisible to the query's caller. The calls are independent
+// fire-and-forget notifications, so they go out concurrently — on a
+// real network the cleanup costs one round trip, not one per node, per
+// extreme-query cell.
 func (s *System) endQuery(ctx context.Context, qid string) {
 	// Clean up even when the query itself was cancelled.
 	ctx = context.WithoutCancel(ctx)
 	req := protocol.QueryDoneRequest{QueryID: qid}
+	addrs := make([]string, 0, params.NumServers+1)
+	for phi := 0; phi < params.NumServers; phi++ {
+		addrs = append(addrs, serverAddr(phi))
+	}
+	addrs = append(addrs, "announcer")
 	var wg sync.WaitGroup
-	for _, addr := range []string{serverAddr(0), serverAddr(1), "announcer"} {
+	for _, addr := range addrs {
 		wg.Add(1)
 		go func(addr string) {
 			defer wg.Done()
