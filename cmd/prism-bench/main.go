@@ -10,14 +10,18 @@
 //	prism-bench -exp exp2 -csv out/      # also write CSV series
 //
 // Experiments: exp1 table12 exp2 exp3 exp4 sharegen table13 fanout
-// diskablation throughput tcpthroughput domainscale all. The
+// diskablation throughput tcpthroughput domainscale memscale all. The
 // tcpthroughput experiment runs the query mix over real loopback TCP
 // twice — with the serialised one-RPC-per-connection baseline and with
 // the multiplexed client — so the transport win is measured, not
 // asserted. The domainscale experiment compares the monolithic wire
 // mode against sharded exchanges (-shard cells per frame) across domain
 // sizes, reporting peak frame bytes and queries/sec; monolithic rows
-// whose frames exceed the transport cap report FRAME OVERFLOW.
+// whose frames exceed the transport cap report FRAME OVERFLOW. The
+// memscale experiment compares peak server resident column bytes —
+// in-memory monolithic serving vs the sharded chunked segment store —
+// during outsourcing and a mixed query load, requiring identical result
+// fingerprints between the modes.
 package main
 
 import (
@@ -34,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|all")
+		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|memscale|all")
 		paper   = flag.Bool("paper", false, "use the paper's full sizes (5M/20M domains; needs ~16GB RAM)")
 		domain  = flag.Uint64("domain", 0, "override: single domain size")
 		owners  = flag.Int("owners", 0, "override: owner count for exp1/exp3/table12/sharegen")
@@ -146,6 +150,10 @@ func main() {
 	if want("domainscale") {
 		matched = true
 		run("domainscale", func() ([]*report.Table, error) { return benchx.DomainScale(ctx, sc) })
+	}
+	if want("memscale") {
+		matched = true
+		run("memscale", func() ([]*report.Table, error) { return benchx.MemScale(ctx, sc) })
 	}
 	if !matched {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -25,14 +25,17 @@ import (
 
 func main() {
 	var (
-		viewPath  = flag.String("view", "", "server view file from prism-init (required)")
-		listen    = flag.String("listen", ":7001", "listen address")
-		announcer = flag.String("announcer", "", "announcer host:port (needed for max/min/median)")
-		storeDir  = flag.String("store", "", "directory for the on-disk share store")
-		diskMode  = flag.Bool("disk", false, "serve columns from disk per query (fetch-time accounting)")
-		hotCols   = flag.Bool("hotcols", false, "with -disk: cache hot columns per table epoch instead of reading per query (disables per-query fetch-time accounting)")
-		threads   = flag.Int("threads", 0, "worker pool width (0 = GOMAXPROCS)")
-		inflight  = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
+		viewPath   = flag.String("view", "", "server view file from prism-init (required)")
+		listen     = flag.String("listen", ":7001", "listen address")
+		announcer  = flag.String("announcer", "", "announcer host:port (needed for max/min/median)")
+		storeDir   = flag.String("store", "", "directory for the on-disk share store")
+		diskMode   = flag.Bool("disk", false, "serve columns from disk per query (fetch-time accounting)")
+		hotCols    = flag.Bool("hotcols", false, "with -disk: cache hot chunks per table epoch instead of reading per query (disables per-query fetch-time accounting)")
+		hotChunks  = flag.Uint64("hotchunks", 0, "with -disk: hot-chunk cache byte budget per table (LRU eviction past it); implies -hotcols, 0 = unbounded cache when -hotcols is set")
+		chunkCells = flag.Uint64("chunkcells", 0, "share-store chunk size in cells for newly written columns (0 = 65536); align with the owners' -shard size")
+		pendTTL    = flag.Duration("pendttl", 0, "reclaim sharded-upload assemblies idle longer than this (crashed owners); 0 disables the sweep")
+		threads    = flag.Int("threads", 0, "worker pool width (0 = GOMAXPROCS)")
+		inflight   = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 	)
 	flag.Parse()
 	if *viewPath == "" {
@@ -42,15 +45,17 @@ func main() {
 	if err := viewio.Load(*viewPath, &view); err != nil {
 		fatal(err)
 	}
-	opts := serverengine.Options{Threads: *threads}
+	opts := serverengine.Options{Threads: *threads, PendingTTL: *pendTTL}
 	if *storeDir != "" {
 		st, err := sharestore.Open(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
+		st.SetChunkCells(*chunkCells)
 		opts.Store = st
 		opts.DiskBacked = *diskMode
-		opts.CacheColumns = *diskMode && *hotCols
+		opts.CacheColumns = *diskMode && (*hotCols || *hotChunks > 0)
+		opts.CacheBytes = int64(*hotChunks)
 	}
 	if *announcer != "" {
 		opts.AnnouncerAddr = "announcer"

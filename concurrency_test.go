@@ -38,6 +38,17 @@ func concSystemShard(t testing.TB, shardCells uint64) *System {
 	if err != nil {
 		t.Fatal(err)
 	}
+	loadConcData(t, sys)
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// loadConcData installs the 4-owner concurrency-test dataset (cells 3, 5
+// and 7 common to every owner, plus owner-specific noise).
+func loadConcData(t testing.TB, sys *System) {
+	t.Helper()
 	for j := 0; j < 4; j++ {
 		cells := []uint64{3, 5, 7} // planted intersection
 		for k := 0; k < 6; k++ {
@@ -53,10 +64,6 @@ func concSystemShard(t testing.TB, shardCells uint64) *System {
 			t.Fatal(err)
 		}
 	}
-	if _, err := sys.OutsourceAll(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	return sys
 }
 
 // mixedOps is the operator mix the stress tests rotate through.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"prism/internal/domain"
 	"prism/internal/prg"
@@ -174,16 +175,38 @@ type Config struct {
 	// monolithic one-frame-per-exchange wire behaviour. A query keeps at
 	// most 8 shard exchanges in flight, so the effective pipelining
 	// depth per server connection is min(8, PerConnInflight). With
-	// disk-backed servers, enable HotColumns alongside sharding: without
-	// the cache every shard re-reads the full column from the store.
+	// disk-backed servers, enable HotColumns (or set a HotChunks budget)
+	// alongside sharding so hot chunks are read from disk once; without
+	// the cache every shard window re-reads its overlapping chunks.
 	ShardCells uint64
-	// HotColumns enables each server's per-table hot-column cache in
+	// HotColumns enables each server's per-table hot-chunk cache in
 	// disk-backed mode (DiskDir set): χ-shares and aggregation columns
-	// are read from the share store once per table epoch — invalidated
+	// are cached at chunk granularity per table epoch — invalidated
 	// when any owner re-outsources or the table is dropped — instead of
-	// once per query. Leave it off to measure true per-query fetch
-	// times (the Figure 3 data-fetch series).
+	// read per query. Leave it off to measure true per-query fetch
+	// times (the Figure 3 data-fetch series). Without a HotChunks
+	// budget the cache is unbounded (the legacy hot-column behaviour).
 	HotColumns bool
+	// HotChunks bounds each server's per-table hot-chunk cache to this
+	// many bytes: least-recently-used chunks are evicted past the
+	// budget, so a disk-backed server's query-path residency stays
+	// O(budget) no matter how large the domain grows. Setting it
+	// implies HotColumns. 0 leaves the cache unbounded (when
+	// HotColumns) or disabled (otherwise).
+	HotChunks uint64
+	// ChunkCells sets the share store's chunk size in cells for newly
+	// written columns (disk-backed mode). 0 → sharestore's default
+	// (64Ki cells). Pair it with ShardCells — chunks aligned to the
+	// shard windows make every streamed upload window a whole-chunk
+	// write and every shard query a minimal chunk fetch.
+	ChunkCells uint64
+	// PendingUploadTTL reclaims sharded-upload assemblies abandoned by
+	// a crashed owner: server-side assemblies that have not received a
+	// shard for longer than the TTL are swept (RAM buffers released,
+	// pending disk columns deleted) on the next store request. 0
+	// disables the sweep — stale assemblies then linger until the owner
+	// retries or the table is dropped.
+	PendingUploadTTL time.Duration
 	// Seed makes the whole system deterministic; zero → fresh entropy.
 	Seed [32]byte
 	// DiskDir, when set, backs each server with an on-disk share store

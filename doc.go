@@ -67,10 +67,10 @@
 // Config.PerConnInflight bounds the pipelining depth per connection
 // (the in-process fabric applies the same bound per server address so
 // local behaviour matches a wire deployment). Disk-backed servers can
-// additionally enable a per-table hot-column cache (Config.HotColumns):
-// χ-shares and aggregation columns are read from the share store once
-// per table epoch — invalidated when any owner re-outsources — instead
-// of once per query.
+// additionally enable a per-table hot-chunk cache (Config.HotColumns;
+// Config.HotChunks bounds it to a byte budget): column chunks are read
+// from the share store once per table epoch — invalidated when any
+// owner re-outsources — instead of once per query.
 //
 // # Domain sharding
 //
@@ -86,10 +86,30 @@
 // has arrived, so queries never observe a half-uploaded epoch. The
 // default 0 preserves the monolithic one-frame-per-exchange wire
 // behaviour. With disk-backed servers enable HotColumns alongside
-// sharding (each window reads its columns through the per-epoch cache);
+// sharding (each window reads its chunks through the per-epoch cache);
 // the effective pipelining depth per connection is
 // min(8, PerConnInflight). The prism-bench domainscale experiment
 // measures queries/sec and peak frame size in both modes.
+//
+// # Storage
+//
+// Disk-backed servers (Config.DiskDir) persist each column as
+// fixed-size chunk segments plus a per-column chunk index
+// (internal/sharestore): chunks are written atomically with their own
+// CRCs, ranged reads touch only the chunks overlapping the window, and
+// version-1 monolithic column files remain readable (auto-migrated on
+// first ranged write). A sharded upload streams every incoming window
+// straight to pending chunked columns and promotes them on completion
+// (register-on-complete, recorded in the table manifest), and
+// per-window query evaluation fetches only the overlapping chunks —
+// with Config.ChunkCells aligned to Config.ShardCells and a
+// Config.HotChunks cache budget, server resident memory during both
+// outsourcing and querying is bounded by the chunk size and the budget,
+// not the domain, so columns larger than RAM serve end to end.
+// Config.PendingUploadTTL reclaims upload assemblies abandoned by
+// crashed owners. The prism-bench memscale experiment measures peak
+// server resident bytes and queries/sec in both serving modes and
+// cross-checks their result fingerprints.
 //
 // See examples/ for complete programs, DESIGN.md for the architecture and
 // protocol details, and EXPERIMENTS.md for the reproduction of the

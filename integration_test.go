@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"prism/internal/transport"
 )
 
 // randomSystem builds a system with random integer data for m owners and
@@ -383,6 +385,45 @@ func TestBucketizedPSIMatchesFlatPSI(t *testing.T) {
 	}
 	if res.Rounds < 2 {
 		t.Errorf("expected multi-round traversal, got %d", res.Rounds)
+	}
+}
+
+// TestBucketizedPSISharded: the bucket-tree levels now ride the sharded
+// store path, so the O(b) leaf level uploads as bounded windows — under
+// a transport frame cap that a monolithic leaf upload would burst — and
+// the traversal still returns exactly the flat PSI answer. The
+// disk-backed variant additionally streams every level's windows
+// through the chunked segment store.
+func TestBucketizedPSISharded(t *testing.T) {
+	restore := transport.SetFrameLimit(4 << 10) // leaf level b=4096 → >8 KiB frames monolithic
+	defer restore()
+	for _, disk := range []bool{false, true} {
+		name := map[bool]string{false: "mem", true: "disk"}[disk]
+		t.Run(name, func(t *testing.T) {
+			// 64-cell windows keep even the verify+agg main-table frames
+			// under the cap; a monolithic leaf-level upload (4096 χ cells
+			// ≈ 8 KiB) would burst it.
+			sys, gt := randomSystem(t, 3, 4096, 30, 1100, func(c *Config) {
+				c.ShardCells = 64
+				c.EncodeWire = true
+				if disk {
+					c.DiskDir = t.TempDir()
+					c.ChunkCells = 64
+					c.HotChunks = 1 << 16
+				}
+			})
+			if err := sys.OutsourceBucketTrees(context.Background(), 8); err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.BucketizedPSI(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "sharded bucketized PSI", cellsToSet(res.Cells), gt.intersection)
+			if res.Visited >= res.Flat {
+				t.Errorf("sparse data visited %d of %d cells — no pruning", res.Visited, res.Flat)
+			}
+		})
 	}
 }
 

@@ -32,7 +32,9 @@ type SystemSpec struct {
 	CommonKeys   int
 	Threads      int
 	DiskDir      string // non-empty → disk-backed servers (fetch timing)
-	HotColumns   bool   // per-table hot-column cache on disk-backed servers
+	HotColumns   bool   // per-table hot-chunk cache on disk-backed servers
+	HotChunks    uint64 // hot-chunk cache byte budget (implies HotColumns)
+	ChunkCells   uint64 // share-store chunk size in cells (0 = default)
 	ShardCells   uint64 // shard size for O(b) exchanges (0 = monolithic)
 	EncodeWire   bool   // gob round-trip per call (frame-size measurement)
 	AggCols      []string
@@ -106,6 +108,8 @@ func Build(spec SystemSpec) (*prism.System, []*workload.OwnerData, prism.ShareGe
 		Seed:        seed,
 		DiskDir:     spec.DiskDir,
 		HotColumns:  spec.HotColumns,
+		HotChunks:   spec.HotChunks,
+		ChunkCells:  spec.ChunkCells,
 		ShardCells:  spec.ShardCells,
 		EncodeWire:  spec.EncodeWire,
 	})

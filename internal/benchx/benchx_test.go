@@ -321,6 +321,46 @@ func TestDomainScaleSmoke(t *testing.T) {
 	}
 }
 
+func TestMemScaleSmoke(t *testing.T) {
+	sc := tinyScale(t)
+	sc.Domains = []uint64{8192}
+	sc.ShardCells = 512
+	sc.ThroughputQueries = 6
+	tables, err := MemScale(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 2 { // monolithic/RAM + sharded/chunked at one domain
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	peak := map[string][2]string{}
+	for _, row := range rows {
+		if row[4] == "0.0" {
+			t.Errorf("%s mode reported zero throughput", row[1])
+		}
+		peak[row[1]] = [2]string{row[2], row[3]}
+	}
+	// The second mode's results matched the baseline (divergence would
+	// have failed MemScale outright).
+	if rows[1][6] != "match" {
+		t.Errorf("results column = %q, want match", rows[1][6])
+	}
+	// The experiment's point: the chunked segment store must hold far
+	// less resident than the in-memory column sets, in both phases.
+	ram, chunked := peak["monolithic/RAM"], peak["sharded/chunked disk"]
+	for i, phase := range []string{"outsource", "query"} {
+		rb, errR := parseHumanBytes(ram[i])
+		cb, errC := parseHumanBytes(chunked[i])
+		if errR != nil || errC != nil {
+			t.Fatalf("unparseable resident cells %q / %q", ram[i], chunked[i])
+		}
+		if cb*4 > rb {
+			t.Errorf("%s peak resident: chunked %q not well below RAM %q", phase, chunked[i], ram[i])
+		}
+	}
+}
+
 // parseHumanBytes inverts humanBytes for smoke assertions.
 func parseHumanBytes(s string) (float64, error) {
 	var v float64

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"prism"
@@ -516,6 +518,132 @@ func DomainScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
 		}
 	}
 	return []*report.Table{tb}, nil
+}
+
+// memScaleMix is the operator mix of the memscale experiment: the
+// stored-order, permuted-output and selector-upload exchange shapes, so
+// every fetch path (window, gather, aggregation) contributes to the
+// residency measurement.
+var memScaleMix = []prism.Request{
+	{Op: prism.OpPSI},
+	{Op: prism.OpPSICount},
+	{Op: prism.OpPSISum, Cols: []string{"DT"}},
+}
+
+// MemScale measures how server resident memory scales with domain size:
+// peak column bytes held during outsourcing and during a mixed query
+// load, plus sustained queries/sec, comparing monolithic in-memory
+// serving against the sharded chunked segment store (windows streamed
+// straight to disk on upload, chunk-granular fetches plus a bounded
+// hot-chunk cache on the query path). The residency gauge counts the
+// column bytes the engines actually hold — pending upload assemblies,
+// registered in-memory tables and cached chunks — so the contrast is
+// O(b · columns · owners) for in-memory mode versus O(chunk + cache
+// budget) for the segment store, at the same results: the two modes'
+// response fingerprints are compared per domain and any divergence fails
+// the experiment.
+func MemScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
+	shard := sc.ShardCells
+	if shard == 0 {
+		shard = 1 << 16
+	}
+	nq := sc.ThroughputQueries
+	if nq <= 0 {
+		nq = 24
+	}
+	const inflight = 8
+	budget := 64 * 2 * shard // 64 uint16 chunks of hot-cache headroom
+	tb := report.New(
+		fmt.Sprintf("Memory scale — %d owners, %d mixed queries per point, %d in flight, shard/chunk %s cells, cache budget %s",
+			sc.Owners, nq, inflight, human(shard), humanBytes(int64(budget))),
+		"domain", "mode", "outsource peak resident", "query peak resident", "queries/sec", "wall(s)", "results")
+
+	for _, domain := range sc.Domains {
+		var baseline []string
+		for _, mode := range []struct {
+			name string
+			disk bool
+		}{
+			{"monolithic/RAM", false},
+			{"sharded/chunked disk", true},
+		} {
+			spec := SystemSpec{Owners: sc.Owners, Domain: domain, Seed: "memscale"}
+			if mode.disk {
+				spec.ShardCells = shard
+				spec.ChunkCells = shard // whole-chunk upload windows, minimal query fetches
+				spec.HotChunks = budget
+				spec.DiskDir = fmt.Sprintf("%s/memscale-%s", sc.DiskDir, human(domain))
+			}
+			sys, _, _, err := Build(spec)
+			if err != nil {
+				return nil, err
+			}
+			outPeak := sys.PeakServerHeldBytes()
+			sys.ResetServerHeldPeaks()
+			sys.SetMaxInflight(inflight)
+
+			reqs := make([]prism.Request, nq)
+			for i := range reqs {
+				reqs[i] = memScaleMix[i%len(memScaleMix)]
+			}
+			start := time.Now()
+			resps := sys.QueryBatch(ctx, reqs)
+			wall := time.Since(start)
+			fps := make([]string, len(resps))
+			for i, r := range resps {
+				if r.Err != nil {
+					return nil, fmt.Errorf("benchx: memscale %s @%s: query %d failed: %v", mode.name, human(domain), i, r.Err)
+				}
+				fps[i] = responseFingerprint(r)
+			}
+			result := "baseline"
+			if baseline == nil {
+				baseline = fps
+			} else {
+				result = "match"
+				for i := range fps {
+					if fps[i] != baseline[i] {
+						return nil, fmt.Errorf("benchx: memscale @%s: query %d result diverged between modes", human(domain), i)
+					}
+				}
+			}
+			tb.Add(human(domain), mode.name, humanBytes(outPeak), humanBytes(sys.PeakServerHeldBytes()),
+				fmt.Sprintf("%.1f", float64(nq)/wall.Seconds()), report.Seconds(wall.Nanoseconds()), result)
+		}
+	}
+	return []*report.Table{tb}, nil
+}
+
+// responseFingerprint canonically serialises a response's semantic
+// content (everything except timing stats) so the memscale modes can be
+// compared result-for-result.
+func responseFingerprint(r *prism.Response) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "op=%v;", r.Op)
+	switch {
+	case r.Set != nil:
+		fmt.Fprintf(&b, "cells=%v;values=%v", r.Set.Cells, r.Set.Values)
+	case r.Count != nil:
+		fmt.Fprintf(&b, "count=%d", r.Count.Count)
+	case r.Agg != nil:
+		fmt.Fprintf(&b, "cells=%v;", r.Agg.Cells)
+		cols := make([]string, 0, len(r.Agg.Sums))
+		for col := range r.Agg.Sums {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			cells := make([]uint64, 0, len(r.Agg.Sums[col]))
+			for c := range r.Agg.Sums[col] {
+				cells = append(cells, c)
+			}
+			sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+			for _, c := range cells {
+				fmt.Fprintf(&b, "sum[%s][%d]=%d;", col, c, r.Agg.Sums[col][c])
+			}
+		}
+	}
+	return b.String()
 }
 
 func humanBytes(n int64) string {

@@ -22,22 +22,52 @@ type bucketMeta struct {
 // (§6.6 Steps 1a-1b). Bucketized PSI trades the permutation layer for
 // frontier pruning — the traversal pattern is revealed by design, as in
 // the paper, where owners explicitly request child buckets.
+//
+// Each level moves through the sharded store path: with SetShardCells
+// set, the O(b) leaf level uploads as bounded shard windows (the same
+// assembly, supersede and register-on-complete semantics as Outsource)
+// instead of one monolithic frame, so bucket trees scale to the same
+// domains the main table does.
 func (o *Owner) OutsourceBucketTree(ctx context.Context, base string, tree *bucket.Tree) error {
 	for k, level := range tree.Levels {
 		o.mu.Lock()
 		shares := share.AdditiveSplitVector(o.rng, level, o.view.Delta, 2)
 		o.mu.Unlock()
+		b := uint64(len(level))
 		spec := protocol.TableSpec{
 			Name:  bucketLevelTable(base, k),
-			B:     uint64(len(level)),
+			B:     b,
 			Plain: true,
 		}
-		reqs := make([]protocol.StoreRequest, 2)
-		for phi := 0; phi < 2; phi++ {
-			reqs[phi] = protocol.StoreRequest{Owner: o.Index, Spec: spec, ChiAdd: shares[phi]}
-		}
-		if err := o.storeAll(ctx, reqs); err != nil {
+		p := o.plan(b)
+		uploadID := fmt.Sprintf("%s/%d", o.uploadEpoch, o.uploadSeq.Add(1))
+		var completed [2]bool
+		err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
+			req := protocol.StoreRequest{Owner: o.Index, Spec: spec, ChiAdd: shares[phi][rg.Offset:rg.End()]}
+			if p.wire {
+				req.Shard = rg
+				req.UploadID = uploadID
+			}
+			return req
+		}, func(rg protocol.Range, replies []any) error {
+			for phi, r := range replies {
+				rep, ok := r.(protocol.StoreReply)
+				if !ok {
+					return fmt.Errorf("ownerengine: unexpected store reply %T", r)
+				}
+				if rep.Cells == b {
+					completed[phi] = true
+				}
+			}
+			return nil
+		})
+		if err != nil {
 			return fmt.Errorf("ownerengine: outsourcing bucket level %d: %w", k, err)
+		}
+		for phi, done := range completed {
+			if !done {
+				return fmt.Errorf("ownerengine: server %d never completed the sharded upload of bucket level %d", phi, k)
+			}
 		}
 	}
 	sizes := make([]int, tree.Height())

@@ -337,27 +337,6 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 	return stats, nil
 }
 
-func (o *Owner) storeAll(ctx context.Context, reqs []protocol.StoreRequest) error {
-	errs := make([]error, len(reqs))
-	var wg sync.WaitGroup
-	for phi := range reqs {
-		wg.Add(1)
-		go func(phi int) {
-			defer wg.Done()
-			reply, err := o.caller.Call(ctx, o.servers[phi], reqs[phi])
-			if err != nil {
-				errs[phi] = err
-				return
-			}
-			if _, ok := reply.(protocol.StoreReply); !ok {
-				errs[phi] = fmt.Errorf("ownerengine: unexpected store reply %T", reply)
-			}
-		}(phi)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
-
 // localTableFor fetches owner-local table state.
 func (o *Owner) localTableFor(name string) (*localTable, error) {
 	o.mu.Lock()

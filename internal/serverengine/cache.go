@@ -1,104 +1,218 @@
 package serverengine
 
 import (
+	"container/list"
 	"errors"
+	"fmt"
 	"sync"
+
+	"prism/internal/sharestore"
 )
 
-// colCache is a per-table hot-column cache for disk-backed serving: the
+// chunkCache is a per-table hot-chunk cache for disk-backed serving: the
 // χ-share and uint64 aggregation columns a query fetches from the share
-// store are loaded once per table epoch instead of once per query
-// session. An epoch ends whenever the table changes (a Store from any
-// owner, a Drop): the engine swaps in a fresh cache so later queries
-// never serve stale columns. Columns already cached stay visible to
-// queries holding the old snapshot, but a cache miss always reads the
-// store's current files — so, exactly as without the cache, a query
-// overlapping a re-outsource may combine columns from two epochs. That
-// coordination is the caller's documented responsibility (see the
+// store are cached at chunk granularity, so shard-window queries keep
+// only the chunks they actually touch resident — and re-touching a hot
+// window costs no disk read. An epoch ends whenever the table changes (a
+// Store from any owner, a Drop): the engine swaps in a fresh cache so
+// later queries never serve stale chunks. Chunks already cached stay
+// visible to queries holding the old snapshot, but a cache miss always
+// reads the store's current files — so, exactly as without the cache, a
+// query overlapping a re-outsource may combine columns from two epochs.
+// That coordination is the caller's documented responsibility (see the
 // package README: don't re-outsource a table being queried at that
 // instant).
 //
-// Loads are single-flight: under concurrent traffic the first query
-// reads a column from disk while the rest wait on the entry, so 40
-// simultaneous queries cost one disk read per column, not 40.
-type colCache struct {
-	mu      sync.Mutex
-	entries map[string]*colEntry
+// Residency is bounded by a byte budget (Options.CacheBytes; <= 0 means
+// unlimited, the legacy whole-column hot cache behaviour): completed
+// chunks are kept on an LRU list and the least-recently-used chunks are
+// evicted once the budget is exceeded. Evicting a chunk another query
+// still holds a slice of is safe — the cache merely forgets it.
+//
+// Loads are single-flight per chunk: under concurrent traffic the first
+// query reads a chunk from disk while the rest wait on the entry, so 40
+// simultaneous queries cost one disk read per chunk, not 40.
+type chunkCache struct {
+	mu        sync.Mutex
+	budget    int64 // <= 0 → unlimited
+	bytes     int64
+	track     func(delta int64) // held-bytes gauge hook (may be nil)
+	entries   map[string]*chunkEntry
+	lru       *list.List // front = most recently used *chunkEntry
+	info      map[string]sharestore.ColumnInfo
+	discarded bool
 }
 
-type colEntry struct {
+type chunkEntry struct {
+	key   string
 	ready chan struct{} // closed once the load completes
 	u16   []uint16
 	u64   []uint64
+	size  int64
 	err   error
+	elem  *list.Element // nil until finished (or after eviction)
 }
 
-func newColCache() *colCache {
-	return &colCache{entries: make(map[string]*colEntry)}
+func newChunkCache(budget int64, track func(delta int64)) *chunkCache {
+	return &chunkCache{
+		budget:  budget,
+		track:   track,
+		entries: make(map[string]*chunkEntry),
+		lru:     list.New(),
+		info:    make(map[string]sharestore.ColumnInfo),
+	}
 }
 
-// getU16 returns the cached column under key, loading it via load on
-// first use. hit reports whether the load was skipped (served from the
-// cache, possibly after waiting out another query's in-flight load).
+func chunkKey(col string, k uint64) string { return fmt.Sprintf("%s#%d", col, k) }
+
+// fullColumnChunk is the sentinel chunk id under which a whole assembled
+// multi-chunk column is cached (monolithic query shapes read entire
+// columns; caching the joined column restores the zero-copy warm-query
+// handoff the pre-chunk hot-column cache provided).
+const fullColumnChunk = ^uint64(0)
+
+// getU16 returns the cached chunk k of column col, loading it via load
+// on first use. hit reports whether the load was skipped (served from
+// the cache, possibly after waiting out another query's in-flight load).
 // Failed loads are not cached. finish is guaranteed even when load
 // panics (the transport recovers handler panics, so an abandoned entry
 // would otherwise park every later query on ready forever).
-func (c *colCache) getU16(key string, load func() ([]uint16, error)) (v []uint16, hit bool, err error) {
-	e, hit := c.entry(key)
+func (c *chunkCache) getU16(col string, k uint64, load func() ([]uint16, error)) (v []uint16, hit bool, err error) {
+	e, hit := c.entry(chunkKey(col, k))
 	if !hit {
-		defer func() { c.finish(key, e) }()
+		defer func() { c.finish(e) }()
 		e.err = errLoadAborted
 		e.u16, e.err = load()
+		e.size = 2 * int64(len(e.u16))
 		return e.u16, false, e.err
 	}
 	<-e.ready
 	return e.u16, true, e.err
 }
 
-// getU64 is getU16 for uint64 columns.
-func (c *colCache) getU64(key string, load func() ([]uint64, error)) (v []uint64, hit bool, err error) {
-	e, hit := c.entry(key)
+// getU64 is getU16 for uint64 chunks.
+func (c *chunkCache) getU64(col string, k uint64, load func() ([]uint64, error)) (v []uint64, hit bool, err error) {
+	e, hit := c.entry(chunkKey(col, k))
 	if !hit {
-		defer func() { c.finish(key, e) }()
+		defer func() { c.finish(e) }()
 		e.err = errLoadAborted
 		e.u64, e.err = load()
+		e.size = 8 * int64(len(e.u64))
 		return e.u64, false, e.err
 	}
 	<-e.ready
 	return e.u64, true, e.err
 }
 
-// errLoadAborted is what waiters observe when a column load panicked
+// getInfo caches column shapes (the 26-byte chunk-index read) for the
+// epoch. Loads may race; the shape is immutable within an epoch, so the
+// last write wins harmlessly.
+func (c *chunkCache) getInfo(col string, load func() (sharestore.ColumnInfo, error)) (sharestore.ColumnInfo, error) {
+	c.mu.Lock()
+	ci, ok := c.info[col]
+	c.mu.Unlock()
+	if ok {
+		return ci, nil
+	}
+	ci, err := load()
+	if err != nil {
+		return ci, err
+	}
+	c.mu.Lock()
+	c.info[col] = ci
+	c.mu.Unlock()
+	return ci, nil
+}
+
+// errLoadAborted is what waiters observe when a chunk load panicked
 // before assigning its real result.
-var errLoadAborted = errors.New("serverengine: column load aborted")
+var errLoadAborted = errors.New("serverengine: chunk load aborted")
 
 // entry claims or joins the entry for key. When the caller claimed it
-// (hit false) it must load the column and call finish.
-func (c *colCache) entry(key string) (*colEntry, bool) {
+// (hit false) it must load the chunk and call finish.
+func (c *chunkCache) entry(key string) (*chunkEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 		return e, true
 	}
-	e := &colEntry{ready: make(chan struct{})}
+	e := &chunkEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
 	return e, false
 }
 
-// finish publishes a completed load, dropping failed entries so a
-// transient disk error does not poison the epoch.
-func (c *colCache) finish(key string, e *colEntry) {
-	if e.err != nil {
-		c.mu.Lock()
-		delete(c.entries, key)
-		c.mu.Unlock()
+// finish publishes a completed load: failed entries are dropped so a
+// transient disk error does not poison the epoch; successful entries
+// join the LRU and the budget is enforced.
+func (c *chunkCache) finish(e *chunkEntry) {
+	c.mu.Lock()
+	switch {
+	case e.err != nil:
+		delete(c.entries, e.key)
+	case c.discarded:
+		// The epoch ended while the load was in flight: hand the value to
+		// waiters but keep it out of the (already released) accounting.
+	default:
+		c.bytes += e.size
+		if c.track != nil {
+			c.track(e.size)
+		}
+		e.elem = c.lru.PushFront(e)
+		c.evictLocked()
 	}
+	c.mu.Unlock()
 	close(e.ready)
 }
 
-// Len reports the number of cached columns (tests and monitoring).
-func (c *colCache) Len() int {
+// evictLocked drops least-recently-used chunks until the budget holds,
+// always keeping the most recent chunk resident (a single chunk larger
+// than the budget must still serve). Caller holds c.mu.
+func (c *chunkCache) evictLocked() {
+	for c.budget > 0 && c.bytes > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		victim := back.Value.(*chunkEntry)
+		c.lru.Remove(back)
+		victim.elem = nil
+		delete(c.entries, victim.key)
+		c.bytes -= victim.size
+		if c.track != nil {
+			c.track(-victim.size)
+		}
+	}
+}
+
+// discard releases the epoch's accounted bytes and detaches the cache:
+// later loads still serve waiters (single-flight) but are not accounted
+// or retained against the budget. Called when the table's epoch ends.
+func (c *chunkCache) discard() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.discarded {
+		return
+	}
+	c.discarded = true
+	if c.track != nil && c.bytes != 0 {
+		c.track(-c.bytes)
+	}
+	c.bytes = 0
+	c.entries = make(map[string]*chunkEntry)
+	c.lru.Init()
+	c.info = make(map[string]sharestore.ColumnInfo)
+}
+
+// Len reports the number of cached chunks (tests and monitoring).
+func (c *chunkCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Bytes reports the accounted resident bytes (tests and monitoring).
+func (c *chunkCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

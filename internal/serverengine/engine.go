@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -44,12 +45,23 @@ type Options struct {
 	// then fetch them per request and report real fetch times.
 	Store      *sharestore.Store
 	DiskBacked bool
-	// CacheColumns enables the per-table hot-column cache for
-	// disk-backed serving: χ-shares and uint64 aggregation columns are
-	// read from the store once per table epoch (invalidated whenever a
-	// Store or Drop changes the table) instead of once per query.
-	// Cache hits report zero fetch time and count in Stats.CacheHits.
+	// CacheColumns enables the per-table hot-chunk cache for disk-backed
+	// serving: χ-shares and uint64 aggregation columns are cached at
+	// chunk granularity per table epoch (invalidated whenever a Store or
+	// Drop changes the table) instead of read per query. Cache hits
+	// report zero fetch time and count in Stats.CacheHits.
 	CacheColumns bool
+	// CacheBytes bounds the hot-chunk cache per table (bytes); <= 0
+	// leaves the cache unbounded (the legacy whole-column hot cache
+	// behaviour). Ignored unless CacheColumns is set.
+	CacheBytes int64
+	// PendingTTL reclaims sharded-upload assemblies whose owner stopped
+	// sending shards (a crash mid-upload): assemblies untouched for
+	// longer than the TTL are swept — RAM buffers released, pending disk
+	// columns deleted — on the next Store request. 0 disables the sweep
+	// (stale assemblies then linger until the owner retries or the table
+	// is dropped).
+	PendingTTL time.Duration
 	// AnnouncerAddr and Caller let the engine forward max/min/median
 	// slot arrays to S_a.
 	AnnouncerAddr string
@@ -101,15 +113,27 @@ type Engine struct {
 	// disjoint files).
 	storeMuMu sync.Mutex
 	storeMus  map[string]*sync.Mutex
+
+	// manifestMu serialises per-table manifest read-modify-writes (two
+	// owners completing uploads concurrently).
+	manifestMu sync.Mutex
+
+	// heldBytes/peakHeld track the column bytes this engine holds
+	// resident: in-RAM pending upload assemblies, registered in-memory
+	// tables, and the hot-chunk caches. The benchx memscale experiment
+	// reads the peak to demonstrate O(chunk) residency under the chunked
+	// store versus O(b) for in-memory serving.
+	heldBytes atomic.Int64
+	peakHeld  atomic.Int64
 }
 
 type table struct {
 	spec   protocol.TableSpec
 	owners map[int]*ownerCols
-	// cache is the current epoch's hot-column cache (nil unless
+	// cache is the current epoch's hot-chunk cache (nil unless
 	// CacheColumns); every Store/Drop swaps in a fresh one, so queries
 	// holding the old snapshot never see the new epoch's columns.
-	cache *colCache
+	cache *chunkCache
 }
 
 // tableView is an immutable snapshot of one table taken under the engine
@@ -118,7 +142,7 @@ type table struct {
 type tableView struct {
 	spec   protocol.TableSpec
 	owners []*ownerCols // dense, index = owner id
-	cache  *colCache    // the epoch's cache at snapshot time (may be nil)
+	cache  *chunkCache  // the epoch's cache at snapshot time (may be nil)
 }
 
 type ownerCols struct {
@@ -154,18 +178,28 @@ type claimState struct {
 	got  map[int]bool
 }
 
-// pendingStore is one owner's in-progress sharded upload: full-length
-// columns filled shard by shard, with the received windows tracked so
-// overlapping or duplicate shards are rejected instead of silently
-// overwriting cells. id is the attempt's UploadID — a shard from a
-// newer attempt supersedes the whole assembly, so a retry after a
-// failed upload never collides with its own stale windows.
+// pendingStore is one owner's in-progress sharded upload, with the
+// received windows tracked so overlapping or duplicate shards are
+// rejected instead of silently overwriting cells. id is the attempt's
+// UploadID — a shard from a newer attempt supersedes the whole assembly,
+// so a retry after a failed upload never collides with its own stale
+// windows.
+//
+// In-memory engines assemble into full-length columns (oc). Disk-backed
+// engines instead stream every window straight into pending chunked
+// columns ("pend<owner>.*") and rename them into place on completion, so
+// a sharded upload never holds more than one window's cells in RAM —
+// register-on-complete is preserved by the rename plus the table
+// manifest, and queries never observe a half-uploaded column.
 type pendingStore struct {
 	id      string
 	spec    protocol.TableSpec
-	oc      *ownerCols
+	owner   int
+	oc      *ownerCols // RAM assembly; nil when streaming to disk
+	disk    bool       // windows stream to pending disk columns
 	got     []protocol.Range
 	covered uint64
+	touched time.Time // last shard arrival, for the TTL sweep
 }
 
 // uploadMark is the newest upload attempt observed for one
@@ -189,6 +223,105 @@ func parseUploadID(id string) (epoch string, seq uint64, ok bool) {
 		return "", 0, false
 	}
 	return id[:i], seq, true
+}
+
+// colDef names one on-disk column of a table layout (without the
+// "o<owner>." prefix) and its element width in bytes.
+type colDef struct {
+	name  string
+	width int
+}
+
+// specCols enumerates the columns this server stores per owner under a
+// table spec, in a deterministic order.
+func (e *Engine) specCols(spec protocol.TableSpec) []colDef {
+	var out []colDef
+	if e.view.Index < 2 {
+		out = append(out, colDef{"chi", 2})
+		if spec.HasVerify {
+			out = append(out, colDef{"chibar", 2})
+		}
+	}
+	for _, col := range spec.AggCols {
+		out = append(out, colDef{"sum." + col, 8})
+		if spec.HasVerify {
+			out = append(out, colDef{"vsum." + col, 8})
+		}
+	}
+	if spec.HasCount {
+		out = append(out, colDef{"cnt", 8})
+		if spec.HasVerify {
+			out = append(out, colDef{"vcnt", 8})
+		}
+	}
+	return out
+}
+
+// colKey is the on-disk column name for one owner's column.
+func colKey(owner int, col string) string { return fmt.Sprintf("o%d.%s", owner, col) }
+
+// pendColKey is the pending (streaming upload) name of the same column.
+func pendColKey(owner int, col string) string { return fmt.Sprintf("pend%d.%s", owner, col) }
+
+// TableManifest is the durable registration record a disk-backed server
+// writes once an owner's upload completes: the table layout plus which
+// owners have fully outsourced. Streamed shard windows live under
+// pending column names until the manifest-covered rename, so a restarted
+// server reloading from disk can trust every "o<j>.*" column it finds.
+type TableManifest struct {
+	Spec   protocol.TableSpec
+	Owners []int
+}
+
+// ocBytes is the resident size of an in-memory column set (0 for nil or
+// spilled-to-disk sets).
+func ocBytes(oc *ownerCols) int64 {
+	if oc == nil {
+		return 0
+	}
+	n := 2 * (int64(len(oc.chi)) + int64(len(oc.chibar)))
+	for _, v := range oc.sums {
+		n += 8 * int64(len(v))
+	}
+	for _, v := range oc.vsums {
+		n += 8 * int64(len(v))
+	}
+	n += 8 * (int64(len(oc.cnt)) + int64(len(oc.vcnt)))
+	return n
+}
+
+// trackHeld adjusts the held-bytes gauge and its peak.
+func (e *Engine) trackHeld(delta int64) {
+	cur := e.heldBytes.Add(delta)
+	for {
+		peak := e.peakHeld.Load()
+		if cur <= peak || e.peakHeld.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// HeldBytes reports the column bytes currently resident (pending
+// assemblies, in-memory tables, hot-chunk caches).
+func (e *Engine) HeldBytes() int64 { return e.heldBytes.Load() }
+
+// PeakHeldBytes reports the high-water mark of HeldBytes since the last
+// ResetHeldPeak.
+func (e *Engine) PeakHeldBytes() int64 { return e.peakHeld.Load() }
+
+// ResetHeldPeak restarts the peak measurement from the current level.
+func (e *Engine) ResetHeldPeak() { e.peakHeld.Store(e.heldBytes.Load()) }
+
+// PendingUploads reports the number of in-progress sharded-upload
+// assemblies (tests and monitoring).
+func (e *Engine) PendingUploads() int {
+	e.pendMu.Lock()
+	defer e.pendMu.Unlock()
+	n := 0
+	for _, byOwner := range e.pending {
+		n += len(byOwner)
+	}
+	return n
 }
 
 // New builds an engine for server view v.
@@ -290,6 +423,9 @@ func (e *Engine) Handle(ctx context.Context, req any) (any, error) {
 // ---- storage ----
 
 func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
+	if e.opts.PendingTTL > 0 {
+		e.sweepPending(time.Now())
+	}
 	if r.Owner < 0 || r.Owner >= e.view.M {
 		return nil, fmt.Errorf("server %d: owner index %d out of range [0,%d)", e.view.Index, r.Owner, e.view.M)
 	}
@@ -385,11 +521,15 @@ func (e *Engine) storeConflict(spec protocol.TableSpec) error {
 	return nil
 }
 
-// absorbShard copies one shard's column windows into the owner's pending
-// upload, creating it on the first shard. It returns the assembled
-// columns once every cell has arrived (nil while incomplete), plus the
-// covered cell count. Caller holds the (table, owner) store lock.
+// absorbShard folds one shard's column windows into the owner's pending
+// upload, creating it on the first shard. In-memory engines copy the
+// window into full-length RAM columns; disk-backed engines stream it
+// straight into pending chunked columns so resident memory stays
+// O(window) regardless of the domain. It returns the assembled columns
+// once every cell has arrived (nil while incomplete), plus the covered
+// cell count. Caller holds the (table, owner) store lock.
 func (e *Engine) absorbShard(r *protocol.StoreRequest) (*ownerCols, uint64, error) {
+	stream := e.opts.DiskBacked && e.opts.Store != nil
 	e.pendMu.Lock()
 	byOwner := e.pending[r.Spec.Name]
 	var p *pendingStore
@@ -419,18 +559,26 @@ func (e *Engine) absorbShard(r *protocol.StoreRequest) (*ownerCols, uint64, erro
 		}
 		marks[r.Owner] = uploadMark{epoch: epoch, seq: seq}
 	}
+	fresh := false
+	var replaced *pendingStore
 	if p == nil || p.id != r.UploadID {
 		// First shard, or a fresh attempt superseding a stale assembly
 		// left behind by a failed/cancelled upload.
-		p = &pendingStore{id: r.UploadID, spec: r.Spec, oc: e.newPendingCols(r.Spec)}
+		replaced = p
+		p = &pendingStore{id: r.UploadID, spec: r.Spec, owner: r.Owner, disk: stream}
 		if byOwner == nil {
 			byOwner = make(map[int]*pendingStore)
 			e.pending[r.Spec.Name] = byOwner
 		}
 		byOwner[r.Owner] = p
+		fresh = true
 	}
+	p.touched = time.Now()
 	e.pendMu.Unlock()
 
+	if replaced != nil && replaced.oc != nil {
+		e.trackHeld(-ocBytes(replaced.oc)) // superseded RAM assembly released
+	}
 	if !specEqual(p.spec, r.Spec) {
 		return nil, 0, fmt.Errorf("server %d: table %q shard spec differs from first shard", e.view.Index, r.Spec.Name)
 	}
@@ -440,26 +588,53 @@ func (e *Engine) absorbShard(r *protocol.StoreRequest) (*ownerCols, uint64, erro
 				e.view.Index, r.Spec.Name, r.Shard.Offset, r.Shard.End(), g.Offset, g.End())
 		}
 	}
-
-	off := r.Shard.Offset
-	oc := p.oc
-	if oc.chi != nil {
-		copy(oc.chi[off:], r.ChiAdd)
-	}
-	if oc.chibar != nil {
-		copy(oc.chibar[off:], r.ChiBarAdd)
-	}
-	for _, col := range r.Spec.AggCols {
-		copy(oc.sums[col][off:], r.SumCols[col])
-		if r.Spec.HasVerify {
-			copy(oc.vsums[col][off:], r.VSumCols[col])
+	if fresh {
+		if stream {
+			// Initialise the pending chunked columns (replacing any left
+			// by a superseded attempt).
+			for _, cd := range e.specCols(r.Spec) {
+				name := pendColKey(r.Owner, cd.name)
+				var err error
+				if cd.width == 2 {
+					err = e.opts.Store.CreateU16(r.Spec.Name, name, r.Spec.B)
+				} else {
+					err = e.opts.Store.CreateU64(r.Spec.Name, name, r.Spec.B)
+				}
+				if err != nil {
+					return nil, 0, err
+				}
+			}
+		} else {
+			p.oc = e.newPendingCols(r.Spec)
+			e.trackHeld(ocBytes(p.oc))
 		}
 	}
-	if oc.cnt != nil {
-		copy(oc.cnt[off:], r.CountCol)
-	}
-	if oc.vcnt != nil && r.VCountCol != nil {
-		copy(oc.vcnt[off:], r.VCountCol)
+
+	if p.disk {
+		if err := e.writePendingWindow(r); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		off := r.Shard.Offset
+		oc := p.oc
+		if oc.chi != nil {
+			copy(oc.chi[off:], r.ChiAdd)
+		}
+		if oc.chibar != nil {
+			copy(oc.chibar[off:], r.ChiBarAdd)
+		}
+		for _, col := range r.Spec.AggCols {
+			copy(oc.sums[col][off:], r.SumCols[col])
+			if r.Spec.HasVerify {
+				copy(oc.vsums[col][off:], r.VSumCols[col])
+			}
+		}
+		if oc.cnt != nil {
+			copy(oc.cnt[off:], r.CountCol)
+		}
+		if oc.vcnt != nil && r.VCountCol != nil {
+			copy(oc.vcnt[off:], r.VCountCol)
+		}
 	}
 	p.got = append(p.got, r.Shard)
 	p.covered += r.Shard.Count
@@ -467,14 +642,124 @@ func (e *Engine) absorbShard(r *protocol.StoreRequest) (*ownerCols, uint64, erro
 		return nil, p.covered, nil
 	}
 
-	// Complete: retire the pending entry; the caller registers oc.
+	// Complete: retire the pending entry; the caller registers the
+	// columns.
 	e.pendMu.Lock()
 	delete(byOwner, r.Owner)
 	if len(byOwner) == 0 {
 		delete(e.pending, r.Spec.Name)
 	}
 	e.pendMu.Unlock()
-	return oc, p.covered, nil
+	if p.disk {
+		// Promote the pending columns to their live names; only now can
+		// a query (or a restarted server following the manifest) see
+		// them.
+		for _, cd := range e.specCols(r.Spec) {
+			if err := e.opts.Store.RenameColumn(r.Spec.Name, pendColKey(r.Owner, cd.name), colKey(r.Owner, cd.name)); err != nil {
+				return nil, 0, err
+			}
+		}
+		return &ownerCols{onDisk: true}, p.covered, nil
+	}
+	e.trackHeld(-ocBytes(p.oc)) // hand-off: finishStore re-accounts it as a registered table
+	return p.oc, p.covered, nil
+}
+
+// writePendingWindow streams one shard's column windows into the pending
+// chunked columns. Caller holds the (table, owner) store lock.
+func (e *Engine) writePendingWindow(r *protocol.StoreRequest) error {
+	st := e.opts.Store
+	tbl := r.Spec.Name
+	off := r.Shard.Offset
+	if e.view.Index < 2 {
+		if err := st.WriteU16Range(tbl, pendColKey(r.Owner, "chi"), off, r.ChiAdd); err != nil {
+			return err
+		}
+		if r.Spec.HasVerify {
+			if err := st.WriteU16Range(tbl, pendColKey(r.Owner, "chibar"), off, r.ChiBarAdd); err != nil {
+				return err
+			}
+		}
+	}
+	for _, col := range r.Spec.AggCols {
+		if err := st.WriteU64Range(tbl, pendColKey(r.Owner, "sum."+col), off, r.SumCols[col]); err != nil {
+			return err
+		}
+		if r.Spec.HasVerify {
+			if err := st.WriteU64Range(tbl, pendColKey(r.Owner, "vsum."+col), off, r.VSumCols[col]); err != nil {
+				return err
+			}
+		}
+	}
+	if r.Spec.HasCount {
+		if err := st.WriteU64Range(tbl, pendColKey(r.Owner, "cnt"), off, r.CountCol); err != nil {
+			return err
+		}
+		if r.Spec.HasVerify {
+			if err := st.WriteU64Range(tbl, pendColKey(r.Owner, "vcnt"), off, r.VCountCol); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sweepPending reclaims sharded-upload assemblies whose last shard
+// arrived more than Options.PendingTTL ago — the owner crashed or gave
+// up mid-upload. RAM assemblies release their buffers; streamed
+// assemblies delete their pending disk columns. Assemblies whose
+// (table, owner) store lock is busy are skipped (that upload is alive).
+// Returns the number of assemblies swept.
+func (e *Engine) sweepPending(now time.Time) int {
+	ttl := e.opts.PendingTTL
+	if ttl <= 0 {
+		return 0
+	}
+	type victim struct {
+		table string
+		owner int
+		p     *pendingStore
+	}
+	e.pendMu.Lock()
+	var victims []victim
+	for tbl, byOwner := range e.pending {
+		for owner, p := range byOwner {
+			if now.Sub(p.touched) > ttl {
+				victims = append(victims, victim{tbl, owner, p})
+			}
+		}
+	}
+	e.pendMu.Unlock()
+	swept := 0
+	for _, v := range victims {
+		mu := e.storeLock(fmt.Sprintf("%s/%d", v.table, v.owner))
+		if !mu.TryLock() {
+			continue // a live upload holds the lock; not stale after all
+		}
+		e.pendMu.Lock()
+		cur := e.pending[v.table][v.owner]
+		stale := cur == v.p && now.Sub(cur.touched) > ttl
+		if stale {
+			delete(e.pending[v.table], v.owner)
+			if len(e.pending[v.table]) == 0 {
+				delete(e.pending, v.table)
+			}
+		}
+		e.pendMu.Unlock()
+		if stale {
+			if v.p.oc != nil {
+				e.trackHeld(-ocBytes(v.p.oc))
+			}
+			if v.p.disk {
+				for _, cd := range e.specCols(v.p.spec) {
+					e.opts.Store.DeleteColumn(v.table, pendColKey(v.owner, cd.name))
+				}
+			}
+			swept++
+		}
+		mu.Unlock()
+	}
+	return swept
 }
 
 // newPendingCols allocates full-length columns for the table layout this
@@ -529,8 +814,9 @@ func specEqual(a, b protocol.TableSpec) bool {
 func (e *Engine) finishStore(spec protocol.TableSpec, owner int, oc *ownerCols) (any, error) {
 	// Spill to disk BEFORE registering: once an ownerCols is visible in
 	// the table map it is immutable, so concurrent queries can read it
-	// without holding the engine lock.
-	if e.opts.DiskBacked && e.opts.Store != nil {
+	// without holding the engine lock. Streamed sharded uploads arrive
+	// already on disk (oc.onDisk) and skip the spill.
+	if e.opts.DiskBacked && e.opts.Store != nil && !oc.onDisk {
 		if err := e.spill(spec.Name, owner, oc); err != nil {
 			return nil, err
 		}
@@ -548,11 +834,43 @@ func (e *Engine) finishStore(spec protocol.TableSpec, owner int, oc *ownerCols) 
 		t = &table{spec: spec, owners: make(map[int]*ownerCols)}
 		e.tables[spec.Name] = t
 	}
+	e.trackHeld(ocBytes(oc) - ocBytes(t.owners[owner]))
 	t.owners[owner] = oc
 	if e.opts.CacheColumns && e.opts.DiskBacked {
-		t.cache = newColCache() // new table epoch: invalidate hot columns
+		// New table epoch: invalidate hot chunks (release their bytes).
+		if t.cache != nil {
+			t.cache.discard()
+		}
+		t.cache = newChunkCache(e.opts.CacheBytes, e.trackHeld)
 	}
 	e.mu.Unlock()
+
+	if e.opts.DiskBacked && e.opts.Store != nil {
+		// Durable registration record: written only after the owner's
+		// columns are fully assembled and promoted to their live names.
+		// The owner snapshot is taken while holding manifestMu, so
+		// concurrent completions serialise snapshot-then-write in order
+		// and a stale snapshot can never overwrite a newer manifest.
+		e.manifestMu.Lock()
+		var owners []int
+		e.mu.RLock()
+		cur, ok := e.tables[spec.Name]
+		if ok {
+			for j := range cur.owners {
+				owners = append(owners, j)
+			}
+		}
+		e.mu.RUnlock()
+		var err error
+		if ok { // a concurrent Drop skips the write; DropTable removed the dir
+			sort.Ints(owners)
+			err = e.opts.Store.WriteManifest(spec.Name, TableManifest{Spec: spec, Owners: owners})
+		}
+		e.manifestMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
 	return protocol.StoreReply{Cells: spec.B}, nil
 }
 
@@ -570,13 +888,27 @@ func (e *Engine) storeLock(key string) *sync.Mutex {
 
 func (e *Engine) handleDrop(r protocol.DropRequest) (any, error) {
 	e.mu.Lock()
-	delete(e.tables, r.Table)
+	if t, ok := e.tables[r.Table]; ok {
+		for _, oc := range t.owners {
+			e.trackHeld(-ocBytes(oc))
+		}
+		if t.cache != nil {
+			t.cache.discard()
+		}
+		delete(e.tables, r.Table)
+	}
 	e.mu.Unlock()
 	e.pendMu.Lock()
-	delete(e.pending, r.Table)    // abandon half-assembled sharded uploads
+	for _, p := range e.pending[r.Table] { // abandon half-assembled sharded uploads
+		if p.oc != nil {
+			e.trackHeld(-ocBytes(p.oc))
+		}
+	}
+	delete(e.pending, r.Table)
 	delete(e.storeMarks, r.Table) // and reclaim its attempt marks
 	e.pendMu.Unlock()
 	if e.opts.Store != nil {
+		// Removes live, pending and manifest files alike.
 		if err := e.opts.Store.DropTable(r.Table); err != nil {
 			return nil, err
 		}
@@ -649,87 +981,365 @@ func (e *Engine) lookup(name string) (*tableView, error) {
 	return v, nil
 }
 
-// chiShares returns every owner's χ share vector, fetching from disk in
-// disk-backed mode.
-func (e *Engine) chiShares(t *tableView, bar bool, stats *protocol.Stats) ([][]uint16, error) {
-	out := make([][]uint16, 0, len(t.owners))
-	for j := 0; j < e.view.M; j++ {
-		oc := t.owners[j]
-		var v []uint16
-		if oc.onDisk {
-			col := "chi"
-			if bar {
-				col = "chibar"
-			}
-			key := fmt.Sprintf("o%d.%s", j, col)
-			load := func() ([]uint16, error) {
-				// Only real disk reads count as data-fetch time; the
-				// in-memory path is a slice handoff, not a fetch.
-				start := time.Now()
-				v, err := e.opts.Store.ReadU16(t.spec.Name, key)
-				stats.FetchNS += time.Since(start).Nanoseconds()
-				return v, err
-			}
-			var err error
-			if t.cache != nil {
-				var hit bool
-				v, hit, err = t.cache.getU16(key, load)
-				if hit {
-					stats.CacheHits++
-				}
-			} else {
-				v, err = load()
-			}
-			if err != nil {
-				return nil, err
-			}
-		} else if bar {
-			v = oc.chibar
-		} else {
-			v = oc.chi
+// ---- column fetch layer ----
+//
+// Every handler fetches exactly the stored cells its reply window needs:
+// contiguous windows via fetch*Window (reading only the chunks that
+// overlap the window) and scattered cells — permuted reply windows,
+// bucket-tree frontiers — via fetchU16Gather (visiting the touched
+// chunks one at a time, so residency stays O(window + chunk)). In-memory
+// tables hand out zero-copy slices and report no fetch time; disk reads
+// are timed into Stats.FetchNS and served through the per-table
+// hot-chunk cache when enabled.
+
+// memU16 resolves an in-memory uint16 column by its layout name.
+func memU16(oc *ownerCols, col string) []uint16 {
+	switch col {
+	case "chi":
+		return oc.chi
+	case "chibar":
+		return oc.chibar
+	}
+	return nil
+}
+
+// memU64 resolves an in-memory uint64 column by its layout name.
+func memU64(oc *ownerCols, col string) []uint64 {
+	switch {
+	case col == "cnt":
+		return oc.cnt
+	case col == "vcnt":
+		return oc.vcnt
+	case strings.HasPrefix(col, "sum."):
+		return oc.sums[strings.TrimPrefix(col, "sum.")]
+	case strings.HasPrefix(col, "vsum."):
+		return oc.vsums[strings.TrimPrefix(col, "vsum.")]
+	}
+	return nil
+}
+
+// colInfo reports a disk column's shape, cached per table epoch.
+func (e *Engine) colInfo(t *tableView, key string, stats *protocol.Stats) (sharestore.ColumnInfo, error) {
+	load := func() (sharestore.ColumnInfo, error) {
+		start := time.Now()
+		info, err := e.opts.Store.Stat(t.spec.Name, key)
+		stats.FetchNS += time.Since(start).Nanoseconds()
+		return info, err
+	}
+	if t.cache != nil {
+		return t.cache.getInfo(key, load)
+	}
+	return load()
+}
+
+// chunkSpanU16 returns chunk k of a disk column, via the hot-chunk cache
+// when enabled.
+func (e *Engine) chunkSpanU16(t *tableView, key string, k uint64, stats *protocol.Stats) ([]uint16, error) {
+	load := func() ([]uint16, error) {
+		start := time.Now()
+		v, err := e.opts.Store.ReadU16Chunk(t.spec.Name, key, k)
+		stats.FetchNS += time.Since(start).Nanoseconds()
+		return v, err
+	}
+	if t.cache != nil {
+		v, hit, err := t.cache.getU16(key, k, load)
+		if hit {
+			stats.CacheHits++
 		}
+		return v, err
+	}
+	return load()
+}
+
+// chunkSpanU64 is chunkSpanU16 for uint64 columns.
+func (e *Engine) chunkSpanU64(t *tableView, key string, k uint64, stats *protocol.Stats) ([]uint64, error) {
+	load := func() ([]uint64, error) {
+		start := time.Now()
+		v, err := e.opts.Store.ReadU64Chunk(t.spec.Name, key, k)
+		stats.FetchNS += time.Since(start).Nanoseconds()
+		return v, err
+	}
+	if t.cache != nil {
+		v, hit, err := t.cache.getU64(key, k, load)
+		if hit {
+			stats.CacheHits++
+		}
+		return v, err
+	}
+	return load()
+}
+
+// fetchU16Window returns owner j's cells [rg.Offset, rg.End()) of a
+// uint16 column: a zero-copy slice for in-memory tables, a chunk-ranged
+// read for disk tables.
+func (e *Engine) fetchU16Window(t *tableView, owner int, col string, rg protocol.Range, stats *protocol.Stats) ([]uint16, error) {
+	oc := t.owners[owner]
+	if !oc.onDisk {
+		v := memU16(oc, col)
 		if v == nil {
-			return nil, fmt.Errorf("server %d: table %q owner %d missing %s column", e.view.Index, t.spec.Name, j, map[bool]string{false: "χ", true: "χ̄"}[bar])
+			return nil, fmt.Errorf("server %d: table %q owner %d missing %s column", e.view.Index, t.spec.Name, owner, col)
 		}
-		out = append(out, v)
+		return v[rg.Offset:rg.End()], nil
+	}
+	key := colKey(owner, col)
+	if t.cache == nil {
+		start := time.Now()
+		v, err := e.opts.Store.ReadU16Range(t.spec.Name, key, rg.Offset, rg.Count)
+		stats.FetchNS += time.Since(start).Nanoseconds()
+		return v, err
+	}
+	info, err := e.colInfo(t, key, stats)
+	if err != nil {
+		return nil, err
+	}
+	cc := info.ChunkCells
+	if rg.Count > 0 && rg.Offset%cc == 0 {
+		chunkEnd := rg.Offset + cc
+		if chunkEnd > info.Cells {
+			chunkEnd = info.Cells
+		}
+		if rg.End() == chunkEnd {
+			// The window is exactly one whole chunk (shard windows
+			// aligned to the chunk size): hand out the chunk slice
+			// without copying.
+			return e.chunkSpanU16(t, key, rg.Offset/cc, stats)
+		}
+	}
+	if rg.Offset == 0 && rg.Count == info.Cells && info.NumChunks() > 1 {
+		// Whole-column read of a multi-chunk column (monolithic query
+		// shapes): cache the assembled column as one entry so warm
+		// queries get a zero-copy slice handoff instead of re-joining
+		// chunks per query.
+		load := func() ([]uint16, error) {
+			start := time.Now()
+			v, err := e.opts.Store.ReadU16Range(t.spec.Name, key, 0, info.Cells)
+			stats.FetchNS += time.Since(start).Nanoseconds()
+			return v, err
+		}
+		v, hit, err := t.cache.getU16(key, fullColumnChunk, load)
+		if hit {
+			stats.CacheHits++
+		}
+		return v, err
+	}
+	out := make([]uint16, rg.Count)
+	if rg.Count == 0 {
+		return out, nil
+	}
+	for k := rg.Offset / cc; k*cc < rg.End(); k++ {
+		chunk, err := e.chunkSpanU16(t, key, k, stats)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := windowOverlap(k*cc, k*cc+uint64(len(chunk)), rg)
+		copy(out[lo-rg.Offset:], chunk[lo-k*cc:hi-k*cc])
 	}
 	return out, nil
 }
 
-// u64Col returns one owner's named uint64 column, disk-aware.
-func (e *Engine) u64Col(t *tableView, owner int, kind, col string, stats *protocol.Stats) ([]uint64, error) {
+// fetchU64Window is fetchU16Window for uint64 columns.
+func (e *Engine) fetchU64Window(t *tableView, owner int, col string, rg protocol.Range, stats *protocol.Stats) ([]uint64, error) {
 	oc := t.owners[owner]
-	if oc.onDisk {
-		name := fmt.Sprintf("o%d.%s", owner, kind)
-		if col != "" {
-			name += "." + col
+	if !oc.onDisk {
+		v := memU64(oc, col)
+		if v == nil {
+			return nil, fmt.Errorf("server %d: owner %d missing %s column", e.view.Index, owner, col)
 		}
+		return v[rg.Offset:rg.End()], nil
+	}
+	key := colKey(owner, col)
+	if t.cache == nil {
+		start := time.Now()
+		v, err := e.opts.Store.ReadU64Range(t.spec.Name, key, rg.Offset, rg.Count)
+		stats.FetchNS += time.Since(start).Nanoseconds()
+		return v, err
+	}
+	info, err := e.colInfo(t, key, stats)
+	if err != nil {
+		return nil, err
+	}
+	cc := info.ChunkCells
+	if rg.Count > 0 && rg.Offset%cc == 0 {
+		chunkEnd := rg.Offset + cc
+		if chunkEnd > info.Cells {
+			chunkEnd = info.Cells
+		}
+		if rg.End() == chunkEnd {
+			// Whole-chunk window: no copy (see fetchU16Window).
+			return e.chunkSpanU64(t, key, rg.Offset/cc, stats)
+		}
+	}
+	if rg.Offset == 0 && rg.Count == info.Cells && info.NumChunks() > 1 {
+		// Whole-column read: one cache entry, zero-copy warm handoff
+		// (see fetchU16Window).
 		load := func() ([]uint64, error) {
 			start := time.Now()
-			v, err := e.opts.Store.ReadU64(t.spec.Name, name)
+			v, err := e.opts.Store.ReadU64Range(t.spec.Name, key, 0, info.Cells)
 			stats.FetchNS += time.Since(start).Nanoseconds()
 			return v, err
 		}
-		if t.cache != nil {
-			v, hit, err := t.cache.getU64(name, load)
-			if hit {
-				stats.CacheHits++
-			}
-			return v, err
+		v, hit, err := t.cache.getU64(key, fullColumnChunk, load)
+		if hit {
+			stats.CacheHits++
 		}
-		return load()
+		return v, err
 	}
-	switch kind {
-	case "sum":
-		return oc.sums[col], nil
-	case "vsum":
-		return oc.vsums[col], nil
-	case "cnt":
-		return oc.cnt, nil
-	case "vcnt":
-		return oc.vcnt, nil
+	out := make([]uint64, rg.Count)
+	if rg.Count == 0 {
+		return out, nil
 	}
-	return nil, fmt.Errorf("server %d: unknown column kind %q", e.view.Index, kind)
+	for k := rg.Offset / cc; k*cc < rg.End(); k++ {
+		chunk, err := e.chunkSpanU64(t, key, k, stats)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := windowOverlap(k*cc, k*cc+uint64(len(chunk)), rg)
+		copy(out[lo-rg.Offset:], chunk[lo-k*cc:hi-k*cc])
+	}
+	return out, nil
+}
+
+// windowOverlap intersects chunk cells [clo, chi) with the window rg.
+func windowOverlap(clo, chi uint64, rg protocol.Range) (lo, hi uint64) {
+	lo, hi = clo, chi
+	if lo < rg.Offset {
+		lo = rg.Offset
+	}
+	if hi > rg.End() {
+		hi = rg.End()
+	}
+	return lo, hi
+}
+
+// gatherPlan groups scattered cell indices by the chunk that holds
+// them, so a gather visits each touched chunk exactly once. order holds
+// positions into idx, grouped by chunk; starts[c] is the first position
+// of chunk chunks[c] within order. Built in O(n + touched chunks) with
+// a counting pass — no comparison sort — and shared across every
+// owner's column of the same chunk geometry.
+type gatherPlan struct {
+	cc     uint64
+	chunks []uint64
+	starts []int
+	order  []int32
+}
+
+func buildGatherPlan(idx []uint64, cc, cells uint64) gatherPlan {
+	nchunks := int((cells + cc - 1) / cc)
+	counts := make([]int, nchunks)
+	for _, c := range idx {
+		counts[c/cc]++
+	}
+	chunks := make([]uint64, 0, nchunks)
+	starts := make([]int, 1, nchunks+1)
+	next := make([]int, nchunks)
+	for k, n := range counts {
+		if n == 0 {
+			continue
+		}
+		next[k] = starts[len(starts)-1]
+		chunks = append(chunks, uint64(k))
+		starts = append(starts, next[k]+n)
+	}
+	order := make([]int32, len(idx))
+	for i, cell := range idx {
+		k := cell / cc
+		order[next[k]] = int32(i)
+		next[k]++
+	}
+	return gatherPlan{cc: cc, chunks: chunks, starts: starts, order: order}
+}
+
+// fetchU16Gather returns owner j's cells idx[0..n) of a uint16 column,
+// in idx order. Disk tables visit each touched chunk once (per the
+// plan), so residency is O(len(idx) + chunk) even when the indices
+// scatter across the whole column (permuted reply windows, bucket-tree
+// frontiers).
+func (e *Engine) fetchU16Gather(t *tableView, owner int, col string, idx []uint64, plan *gatherPlan, stats *protocol.Stats) ([]uint16, error) {
+	oc := t.owners[owner]
+	out := make([]uint16, len(idx))
+	if !oc.onDisk {
+		v := memU16(oc, col)
+		if v == nil {
+			return nil, fmt.Errorf("server %d: table %q owner %d missing %s column", e.view.Index, t.spec.Name, owner, col)
+		}
+		for i, c := range idx {
+			out[i] = v[c]
+		}
+		return out, nil
+	}
+	key := colKey(owner, col)
+	info, err := e.colInfo(t, key, stats)
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil || plan.cc != info.ChunkCells {
+		// Mixed chunk geometries across owners (e.g. a half-migrated
+		// table): fall back to a column-specific plan.
+		p := buildGatherPlan(idx, info.ChunkCells, info.Cells)
+		plan = &p
+	}
+	for c, k := range plan.chunks {
+		chunk, err := e.chunkSpanU16(t, key, k, stats)
+		if err != nil {
+			return nil, err
+		}
+		lo := k * plan.cc
+		for _, i := range plan.order[plan.starts[c]:plan.starts[c+1]] {
+			out[i] = chunk[idx[i]-lo]
+		}
+	}
+	return out, nil
+}
+
+// chiWindows fetches every owner's χ (bar=false) or χ̄ (bar=true) share
+// cells for the stored-cell window rg.
+func (e *Engine) chiWindows(t *tableView, bar bool, rg protocol.Range, stats *protocol.Stats) ([][]uint16, error) {
+	col := "chi"
+	if bar {
+		col = "chibar"
+	}
+	out := make([][]uint16, e.view.M)
+	for j := 0; j < e.view.M; j++ {
+		v, err := e.fetchU16Window(t, j, col, rg, stats)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = v
+	}
+	return out, nil
+}
+
+// chiGather fetches every owner's χ/χ̄ share at the scattered stored
+// cells idx, in idx order. The chunk-grouping plan is computed once and
+// shared across owners (their columns share the store's chunk
+// geometry).
+func (e *Engine) chiGather(t *tableView, bar bool, idx []uint64, stats *protocol.Stats) ([][]uint16, error) {
+	col := "chi"
+	if bar {
+		col = "chibar"
+	}
+	var plan *gatherPlan
+	for j := 0; j < e.view.M; j++ {
+		if t.owners[j].onDisk {
+			info, err := e.colInfo(t, colKey(j, col), stats)
+			if err != nil {
+				return nil, err
+			}
+			p := buildGatherPlan(idx, info.ChunkCells, info.Cells)
+			plan = &p
+			break
+		}
+	}
+	out := make([][]uint16, e.view.M)
+	for j := 0; j < e.view.M; j++ {
+		v, err := e.fetchU16Gather(t, j, col, idx, plan, stats)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = v
+	}
+	return out, nil
 }
 
 // ---- parallel helper ----
@@ -780,57 +1390,41 @@ func (e *Engine) s2Inverse() perm.Perm {
 	return e.s2inv
 }
 
-// sliceShares windows every owner's share vector to [rg.Offset, rg.End())
-// — zero-copy views into the (immutable) stored columns.
-func sliceShares[T any](shares [][]T, rg protocol.Range) [][]T {
-	out := make([][]T, len(shares))
-	for j, s := range shares {
-		out[j] = s[rg.Offset:rg.End()]
+// invWindow materialises the stored-cell indices a server-permuted reply
+// window [rg.Offset, rg.End()) maps to: idx[k] = inv[rg.Offset+k].
+func invWindow(inv perm.Perm, rg protocol.Range) []uint64 {
+	idx := make([]uint64, rg.Count)
+	for k := range idx {
+		idx[k] = uint64(inv[rg.Offset+uint64(k)])
 	}
-	return out
+	return idx
 }
 
 // ---- PSI (§5.1 Step 2) ----
 
-// psiVector computes out_i = g^((Σ_j A(x_i)_j ⊖ A(m)) mod δ) mod η' for
-// every requested cell (all cells when cells is nil).
-func (e *Engine) psiVector(shares [][]uint16, cells []uint32, subtractM bool, stats *protocol.Stats) []uint64 {
+// psiVector computes out_i = g^((Σ_j A(x_i)_j ⊖ A(m)) mod δ) mod η' per
+// position of the (window-relative) share vectors.
+func (e *Engine) psiVector(shares [][]uint16, subtractM bool, stats *protocol.Stats) []uint64 {
 	delta := e.view.Delta
 	mShare := uint64(0)
 	if subtractM {
 		mShare = uint64(e.view.MShare) % delta
 	}
 	start := time.Now()
-	var out []uint64
-	if cells == nil {
-		n := len(shares[0])
-		out = make([]uint64, n)
-		e.parallel(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				var sum uint64
-				for _, sv := range shares {
-					sum += uint64(sv[i])
-				}
-				e2 := (sum%delta + delta - mShare) % delta
-				out[i] = e.powTab[e2]
+	n := len(shares[0])
+	out := make([]uint64, n)
+	e.parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum uint64
+			for _, sv := range shares {
+				sum += uint64(sv[i])
 			}
-		})
-	} else {
-		out = make([]uint64, len(cells))
-		e.parallel(len(cells), func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				i := cells[k]
-				var sum uint64
-				for _, sv := range shares {
-					sum += uint64(sv[i])
-				}
-				e2 := (sum%delta + delta - mShare) % delta
-				out[k] = e.powTab[e2]
-			}
-		})
-	}
+			e2 := (sum%delta + delta - mShare) % delta
+			out[i] = e.powTab[e2]
+		}
+	})
 	stats.ComputeNS += time.Since(start).Nanoseconds()
-	stats.Cells += len(out)
+	stats.Cells += n
 	return out
 }
 
@@ -843,10 +1437,6 @@ func (e *Engine) handlePSI(r protocol.PSIRequest) (any, error) {
 		return nil, err
 	}
 	var stats protocol.Stats
-	shares, err := e.chiShares(t, false, &stats)
-	if err != nil {
-		return nil, err
-	}
 	if r.Shard.Sharded() {
 		if r.Cells != nil {
 			return nil, fmt.Errorf("server %d: PSI request mixes a shard range with a cell frontier", e.view.Index)
@@ -854,16 +1444,33 @@ func (e *Engine) handlePSI(r protocol.PSIRequest) (any, error) {
 		if err := r.Shard.Validate(t.spec.B); err != nil {
 			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
 		}
-		out := e.psiVector(sliceShares(shares, r.Shard), nil, true, &stats)
-		return protocol.PSIReply{Out: out, Stats: stats}, nil
-	}
-	for _, c := range r.Cells {
-		if uint64(c) >= t.spec.B {
-			return nil, fmt.Errorf("server %d: cell %d out of range", e.view.Index, c)
+		shares, err := e.chiWindows(t, false, r.Shard, &stats)
+		if err != nil {
+			return nil, err
 		}
+		return protocol.PSIReply{Out: e.psiVector(shares, true, &stats), Stats: stats}, nil
 	}
-	out := e.psiVector(shares, r.Cells, true, &stats)
-	return protocol.PSIReply{Out: out, Stats: stats}, nil
+	if r.Cells != nil {
+		// Bucket-tree frontier (§6.6): scattered cells, gathered so only
+		// the chunks the frontier touches are read.
+		idx := make([]uint64, len(r.Cells))
+		for i, c := range r.Cells {
+			if uint64(c) >= t.spec.B {
+				return nil, fmt.Errorf("server %d: cell %d out of range", e.view.Index, c)
+			}
+			idx[i] = uint64(c)
+		}
+		shares, err := e.chiGather(t, false, idx, &stats)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.PSIReply{Out: e.psiVector(shares, true, &stats), Stats: stats}, nil
+	}
+	shares, err := e.chiWindows(t, false, protocol.Range{Offset: 0, Count: t.spec.B}, &stats)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.PSIReply{Out: e.psiVector(shares, true, &stats), Stats: stats}, nil
 }
 
 // ---- PSI verification (§5.2 Step 2, Equation 7) ----
@@ -879,19 +1486,20 @@ func (e *Engine) handlePSIVerify(r protocol.PSIVerifyRequest) (any, error) {
 	if !t.spec.HasVerify {
 		return nil, fmt.Errorf("server %d: table %q outsourced without verification columns", e.view.Index, r.Table)
 	}
-	var stats protocol.Stats
-	shares, err := e.chiShares(t, true, &stats)
-	if err != nil {
-		return nil, err
-	}
+	rg := protocol.Range{Offset: 0, Count: t.spec.B}
 	if r.Shard.Sharded() {
 		if err := r.Shard.Validate(t.spec.B); err != nil {
 			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
 		}
-		shares = sliceShares(shares, r.Shard)
+		rg = r.Shard
+	}
+	var stats protocol.Stats
+	shares, err := e.chiWindows(t, true, rg, &stats)
+	if err != nil {
+		return nil, err
 	}
 	// No ⊖A(m) on the verification side (Equation 7).
-	out := e.psiVector(shares, nil, false, &stats)
+	out := e.psiVector(shares, false, &stats)
 	return protocol.PSIVerifyReply{Vout: out, Stats: stats}, nil
 }
 
@@ -909,32 +1517,38 @@ func (e *Engine) handleCount(r protocol.CountRequest) (any, error) {
 		return nil, fmt.Errorf("server %d: count needs a permuted table", e.view.Index)
 	}
 	var stats protocol.Stats
-	shares, err := e.chiShares(t, false, &stats)
-	if err != nil {
-		return nil, err
-	}
 	if r.Shard.Sharded() {
 		// The window indexes the PF_s1-permuted output vector, so the
-		// engine evaluates the stored cells PF_s1⁻¹ maps it to; Out and
-		// Vout windows at the same offsets stay aligned (Eq. 1).
+		// engine evaluates the stored cells PF_s1⁻¹ maps it to — gathered
+		// chunk by chunk; Out and Vout windows at the same offsets stay
+		// aligned (Eq. 1).
 		if err := r.Shard.Validate(t.spec.B); err != nil {
 			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
 		}
-		reply := protocol.CountReply{Out: e.psiVectorAt(shares, e.s1Inverse(), r.Shard, true, &stats)}
+		shares, err := e.chiGather(t, false, invWindow(e.s1Inverse(), r.Shard), &stats)
+		if err != nil {
+			return nil, err
+		}
+		reply := protocol.CountReply{Out: e.psiVector(shares, true, &stats)}
 		if r.Verify {
 			if !t.spec.HasVerify {
 				return nil, fmt.Errorf("server %d: table %q lacks verification columns", e.view.Index, r.Table)
 			}
-			vshares, err := e.chiShares(t, true, &stats)
+			vshares, err := e.chiGather(t, true, invWindow(e.s2Inverse(), r.Shard), &stats)
 			if err != nil {
 				return nil, err
 			}
-			reply.Vout = e.psiVectorAt(vshares, e.s2Inverse(), r.Shard, false, &stats)
+			reply.Vout = e.psiVector(vshares, false, &stats)
 		}
 		reply.Stats = stats
 		return reply, nil
 	}
-	raw := e.psiVector(shares, nil, true, &stats)
+	full := protocol.Range{Offset: 0, Count: t.spec.B}
+	shares, err := e.chiWindows(t, false, full, &stats)
+	if err != nil {
+		return nil, err
+	}
+	raw := e.psiVector(shares, true, &stats)
 	start := time.Now()
 	out := perm.Apply(e.view.S1, raw, nil) // hide positions from owners
 	stats.ComputeNS += time.Since(start).Nanoseconds()
@@ -944,45 +1558,17 @@ func (e *Engine) handleCount(r protocol.CountRequest) (any, error) {
 		if !t.spec.HasVerify {
 			return nil, fmt.Errorf("server %d: table %q lacks verification columns", e.view.Index, r.Table)
 		}
-		vshares, err := e.chiShares(t, true, &stats)
+		vshares, err := e.chiWindows(t, true, full, &stats)
 		if err != nil {
 			return nil, err
 		}
-		vraw := e.psiVector(vshares, nil, false, &stats)
+		vraw := e.psiVector(vshares, false, &stats)
 		start = time.Now()
 		reply.Vout = perm.Apply(e.view.S2, vraw, nil) // aligned under PF_i (Eq. 1)
 		stats.ComputeNS += time.Since(start).Nanoseconds()
 	}
 	reply.Stats = stats
 	return reply, nil
-}
-
-// psiVectorAt computes the PSI output for the window [rg.Offset,
-// rg.End()) of a server-permuted reply vector: position k is evaluated
-// at stored cell inv[k]. Same per-cell work as psiVector, scattered
-// reads instead of a sequential scan.
-func (e *Engine) psiVectorAt(shares [][]uint16, inv perm.Perm, rg protocol.Range, subtractM bool, stats *protocol.Stats) []uint64 {
-	delta := e.view.Delta
-	mShare := uint64(0)
-	if subtractM {
-		mShare = uint64(e.view.MShare) % delta
-	}
-	start := time.Now()
-	out := make([]uint64, rg.Count)
-	e.parallel(int(rg.Count), func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			i := inv[rg.Offset+uint64(k)]
-			var sum uint64
-			for _, sv := range shares {
-				sum += uint64(sv[i])
-			}
-			e2 := (sum%delta + delta - mShare) % delta
-			out[k] = e.powTab[e2]
-		}
-	})
-	stats.ComputeNS += time.Since(start).Nanoseconds()
-	stats.Cells += int(rg.Count)
-	return out
 }
 
 // ---- PSU (§7, Equation 18) ----
@@ -996,29 +1582,35 @@ func (e *Engine) handlePSU(r protocol.PSURequest) (any, error) {
 		return nil, err
 	}
 	var stats protocol.Stats
-	shares, err := e.chiShares(t, false, &stats)
-	if err != nil {
-		return nil, err
-	}
 	if r.Shard.Sharded() {
 		if err := r.Shard.Validate(t.spec.B); err != nil {
 			return nil, fmt.Errorf("server %d: %w", e.view.Index, err)
 		}
-		var out []uint16
+		var shares [][]uint16
 		if r.Permute {
 			// The window indexes the PF_s1-permuted output; masks are
 			// derived per output position ("psup" label) so both servers
-			// agree without streaming past scattered stored cells.
-			inv := e.s1Inverse()
-			out = e.psuMasked(shares, r.Shard, r.QueryID, "psup",
-				func(k uint64) uint64 { return uint64(inv[k]) }, &stats)
+			// agree without streaming past scattered stored cells, which
+			// are gathered chunk by chunk.
+			shares, err = e.chiGather(t, false, invWindow(e.s1Inverse(), r.Shard), &stats)
 		} else {
-			out = e.psuMasked(shares, r.Shard, r.QueryID, "psu", nil, &stats)
+			shares, err = e.chiWindows(t, false, r.Shard, &stats)
 		}
-		return protocol.PSUReply{Out: out, Stats: stats}, nil
+		if err != nil {
+			return nil, err
+		}
+		label := "psu"
+		if r.Permute {
+			label = "psup"
+		}
+		return protocol.PSUReply{Out: e.psuMasked(shares, r.Shard, r.QueryID, label, &stats), Stats: stats}, nil
 	}
-	n := uint64(len(shares[0]))
-	out := e.psuMasked(shares, protocol.Range{Offset: 0, Count: n}, r.QueryID, "psu", nil, &stats)
+	full := protocol.Range{Offset: 0, Count: t.spec.B}
+	shares, err := e.chiWindows(t, false, full, &stats)
+	if err != nil {
+		return nil, err
+	}
+	out := e.psuMasked(shares, full, r.QueryID, "psu", &stats)
 	if r.Permute {
 		start := time.Now()
 		out = perm.Apply(e.view.S1, out, nil)
@@ -1028,15 +1620,14 @@ func (e *Engine) handlePSU(r protocol.PSURequest) (any, error) {
 }
 
 // psuMasked computes masked PSU sums for the window rg of one reply
-// vector: position k evaluates stored cell index(k) (nil index =
-// identity, i.e. a stored-order window). Masks are derived per
-// fixed-size block of positions from the shared seed, the query id and
-// label, so both servers produce identical rand[] regardless of thread
-// counts or shard boundaries; boundary blocks fast-forward their stream
-// to the window's first position, which makes a sharded stored-order
-// reply agree cell for cell with the monolithic one (same "psu"
-// streams).
-func (e *Engine) psuMasked(shares [][]uint16, rg protocol.Range, qid, label string, index func(uint64) uint64, stats *protocol.Stats) []uint16 {
+// vector; the share vectors are window-relative (position k of the reply
+// reads shares[j][k-rg.Offset]). Masks are derived per fixed-size block
+// of positions from the shared seed, the query id and label, so both
+// servers produce identical rand[] regardless of thread counts or shard
+// boundaries; boundary blocks fast-forward their stream to the window's
+// first position, which makes a sharded stored-order reply agree cell
+// for cell with the monolithic one (same "psu" streams).
+func (e *Engine) psuMasked(shares [][]uint16, rg protocol.Range, qid, label string, stats *protocol.Stats) []uint16 {
 	delta := e.view.Delta
 	out := make([]uint16, rg.Count)
 	if rg.Count == 0 {
@@ -1061,13 +1652,9 @@ func (e *Engine) psuMasked(shares [][]uint16, rg protocol.Range, qid, label stri
 				g.Range1(delta) // fast-forward the block stream to lo
 			}
 			for k := lo; k < hi; k++ {
-				i := k
-				if index != nil {
-					i = index(k)
-				}
 				var sum uint64
 				for _, sv := range shares {
-					sum += uint64(sv[i])
+					sum += uint64(sv[k-rg.Offset])
 				}
 				mask := g.Range1(delta)
 				out[k-rg.Offset] = uint16(sum % delta * mask % delta)
@@ -1112,13 +1699,13 @@ func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
 	}
 
 	for _, col := range r.Cols {
-		acc, err := e.sumColumn(t, "sum", col, r.Z, rg, &stats)
+		acc, err := e.sumColumn(t, "sum."+col, r.Z, rg, &stats)
 		if err != nil {
 			return nil, err
 		}
 		reply.Sums[col] = acc
 		if verify {
-			vacc, err := e.sumColumn(t, "vsum", col, r.VZ, rg, &stats)
+			vacc, err := e.sumColumn(t, "vsum."+col, r.VZ, rg, &stats)
 			if err != nil {
 				return nil, err
 			}
@@ -1129,13 +1716,13 @@ func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
 		if !t.spec.HasCount {
 			return nil, fmt.Errorf("server %d: table %q has no count column", e.view.Index, r.Table)
 		}
-		acc, err := e.sumColumn(t, "cnt", "", r.Z, rg, &stats)
+		acc, err := e.sumColumn(t, "cnt", r.Z, rg, &stats)
 		if err != nil {
 			return nil, err
 		}
 		reply.Counts = acc
 		if verify {
-			vacc, err := e.sumColumn(t, "vcnt", "", r.VZ, rg, &stats)
+			vacc, err := e.sumColumn(t, "vcnt", r.VZ, rg, &stats)
 			if err != nil {
 				return nil, err
 			}
@@ -1149,18 +1736,16 @@ func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
 // sumColumn computes acc_i = S(z_i) · Σ_j S(col_i)_j over all owners for
 // the stored cells in rg — the linear rearrangement of Equation 11
 // (servers multiply the selector share into the summed column shares;
-// degree rises to 2). z is parallel to the window, not the full column.
-func (e *Engine) sumColumn(t *tableView, kind, col string, z []uint64, rg protocol.Range, stats *protocol.Stats) ([]uint64, error) {
+// degree rises to 2). z is parallel to the window, not the full column;
+// only the chunks overlapping the window are fetched.
+func (e *Engine) sumColumn(t *tableView, col string, z []uint64, rg protocol.Range, stats *protocol.Stats) ([]uint64, error) {
 	cols := make([][]uint64, 0, e.view.M)
 	for j := 0; j < e.view.M; j++ {
-		v, err := e.u64Col(t, j, kind, col, stats)
+		v, err := e.fetchU64Window(t, j, col, rg, stats)
 		if err != nil {
 			return nil, err
 		}
-		if v == nil {
-			return nil, fmt.Errorf("server %d: owner %d missing %s/%s column", e.view.Index, j, kind, col)
-		}
-		cols = append(cols, v[rg.Offset:rg.End()])
+		cols = append(cols, v)
 	}
 	n := int(rg.Count)
 	acc := make([]uint64, n)

@@ -1,0 +1,699 @@
+// Chunked (version-2) column layout: the segment store.
+//
+// A version-1 column is one monolithic file — reading any window costs a
+// full-column read and rewriting any cell rewrites the whole file, so a
+// server's resident memory and write amplification scale with the domain
+// size b. The version-2 layout stores a column as fixed-size chunk
+// segments plus a small chunk index:
+//
+//	<table>/<col>.colv2/
+//	    index        magic "PRSI", version, elem width, chunk cells,
+//	                 total cells, CRC32 of those fields
+//	    c<k>.ck      magic "PRSC", version, elem width, cells in chunk,
+//	                 CRC32 of the payload, payload
+//
+// Chunk k covers cells [k·chunkCells, min((k+1)·chunkCells, cells)).
+// Every chunk write goes through a temp file and an atomic rename, so a
+// crash mid-write leaves the previous chunk contents intact (plus a
+// stray .tmp file that is ignored); every chunk read verifies the
+// per-chunk CRC, so a torn or corrupted segment is rejected without
+// poisoning its neighbours. Ranged reads touch only the chunks that
+// overlap the requested window — the fetch cost of a shard-window query
+// is O(window + chunk), not O(b).
+//
+// Version-1 files remain readable (Read*, Stat and ranged reads fall
+// back to the monolithic format) and are migrated to the chunked layout
+// automatically the first time a ranged write patches them.
+package sharestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+const (
+	idxMagic   = "PRSI"
+	chunkMagic = "PRSC"
+	// DefaultChunkCells is the chunk size (in cells) for newly created
+	// chunked columns: 64Ki cells = 128 KiB per uint16 chunk, 512 KiB per
+	// uint64 chunk.
+	DefaultChunkCells = 1 << 16
+
+	idxLen         = 4 + 1 + 1 + 8 + 8 + 4 // magic, version, width, chunkCells, cells, crc
+	chunkHeaderLen = 4 + 1 + 1 + 8 + 4     // magic, version, width, cells, crc
+)
+
+// ColumnInfo describes one stored column's on-disk shape.
+type ColumnInfo struct {
+	Width      int    // element width in bytes: 2 or 8
+	Cells      uint64 // total cells
+	ChunkCells uint64 // cells per chunk; == Cells for version-1 files
+	Chunked    bool   // version-2 chunked layout
+}
+
+// NumChunks returns how many chunk segments cover the column (a
+// version-1 file counts as a single virtual chunk).
+func (ci ColumnInfo) NumChunks() uint64 {
+	if ci.Cells == 0 || ci.ChunkCells == 0 {
+		return 0
+	}
+	return (ci.Cells + ci.ChunkCells - 1) / ci.ChunkCells
+}
+
+// ChunkSpan returns the cell range [lo, hi) chunk k covers.
+func (ci ColumnInfo) ChunkSpan(k uint64) (lo, hi uint64) {
+	lo = k * ci.ChunkCells
+	hi = lo + ci.ChunkCells
+	if hi > ci.Cells {
+		hi = ci.Cells
+	}
+	return lo, hi
+}
+
+// SetChunkCells sets the chunk size (in cells) for columns created from
+// now on; 0 restores DefaultChunkCells. Existing columns keep the chunk
+// size recorded in their index.
+func (s *Store) SetChunkCells(n uint64) {
+	if n == 0 {
+		n = DefaultChunkCells
+	}
+	s.chunkCells = n
+}
+
+// ChunkCells reports the chunk size used for new columns.
+func (s *Store) ChunkCells() uint64 { return s.chunkCells }
+
+func (s *Store) colDirV2(table, col string) string {
+	return filepath.Join(s.dir, sanitize(table), sanitize(col)+".colv2")
+}
+
+// ---- chunk index ----
+
+type chunkIndex struct {
+	width      int
+	chunkCells uint64
+	cells      uint64
+}
+
+func encodeIndex(ci chunkIndex) []byte {
+	buf := make([]byte, 0, idxLen)
+	buf = append(buf, idxMagic...)
+	buf = append(buf, version2, uint8(ci.width))
+	var u [8]byte
+	binary.LittleEndian.PutUint64(u[:], ci.chunkCells)
+	buf = append(buf, u[:]...)
+	binary.LittleEndian.PutUint64(u[:], ci.cells)
+	buf = append(buf, u[:]...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf[4:]))
+	return append(buf, crc[:]...)
+}
+
+// parseIndex decodes and validates a chunk-index file's bytes. It is the
+// single entry point for untrusted index contents (see FuzzChunkIndex).
+func parseIndex(raw []byte) (chunkIndex, error) {
+	var ci chunkIndex
+	if len(raw) != idxLen || string(raw[:4]) != idxMagic {
+		return ci, errors.New("sharestore: bad chunk index")
+	}
+	if raw[4] != version2 {
+		return ci, fmt.Errorf("sharestore: unsupported chunk index version %d", raw[4])
+	}
+	if crc32.ChecksumIEEE(raw[4:idxLen-4]) != binary.LittleEndian.Uint32(raw[idxLen-4:]) {
+		return ci, errors.New("sharestore: chunk index checksum mismatch")
+	}
+	ci.width = int(raw[5])
+	ci.chunkCells = binary.LittleEndian.Uint64(raw[6:14])
+	ci.cells = binary.LittleEndian.Uint64(raw[14:22])
+	if ci.width != 2 && ci.width != 8 {
+		return ci, fmt.Errorf("sharestore: chunk index element width %d", ci.width)
+	}
+	if ci.chunkCells == 0 {
+		return ci, errors.New("sharestore: chunk index has zero chunk size")
+	}
+	// Reject cell counts that could not possibly fit on disk: they would
+	// otherwise drive huge allocations in readers.
+	if ci.cells > (1<<62)/uint64(ci.width) {
+		return ci, fmt.Errorf("sharestore: chunk index cell count %d out of range", ci.cells)
+	}
+	return ci, nil
+}
+
+func (s *Store) readIndex(dir string) (chunkIndex, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "index"))
+	if errors.Is(err, fs.ErrNotExist) && recoverColumnDir(dir) {
+		raw, err = os.ReadFile(filepath.Join(dir, "index"))
+	}
+	if err != nil {
+		return chunkIndex{}, err
+	}
+	ci, err := parseIndex(raw)
+	if err != nil {
+		return ci, fmt.Errorf("%w (%s)", err, dir)
+	}
+	return ci, nil
+}
+
+// recoverColumnDir restores a column moved aside by an interrupted
+// swapInColumnDir: a crash between its two renames leaves the last-good
+// column under <dir>.old and nothing under the live name. Reads route
+// through here on an index miss, so the reopen-serves-last-good
+// guarantee holds across that crash window too.
+func recoverColumnDir(dir string) bool {
+	old := dir + ".old"
+	if _, err := os.Stat(filepath.Join(old, "index")); err != nil {
+		return false
+	}
+	if err := os.Rename(old, dir); err != nil {
+		// A concurrent reader may have completed the same recovery.
+		_, statErr := os.Stat(filepath.Join(dir, "index"))
+		return statErr == nil
+	}
+	return true
+}
+
+// ---- chunk files ----
+
+func chunkPath(dir string, k uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("c%d.ck", k))
+}
+
+func encodeChunk(width int, payload []byte) []byte {
+	buf := make([]byte, 0, chunkHeaderLen+len(payload))
+	buf = append(buf, chunkMagic...)
+	buf = append(buf, version2, uint8(width))
+	var u [8]byte
+	binary.LittleEndian.PutUint64(u[:], uint64(len(payload)/width))
+	buf = append(buf, u[:]...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, crc[:]...)
+	return append(buf, payload...)
+}
+
+func parseChunk(raw []byte, wantWidth int, wantCells uint64) ([]byte, error) {
+	if len(raw) < chunkHeaderLen || string(raw[:4]) != chunkMagic {
+		return nil, errors.New("bad chunk magic")
+	}
+	if raw[4] != version2 {
+		return nil, fmt.Errorf("unsupported chunk version %d", raw[4])
+	}
+	if int(raw[5]) != wantWidth {
+		return nil, fmt.Errorf("chunk element width %d, want %d", raw[5], wantWidth)
+	}
+	cells := binary.LittleEndian.Uint64(raw[6:14])
+	crc := binary.LittleEndian.Uint32(raw[14:18])
+	payload := raw[chunkHeaderLen:]
+	if cells != wantCells || uint64(len(payload)) != cells*uint64(wantWidth) {
+		return nil, fmt.Errorf("chunk holds %d cells, want %d", cells, wantCells)
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, errors.New("chunk checksum mismatch")
+	}
+	return payload, nil
+}
+
+// readChunkPayload loads and verifies chunk k of a chunked column.
+func readChunkPayload(dir string, ci chunkIndex, k uint64) ([]byte, error) {
+	lo := k * ci.chunkCells
+	if lo >= ci.cells {
+		return nil, fmt.Errorf("sharestore: chunk %d outside column of %d cells", k, ci.cells)
+	}
+	hi := lo + ci.chunkCells
+	if hi > ci.cells {
+		hi = ci.cells
+	}
+	path := chunkPath(dir, k)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := parseChunk(raw, ci.width, hi-lo)
+	if err != nil {
+		return nil, fmt.Errorf("sharestore: %s: %w", path, err)
+	}
+	return payload, nil
+}
+
+func writeChunkAtomic(dir string, k uint64, width int, payload []byte) error {
+	path := chunkPath(dir, k)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, encodeChunk(width, payload), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ---- generic byte-level operations ----
+
+// create initialises an empty chunked column of the given shape,
+// removing any previous column (either layout) under the name.
+func (s *Store) create(table, col string, width int, cells uint64) error {
+	dir := s.colDirV2(table, col)
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.Remove(s.colPath(table, col)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	if err := s.ensureTable(table); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	idx := encodeIndex(chunkIndex{width: width, chunkCells: s.chunkCells, cells: cells})
+	tmp := filepath.Join(dir, "index.tmp")
+	if err := os.WriteFile(tmp, idx, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "index"))
+}
+
+// writeRange patches cells [off, off+n) of an existing column with the
+// given payload bytes. Chunks fully covered by the window are rewritten
+// from the payload alone; boundary chunks are read, patched and
+// rewritten. Each chunk write is atomic (temp file + rename) and carries
+// a fresh CRC. A version-1 column is migrated to the chunked layout
+// first.
+func (s *Store) writeRange(table, col string, width int, off uint64, payload []byte) error {
+	n := uint64(len(payload)) / uint64(width)
+	if n == 0 {
+		return nil
+	}
+	dir := s.colDirV2(table, col)
+	ci, err := s.readIndex(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		if migErr := s.migrateV1(table, col, width); migErr != nil {
+			return migErr
+		}
+		ci, err = s.readIndex(dir)
+	}
+	if err != nil {
+		return err
+	}
+	if ci.width != width {
+		return fmt.Errorf("sharestore: %s/%s: element width %d, want %d", table, col, ci.width, width)
+	}
+	if off > ci.cells || n > ci.cells-off {
+		return fmt.Errorf("sharestore: %s/%s: write [%d, %d) outside column of %d cells", table, col, off, off+n, ci.cells)
+	}
+	cc := ci.chunkCells
+	for k := off / cc; k*cc < off+n; k++ {
+		chunkLo := k * cc
+		chunkHi := chunkLo + cc
+		if chunkHi > ci.cells {
+			chunkHi = ci.cells
+		}
+		lo, hi := chunkLo, chunkHi // window ∩ chunk, in cells
+		if lo < off {
+			lo = off
+		}
+		if hi > off+n {
+			hi = off + n
+		}
+		src := payload[(lo-off)*uint64(width) : (hi-off)*uint64(width)]
+		var buf []byte
+		if lo == chunkLo && hi == chunkHi {
+			buf = src // full-chunk rewrite: no read-modify-write
+		} else {
+			buf, err = readChunkPayload(dir, ci, k)
+			if errors.Is(err, fs.ErrNotExist) {
+				// Partial write into a chunk no window has touched yet:
+				// unwritten cells read as zero until they arrive.
+				buf, err = make([]byte, (chunkHi-chunkLo)*uint64(width)), nil
+			}
+			if err != nil {
+				return err
+			}
+			copy(buf[(lo-chunkLo)*uint64(width):], src)
+		}
+		if err := writeChunkAtomic(dir, k, width, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readRange loads cells [off, off+count) touching only the overlapping
+// chunks. Version-1 columns fall back to a monolithic read.
+func (s *Store) readRange(table, col string, width int, off, count uint64) ([]byte, error) {
+	dir := s.colDirV2(table, col)
+	ci, err := s.readIndex(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		// Version-1 fallback: whole-file read, then slice the window.
+		payload, cells, v1err := readColumn(s.colPath(table, col), width)
+		if v1err != nil {
+			return nil, v1err
+		}
+		if off > uint64(cells) || count > uint64(cells)-off {
+			return nil, fmt.Errorf("sharestore: %s/%s: read [%d, %d) outside column of %d cells", table, col, off, off+count, cells)
+		}
+		return payload[off*uint64(width) : (off+count)*uint64(width)], nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ci.width != width {
+		return nil, fmt.Errorf("sharestore: %s/%s: element width %d, want %d", table, col, ci.width, width)
+	}
+	if off > ci.cells || count > ci.cells-off {
+		return nil, fmt.Errorf("sharestore: %s/%s: read [%d, %d) outside column of %d cells", table, col, off, off+count, ci.cells)
+	}
+	out := make([]byte, count*uint64(width))
+	if count == 0 {
+		return out, nil
+	}
+	cc := ci.chunkCells
+	for k := off / cc; k*cc < off+count; k++ {
+		payload, err := readChunkPayload(dir, ci, k)
+		if err != nil {
+			return nil, err
+		}
+		chunkLo := k * cc
+		lo, hi := chunkLo, chunkLo+uint64(len(payload))/uint64(width)
+		if lo < off {
+			lo = off
+		}
+		if hi > off+count {
+			hi = off + count
+		}
+		copy(out[(lo-off)*uint64(width):], payload[(lo-chunkLo)*uint64(width):(hi-chunkLo)*uint64(width)])
+	}
+	return out, nil
+}
+
+// buildColumnDir materialises a complete chunked column (index plus
+// every chunk) in dir, which must not be live — callers rename it into
+// place afterwards, so no tmp-file dance is needed per chunk.
+func (s *Store) buildColumnDir(dir string, width int, cells uint64, payload []byte) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cc := s.chunkCells
+	idx := encodeIndex(chunkIndex{width: width, chunkCells: cc, cells: cells})
+	if err := os.WriteFile(filepath.Join(dir, "index"), idx, 0o644); err != nil {
+		return err
+	}
+	for k := uint64(0); k*cc < cells; k++ {
+		hi := (k + 1) * cc
+		if hi > cells {
+			hi = cells
+		}
+		chunk := encodeChunk(width, payload[k*cc*uint64(width):hi*uint64(width)])
+		if err := os.WriteFile(chunkPath(dir, k), chunk, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// swapInColumnDir atomically replaces the live chunked column directory
+// dst with src (a fully built column directory): the previous column is
+// moved aside, src renamed into place, and the leftovers cleaned up. On
+// rename failure the previous column is restored, so at every crash
+// point either the old or the new column is completely present.
+func swapInColumnDir(src, dst string) error {
+	old := dst + ".old"
+	if err := os.RemoveAll(old); err != nil {
+		return err
+	}
+	moved := false
+	if _, err := os.Stat(dst); err == nil {
+		if err := os.Rename(dst, old); err != nil {
+			return err
+		}
+		moved = true
+	}
+	if err := os.Rename(src, dst); err != nil {
+		if moved {
+			os.Rename(old, dst) // best-effort rollback
+		}
+		return err
+	}
+	return os.RemoveAll(old)
+}
+
+// writeFull atomically replaces a column with a freshly built chunked
+// copy: the new column is staged under a sibling name and swapped into
+// place, so a crash mid-write leaves the previous column intact.
+func (s *Store) writeFull(table, col string, width int, cells uint64, payload []byte) error {
+	if err := s.ensureTable(table); err != nil {
+		return err
+	}
+	dir := s.colDirV2(table, col)
+	stage := dir + ".new"
+	if err := s.buildColumnDir(stage, width, cells, payload); err != nil {
+		os.RemoveAll(stage)
+		return err
+	}
+	if err := swapInColumnDir(stage, dir); err != nil {
+		os.RemoveAll(stage)
+		return err
+	}
+	// The chunked copy is live; a leftover version-1 file is stale.
+	if err := os.Remove(s.colPath(table, col)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// migrateV1 converts a monolithic version-1 column file to the chunked
+// layout (no-op semantics: same cells, same values). The chunked copy
+// is staged fully and renamed into place before the version-1 file is
+// removed, so a crash at any point leaves a complete column behind —
+// the original until the rename, the migrated one after.
+func (s *Store) migrateV1(table, col string, width int) error {
+	v1 := s.colPath(table, col)
+	payload, cells, err := readColumn(v1, width)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("sharestore: %s/%s: %w", table, col, ErrNotFound)
+		}
+		return err
+	}
+	dir := s.colDirV2(table, col)
+	stage := dir + ".mig"
+	if err := s.buildColumnDir(stage, width, uint64(cells), payload); err != nil {
+		os.RemoveAll(stage)
+		return err
+	}
+	// migrateV1 only runs when no chunked copy exists, so this is a
+	// plain atomic rename, not a swap.
+	if err := os.Rename(stage, dir); err != nil {
+		os.RemoveAll(stage)
+		return err
+	}
+	return os.Remove(v1)
+}
+
+// Stat reports a column's shape without reading its payload.
+func (s *Store) Stat(table, col string) (ColumnInfo, error) {
+	if ci, err := s.readIndex(s.colDirV2(table, col)); err == nil {
+		return ColumnInfo{Width: ci.width, Cells: ci.cells, ChunkCells: ci.chunkCells, Chunked: true}, nil
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return ColumnInfo{}, err
+	}
+	raw, err := os.ReadFile(s.colPath(table, col))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return ColumnInfo{}, fmt.Errorf("sharestore: %s/%s: %w", table, col, ErrNotFound)
+		}
+		return ColumnInfo{}, err
+	}
+	if len(raw) < 18 || string(raw[:4]) != magic || raw[4] != version {
+		return ColumnInfo{}, fmt.Errorf("sharestore: %s/%s: not a column file", table, col)
+	}
+	info := ColumnInfo{Width: int(raw[5]), Cells: binary.LittleEndian.Uint64(raw[6:14])}
+	info.ChunkCells = info.Cells // one virtual chunk
+	return info, nil
+}
+
+// ---- typed APIs ----
+
+func u16Bytes(data []uint16) []byte {
+	payload := make([]byte, 2*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint16(payload[2*i:], v)
+	}
+	return payload
+}
+
+func u64Bytes(data []uint64) []byte {
+	payload := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(payload[8*i:], v)
+	}
+	return payload
+}
+
+func bytesU16(payload []byte) []uint16 {
+	out := make([]uint16, len(payload)/2)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(payload[2*i:])
+	}
+	return out
+}
+
+func bytesU64(payload []byte) []uint64 {
+	out := make([]uint64, len(payload)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	return out
+}
+
+// CreateU16 initialises an empty chunked uint16 column of cells cells,
+// replacing any existing column under the name.
+func (s *Store) CreateU16(table, col string, cells uint64) error {
+	return s.create(table, col, 2, cells)
+}
+
+// CreateU64 is CreateU16 for uint64 columns.
+func (s *Store) CreateU64(table, col string, cells uint64) error {
+	return s.create(table, col, 8, cells)
+}
+
+// WriteU16Range durably patches cells [off, off+len(data)) of a uint16
+// column. Writes are atomic per chunk and each rewritten chunk carries a
+// fresh CRC; only the chunks overlapping the window are touched. The
+// column must exist (CreateU16 or a previous full write); version-1
+// files are migrated to the chunked layout first.
+func (s *Store) WriteU16Range(table, col string, off uint64, data []uint16) error {
+	return s.writeRange(table, col, 2, off, u16Bytes(data))
+}
+
+// WriteU64Range is WriteU16Range for uint64 columns.
+func (s *Store) WriteU64Range(table, col string, off uint64, data []uint64) error {
+	return s.writeRange(table, col, 8, off, u64Bytes(data))
+}
+
+// ReadU16Range loads cells [off, off+count) of a uint16 column, reading
+// only the chunks that overlap the window.
+func (s *Store) ReadU16Range(table, col string, off, count uint64) ([]uint16, error) {
+	payload, err := s.readRange(table, col, 2, off, count)
+	if err != nil {
+		return nil, err
+	}
+	return bytesU16(payload), nil
+}
+
+// ReadU64Range is ReadU16Range for uint64 columns.
+func (s *Store) ReadU64Range(table, col string, off, count uint64) ([]uint64, error) {
+	payload, err := s.readRange(table, col, 8, off, count)
+	if err != nil {
+		return nil, err
+	}
+	return bytesU64(payload), nil
+}
+
+// ReadU16Chunk loads chunk k of a uint16 column (cells
+// [k·ChunkCells, min((k+1)·ChunkCells, Cells))). A version-1 column is a
+// single virtual chunk 0.
+func (s *Store) ReadU16Chunk(table, col string, k uint64) ([]uint16, error) {
+	payload, err := s.readChunk(table, col, 2, k)
+	if err != nil {
+		return nil, err
+	}
+	return bytesU16(payload), nil
+}
+
+// ReadU64Chunk is ReadU16Chunk for uint64 columns.
+func (s *Store) ReadU64Chunk(table, col string, k uint64) ([]uint64, error) {
+	payload, err := s.readChunk(table, col, 8, k)
+	if err != nil {
+		return nil, err
+	}
+	return bytesU64(payload), nil
+}
+
+func (s *Store) readChunk(table, col string, width int, k uint64) ([]byte, error) {
+	dir := s.colDirV2(table, col)
+	ci, err := s.readIndex(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		if k != 0 {
+			return nil, fmt.Errorf("sharestore: %s/%s: chunk %d of a monolithic column", table, col, k)
+		}
+		payload, _, v1err := readColumn(s.colPath(table, col), width)
+		return payload, v1err
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ci.width != width {
+		return nil, fmt.Errorf("sharestore: %s/%s: element width %d, want %d", table, col, ci.width, width)
+	}
+	return readChunkPayload(dir, ci, k)
+}
+
+// RenameColumn renames a column within a table (both layouts),
+// replacing any column already stored under the new name via the same
+// move-aside swap as full writes — at every crash point a complete
+// column (old or new) is present under the target name. The server's
+// sharded-upload assembly streams windows into pending column names and
+// renames them into place on completion, so queries never observe a
+// half-uploaded column.
+func (s *Store) RenameColumn(table, from, to string) error {
+	srcV2 := s.colDirV2(table, from)
+	if _, err := os.Stat(filepath.Join(srcV2, "index")); err == nil {
+		if err := swapInColumnDir(srcV2, s.colDirV2(table, to)); err != nil {
+			return err
+		}
+		// A version-1 file lingering under the target name is stale.
+		if err := os.Remove(s.colPath(table, to)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		return nil
+	}
+	// Version-1 source: a file rename replaces the target file
+	// atomically; any chunked column under the target name goes first.
+	if err := os.RemoveAll(s.colDirV2(table, to)); err != nil {
+		return err
+	}
+	if err := os.Rename(s.colPath(table, from), s.colPath(table, to)); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("sharestore: %s/%s: %w", table, from, ErrNotFound)
+		}
+		return err
+	}
+	return nil
+}
+
+// DeleteColumn removes a column in either layout, along with any staged
+// transients from interrupted writes (missing is not an error).
+func (s *Store) DeleteColumn(table, col string) error {
+	dir := s.colDirV2(table, col)
+	for _, d := range []string{dir, dir + ".new", dir + ".old", dir + ".mig"} {
+		if err := os.RemoveAll(d); err != nil {
+			return err
+		}
+	}
+	if err := os.Remove(s.colPath(table, col)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// ensureTable creates the table directory and records the raw
+// (unsanitised) table name in a sidecar file, so Tables can report the
+// names callers actually stored rather than their on-disk sanitised
+// forms.
+func (s *Store) ensureTable(table string) error {
+	dir := filepath.Join(s.dir, sanitize(table))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "tablename")
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	return os.WriteFile(path, []byte(table), 0o644)
+}

@@ -3,11 +3,16 @@
 // in a database and Figure 3 reports a distinct "data fetch time"; this
 // package makes that a real disk read rather than a mock.
 //
-// Layout: one directory per table, one file per column. Files carry a
-// small header (magic, version, element width, cell count, CRC32 of the
-// payload) followed by little-endian fixed-width elements. A JSON
-// manifest per table records the protocol.TableSpec and the set of owners
-// so a restarted server can reload its state.
+// Layout: one directory per table, one chunked column (see segstore.go)
+// per stored column — fixed-size chunk segments with a per-chunk CRC
+// plus a small chunk index, so windows of a column can be read and
+// patched without touching the rest. Version-1 monolithic column files
+// (one file per column, whole-payload CRC) remain readable and are
+// migrated to the chunked layout on first ranged write. A JSON manifest
+// per table records the protocol.TableSpec and the set of owners so a
+// restarted server can reload its state, and a sidecar file records the
+// raw table name so listings are not limited to sanitised directory
+// names.
 package sharestore
 
 import (
@@ -23,13 +28,15 @@ import (
 )
 
 const (
-	magic   = "PRSM"
-	version = 1
+	magic    = "PRSM"
+	version  = 1
+	version2 = 2
 )
 
 // Store is a column store rooted at a directory.
 type Store struct {
-	dir string
+	dir        string
+	chunkCells uint64 // chunk size (cells) for newly created columns
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -37,7 +44,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sharestore: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, chunkCells: DefaultChunkCells}, nil
 }
 
 // Dir returns the root directory.
@@ -140,52 +147,42 @@ func readColumn(path string, wantWidth int) ([]byte, int, error) {
 	return payload, int(count), nil
 }
 
-// WriteU16 persists a uint16 column.
+// WriteU16 persists a whole uint16 column (chunked layout). The
+// replacement is staged and swapped in atomically, so a crash mid-write
+// leaves the previous column intact.
 func (s *Store) WriteU16(table, col string, data []uint16) error {
-	payload := make([]byte, 2*len(data))
-	for i, v := range data {
-		binary.LittleEndian.PutUint16(payload[2*i:], v)
-	}
-	return writeColumn(s.colPath(table, col), 2, len(data), payload)
+	return s.writeFull(table, col, 2, uint64(len(data)), u16Bytes(data))
 }
 
-// ReadU16 loads a uint16 column.
+// ReadU16 loads a whole uint16 column (either layout).
 func (s *Store) ReadU16(table, col string) ([]uint16, error) {
-	payload, count, err := readColumn(s.colPath(table, col), 2)
+	info, err := s.Stat(table, col)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]uint16, count)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint16(payload[2*i:])
-	}
-	return out, nil
+	return s.ReadU16Range(table, col, 0, info.Cells)
 }
 
-// WriteU64 persists a uint64 column.
+// WriteU64 persists a whole uint64 column (chunked layout, staged and
+// swapped in atomically like WriteU16).
 func (s *Store) WriteU64(table, col string, data []uint64) error {
-	payload := make([]byte, 8*len(data))
-	for i, v := range data {
-		binary.LittleEndian.PutUint64(payload[8*i:], v)
-	}
-	return writeColumn(s.colPath(table, col), 8, len(data), payload)
+	return s.writeFull(table, col, 8, uint64(len(data)), u64Bytes(data))
 }
 
-// ReadU64 loads a uint64 column.
+// ReadU64 loads a whole uint64 column (either layout).
 func (s *Store) ReadU64(table, col string) ([]uint64, error) {
-	payload, count, err := readColumn(s.colPath(table, col), 8)
+	info, err := s.Stat(table, col)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]uint64, count)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint64(payload[8*i:])
-	}
-	return out, nil
+	return s.ReadU64Range(table, col, 0, info.Cells)
 }
 
-// HasColumn reports whether the column file exists.
+// HasColumn reports whether the column exists in either layout.
 func (s *Store) HasColumn(table, col string) bool {
+	if _, err := os.Stat(filepath.Join(s.colDirV2(table, col), "index")); err == nil {
+		return true
+	}
 	_, err := os.Stat(s.colPath(table, col))
 	return err == nil
 }
@@ -195,7 +192,11 @@ func (s *Store) DropTable(table string) error {
 	return os.RemoveAll(filepath.Join(s.dir, sanitize(table)))
 }
 
-// Tables lists stored table names (sanitised form).
+// Tables lists stored table names. Names are resolved through each
+// table directory's sidecar metadata, so callers see the raw names they
+// stored — not the sanitised directory names (which diverge for any name
+// containing filesystem-unsafe characters). Legacy directories written
+// before the sidecar existed fall back to the directory name.
 func (s *Store) Tables() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -203,25 +204,36 @@ func (s *Store) Tables() ([]string, error) {
 	}
 	var out []string
 	for _, e := range entries {
-		if e.IsDir() {
-			out = append(out, e.Name())
+		if !e.IsDir() {
+			continue
 		}
+		name := e.Name()
+		if raw, err := os.ReadFile(filepath.Join(s.dir, name, "tablename")); err == nil && len(raw) > 0 {
+			name = string(raw)
+		}
+		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
-// WriteManifest persists arbitrary table metadata as JSON.
+// WriteManifest persists arbitrary table metadata as JSON, atomically
+// (temp file + rename) — the manifest is the durable registration
+// record restarted servers trust, so it must never be observable torn.
 func (s *Store) WriteManifest(table string, v any) error {
-	path := filepath.Join(s.dir, sanitize(table), "manifest.json")
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := s.ensureTable(table); err != nil {
 		return err
 	}
+	path := filepath.Join(s.dir, sanitize(table), "manifest.json")
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // ReadManifest loads table metadata into v.

@@ -92,7 +92,7 @@ func TestCorruptionDetected(t *testing.T) {
 	if err := s.WriteU64("t", "c", []uint64{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(s.Dir(), "t", "c.col")
+	path := filepath.Join(s.Dir(), "t", "c.colv2", "c0.ck")
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestTruncationDetected(t *testing.T) {
 	if err := s.WriteU64("t", "c", []uint64{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(s.Dir(), "t", "c.col")
+	path := filepath.Join(s.Dir(), "t", "c.colv2", "c0.ck")
 	raw, _ := os.ReadFile(path)
 	if err := os.WriteFile(path, raw[:len(raw)-8], 0o644); err != nil {
 		t.Fatal(err)

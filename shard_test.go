@@ -57,6 +57,52 @@ func TestShardedConcurrentMatchesSerial(t *testing.T) {
 	assertNoSessions(t, sys)
 }
 
+// TestShardedDiskChunkedMatchesMonolithic runs the full operator mix on
+// a disk-backed system with sharded exchanges, chunked columns aligned
+// to the shard windows, and a tightly bounded hot-chunk cache — the
+// larger-than-RAM serving configuration — and requires byte-identical
+// results to the in-memory monolithic baseline. The sharded upload
+// streams each window straight to disk, so this also pins the
+// stream-assemble-rename path end to end.
+func TestShardedDiskChunkedMatchesMonolithic(t *testing.T) {
+	base := serialBaseline(t, concSystem(t))
+	dom, err := IntDomain(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewLocalSystem(Config{
+		Owners:      4,
+		Domain:      dom,
+		AggColumns:  []string{"v", "w"},
+		MaxAggValue: 100000,
+		Verify:      true,
+		Seed:        [32]byte{9, 9, 9}, // concSystem's data and seed
+		EncodeWire:  true,
+		ShardCells:  16,
+		ChunkCells:  16,
+		DiskDir:     t.TempDir(),
+		HotChunks:   4 * 16 * 2, // 4 uint16 chunks: forces LRU eviction
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadConcData(t, sys)
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ { // cold then (partially) warm
+		for _, req := range mixedOps {
+			resp := sys.execute(context.Background(), req)
+			key := fmt.Sprintf("%v/%v", req.Op, req.Cols)
+			if got := fingerprint(t, resp); got != base[key] {
+				t.Errorf("%s diverged on disk+chunked round %d\n  memory: %s\n  disk:   %s",
+					key, round, base[key], got)
+			}
+		}
+	}
+	assertNoSessions(t, sys)
+}
+
 // TestShardedSingleCellDomain: the b=1 degenerate domain works sharded
 // (one window of one cell) and monolithic.
 func TestShardedSingleCellDomain(t *testing.T) {

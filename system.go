@@ -87,10 +87,13 @@ func NewLocalSystem(cfg Config) (*System, error) {
 			if err != nil {
 				return nil, err
 			}
+			store.SetChunkCells(cfg.ChunkCells)
 			opts.Store = store
 			opts.DiskBacked = true
-			opts.CacheColumns = cfg.HotColumns
+			opts.CacheColumns = cfg.HotColumns || cfg.HotChunks > 0
+			opts.CacheBytes = int64(cfg.HotChunks)
 		}
+		opts.PendingTTL = cfg.PendingUploadTTL
 		eng := serverengine.New(view, opts)
 		s.servers[phi] = eng
 		s.network.Register(serverAddr(phi), eng)
@@ -152,6 +155,30 @@ func (s *System) PeakFrameBytes() int64 { return s.network.PeakFrameBytes() }
 
 // ResetPeakFrame clears the peak-frame measurement.
 func (s *System) ResetPeakFrame() { s.network.ResetPeakFrame() }
+
+// PeakServerHeldBytes reports the largest column-byte residency any
+// server reached since the last ResetServerHeldPeaks: in-RAM pending
+// upload assemblies, registered in-memory tables and hot-chunk caches.
+// The benchx memscale experiment uses it to show the chunked segment
+// store bounding server memory by the chunk/shard size rather than the
+// domain size.
+func (s *System) PeakServerHeldBytes() int64 {
+	var peak int64
+	for _, e := range s.servers {
+		if p := e.PeakHeldBytes(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// ResetServerHeldPeaks restarts every server's peak-residency
+// measurement from its current level.
+func (s *System) ResetServerHeldPeaks() {
+	for _, e := range s.servers {
+		e.ResetHeldPeak()
+	}
+}
 
 // Load installs rows as this owner's private table.
 func (o *Owner) Load(rows []Row) error {
