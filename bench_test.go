@@ -1,10 +1,10 @@
 // Benchmarks regenerating the paper's tables and figures as testing.B
-// benches. Each family maps to one artifact of §8 (see DESIGN.md §5);
-// cmd/prism-bench runs the same experiments at presentation scale.
+// benches. Each family maps to one artifact of §8 (the experiment index
+// is in internal/benchx and docs/OPERATIONS.md); cmd/prism-bench runs
+// the same experiments at presentation scale.
 //
 // Default sizes are bench-friendly (64K-cell domains); the shapes — not
-// the absolute numbers — are the reproduction target, and EXPERIMENTS.md
-// records both.
+// the absolute numbers — are the reproduction target.
 package prism_test
 
 import (

@@ -1,6 +1,6 @@
 // Command prism-bench regenerates every table and figure of the paper's
-// evaluation section (§8). See DESIGN.md §5 for the experiment index and
-// EXPERIMENTS.md for recorded paper-vs-measured results.
+// evaluation section (§8). See internal/benchx for the experiment index
+// and docs/OPERATIONS.md for how to read the output.
 //
 // Usage:
 //

@@ -17,10 +17,16 @@
 //	prism-owner ... -op psi
 //	prism-owner ... -op sum -cols DT
 //
-// Ops: outsource, psi, psu, count, psucount, sum, avg. The exemplary
-// aggregations (max/min/median) need all owners online in one
+// Ops: outsource, psi, psu, count, psucount, sum, avg, list. The
+// exemplary aggregations (max/min/median) need all owners online in one
 // coordinated flow; see examples/federated for a complete multi-process
 // deployment that drives them over TCP.
+//
+// "-op list" probes which tables each server currently serves (name,
+// owners, registration epoch) without touching any data — the cheap
+// "is my table still served?" check after a server restart (servers
+// started with -recover reload their tables from disk manifests, so the
+// probe replaces a full re-outsource).
 //
 // For large domains pass -shard N to move uploads and query vectors as
 // N-cell windows instead of one O(b) frame per exchange (see the README
@@ -50,7 +56,7 @@ func main() {
 		dataPath = flag.String("data", "", "CSV data file (required for -op outsource)")
 		cols     = flag.String("cols", "", "comma-separated aggregation columns")
 		table    = flag.String("table", "main", "logical table name")
-		op       = flag.String("op", "", "outsource|psi|psu|count|psucount|sum|avg (required)")
+		op       = flag.String("op", "", "outsource|psi|psu|count|psucount|sum|avg|list (required)")
 		verify   = flag.Bool("verify", false, "outsource verification columns / verify query results")
 		inflight = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 		shard    = flag.Uint64("shard", 0, "shard size in cells for uploads and query vectors (0 = one frame per exchange)")
@@ -165,6 +171,34 @@ func main() {
 				}
 			}
 			fmt.Println(line)
+		}
+
+	case "list":
+		lists, err := owner.ListTables(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		served := true
+		for phi, tables := range lists {
+			if len(tables) == 0 {
+				fmt.Printf("server %d: no tables served\n", phi)
+			}
+			found := false
+			for _, t := range tables {
+				fmt.Printf("server %d: table %q epoch %d owners %v (b=%d, agg=%v, verify=%v)\n",
+					phi, t.Spec.Name, t.Epoch, t.Owners, t.Spec.B, t.Spec.AggCols, t.Spec.HasVerify)
+				if t.Spec.Name == *table && len(t.Owners) == view.M {
+					found = true
+				}
+			}
+			if !found {
+				served = false
+			}
+		}
+		if served {
+			fmt.Printf("table %q: served by all servers with all %d owners\n", *table, view.M)
+		} else {
+			fmt.Printf("table %q: NOT fully served (outsourcing needed)\n", *table)
 		}
 
 	default:

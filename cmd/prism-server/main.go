@@ -36,6 +36,7 @@ func main() {
 		pendTTL    = flag.Duration("pendttl", 0, "reclaim sharded-upload assemblies idle longer than this (crashed owners); 0 disables the sweep")
 		threads    = flag.Int("threads", 0, "worker pool width (0 = GOMAXPROCS)")
 		inflight   = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
+		recoverTab = flag.Bool("recover", false, "with -disk: reload outsourced tables from the store's manifests at startup (corrupt tables are quarantined, crashed uploads reclaimed) instead of booting empty")
 	)
 	flag.Parse()
 	if *viewPath == "" {
@@ -64,6 +65,31 @@ func main() {
 			transport.ClientOptions{PerConnInflight: *inflight})
 	}
 	engine := serverengine.New(&view, opts)
+	if *recoverTab {
+		if !opts.DiskBacked {
+			fatal(fmt.Errorf("-recover needs -store and -disk"))
+		}
+		rep, err := engine.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range rep.Recovered {
+			fmt.Printf("prism-server: recovered table %q (epoch %d, owners %v", t.Name, t.Epoch, t.Owners)
+			if len(t.Adopted) > 0 {
+				fmt.Printf(", adopted %v", t.Adopted)
+			}
+			fmt.Println(")")
+		}
+		for _, q := range rep.Quarantined {
+			fmt.Printf("prism-server: quarantined table %q: %s (%s)\n", q.Name, q.Reason, q.Detail)
+		}
+		for _, name := range rep.Ignored {
+			fmt.Printf("prism-server: ignored directory %q (no usable manifest)\n", name)
+		}
+		if rep.PendingReclaimed > 0 {
+			fmt.Printf("prism-server: reclaimed %d crashed upload assemblies\n", rep.PendingReclaimed)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

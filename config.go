@@ -212,6 +212,16 @@ type Config struct {
 	// DiskDir, when set, backs each server with an on-disk share store
 	// under DiskDir/server-<i>; queries then measure real fetch time.
 	DiskDir string
+	// AutoRecover makes each disk-backed server reload its serving state
+	// from the share store's table manifests at construction time (the
+	// cold-boot recovery path, CLI: prism-server -recover): tables whose
+	// manifests validate against the chunk segments on disk are served
+	// again without any owner re-outsourcing, corrupt or
+	// partially-promoted tables are quarantined under the store's
+	// .quarantine/ area, and crashed mid-upload assemblies are reclaimed.
+	// NewLocalSystem fails only on store-scan I/O errors — per-table
+	// problems quarantine instead of failing boot. Requires DiskDir.
+	AutoRecover bool
 	// EncodeWire forces gob round-trips on the in-process transport,
 	// exercising exactly what the TCP transport sends.
 	EncodeWire bool
@@ -236,6 +246,11 @@ func (c *Config) normalize() error {
 	}
 	if c.PerConnInflight == 0 {
 		c.PerConnInflight = transport.DefaultPerConnInflight
+	}
+	if c.AutoRecover && c.DiskDir == "" {
+		// Mirror prism-server, which rejects -recover without -store
+		// -disk: silently booting empty would defeat the whole point.
+		return errors.New("prism: AutoRecover requires DiskDir")
 	}
 	if c.TableName == "" {
 		c.TableName = "main"

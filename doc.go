@@ -111,7 +111,33 @@
 // server resident bytes and queries/sec in both serving modes and
 // cross-checks their result fingerprints.
 //
-// See examples/ for complete programs, DESIGN.md for the architecture and
-// protocol details, and EXPERIMENTS.md for the reproduction of the
-// paper's evaluation.
+// # Durability and recovery
+//
+// The chunked store is durable end to end, and a restarted disk-backed
+// server no longer boots empty: every registration is recorded in an
+// atomically written per-table manifest (spec, completed owners, format
+// version, registration epoch), and Config.AutoRecover (CLI:
+// prism-server -recover) makes a restarting server scan the store,
+// validate each manifest against the chunk indexes actually on disk —
+// element widths, cell counts, every chunk segment present, CRC
+// spot-checks — and re-register complete tables into the serving path.
+// Queries then return exactly what they returned before the restart,
+// with no owner re-outsourcing. Tables that fail validation are
+// quarantined (moved under the store's .quarantine/ area with a
+// machine-readable reason, data preserved) rather than served or
+// crashing boot; interrupted upload promotions are resumed and adopted;
+// assemblies from owners that crashed mid-upload are reclaimed so a
+// retry starts clean. Owners probe a restarted deployment cheaply with
+// the ListTables RPC (prism-owner -op list): each server reports the
+// tables it serves, their owners, and a registration epoch that
+// survives restarts, so "still served", "re-registered since", and
+// "re-outsourcing needed" are all distinguishable without moving a
+// single column byte. The recovery state machine and the on-disk format
+// are specified in docs/ARCHITECTURE.md; the operational runbook is
+// docs/OPERATIONS.md.
+//
+// See examples/ for complete programs, docs/ARCHITECTURE.md for the
+// layer map, storage format and protocol details, and docs/OPERATIONS.md
+// for deployment, flags, the restart runbook and the benchmark
+// experiments.
 package prism

@@ -2,7 +2,7 @@
 // the paper's evaluation (§8). It is shared by cmd/prism-bench (the
 // human-facing harness) and the root bench_test.go (testing.B benches).
 //
-// Experiment index (see DESIGN.md §5):
+// Experiment index (docs/OPERATIONS.md explains how to read the output):
 //
 //	Exp1 / Figure 3  — time vs #threads per operator, incl. data fetch
 //	Table 12         — multi-column sum/max (1-4 attributes)

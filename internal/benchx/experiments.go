@@ -237,8 +237,8 @@ func ShareGen(ctx context.Context, sc Scale) ([]*report.Table, error) {
 
 // FanoutAblation extends Exp 4 beyond the paper: how the bucket-tree
 // fanout (the paper fixes 10) trades off against the actual domain size
-// at a given fill factor — one of the design choices DESIGN.md calls out
-// (the paper's "open problem" of choosing an optimal bucketization).
+// at a given fill factor — the paper's "open problem" of choosing an
+// optimal bucketization.
 func FanoutAblation(sc Scale) []*report.Table {
 	tb := report.New(
 		fmt.Sprintf("Ablation — bucket-tree fanout at %s leaves", human(sc.Fig5Leaves)),

@@ -41,7 +41,7 @@ func (r *AggResult) Avg(col string, cell uint64) (float64, bool) {
 // With verify, an independently-shared selector is evaluated against the
 // PF_db2-ordered v-columns and the two reconstructions are compared at
 // every cell — a server that skips or fabricates cells cannot keep both
-// copies consistent without knowing PF_db2⊙PF_db1⁻¹ (DESIGN.md §4).
+// copies consistent without knowing PF_db2⊙PF_db1⁻¹ (paper §5.2).
 //
 // With sharding, every request carries only a window of the selector
 // shares and every reply a window of the degree-2 sums; each window is

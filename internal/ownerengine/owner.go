@@ -364,4 +364,3 @@ func (o *Owner) call2(ctx context.Context, build func(phi int) any) ([2]any, err
 	wg.Wait()
 	return out, errors.Join(errs[0], errs[1])
 }
-

@@ -1,0 +1,70 @@
+package ownerengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"prism/internal/params"
+	"prism/internal/protocol"
+)
+
+// ListTables asks every server which tables it currently serves and
+// returns the per-server answers (index φ = server φ). Owners use it
+// after a server restart to probe whether their outsourced tables are
+// still registered — a disk-backed server that recovered from its
+// manifests answers without any re-outsourcing, and the per-table epoch
+// lets a probe distinguish "still the registration I made" from
+// "re-registered since".
+func (o *Owner) ListTables(ctx context.Context) ([][]protocol.TableStatus, error) {
+	out := make([][]protocol.TableStatus, params.NumServers)
+	errs := make([]error, params.NumServers)
+	var wg sync.WaitGroup
+	for phi := 0; phi < params.NumServers; phi++ {
+		wg.Add(1)
+		go func(phi int) {
+			defer wg.Done()
+			reply, err := o.caller.Call(ctx, o.servers[phi], protocol.ListTablesRequest{})
+			if err != nil {
+				errs[phi] = err
+				return
+			}
+			rep, ok := reply.(protocol.ListTablesReply)
+			if !ok {
+				errs[phi] = fmt.Errorf("ownerengine: unexpected list reply %T", reply)
+				return
+			}
+			out[phi] = rep.Tables
+		}(phi)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// TableServed reports whether every server serves the named table with
+// all m owners registered — the cheap "can I query right now?" probe.
+// It returns the table's status per server (nil entries for servers not
+// serving it) alongside the verdict.
+func (o *Owner) TableServed(ctx context.Context, table string) (bool, []*protocol.TableStatus, error) {
+	lists, err := o.ListTables(ctx)
+	if err != nil {
+		return false, nil, err
+	}
+	statuses := make([]*protocol.TableStatus, params.NumServers)
+	served := true
+	for phi, tables := range lists {
+		var found *protocol.TableStatus
+		for i := range tables {
+			if tables[i].Spec.Name == table {
+				found = &tables[i]
+				break
+			}
+		}
+		statuses[phi] = found
+		if found == nil || len(found.Owners) != o.view.M {
+			served = false
+		}
+	}
+	return served, statuses, nil
+}

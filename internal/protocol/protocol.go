@@ -77,7 +77,7 @@ func (s *Stats) Add(s2 Stats) {
 // ---- Phase 1: data outsourcing (owner → server) ----
 
 // StoreRequest uploads one owner's secret-shared table to one server.
-// χ is stored permuted by PF_db1, χ̄ by PF_db2 (see DESIGN.md §4); all
+// χ is stored permuted by PF_db1, χ̄ by PF_db2 (paper §5.2); all
 // Shamir columns follow χ's order, v-columns follow χ̄'s order.
 //
 // With Shard set, every column carries only the Shard.Count cells at
@@ -318,6 +318,32 @@ type ClaimFetchReply struct {
 	Fpos  []uint16
 }
 
+// ---- serving-state probe ----
+
+// ListTablesRequest asks a server which tables it currently serves.
+// Owners use it after a server restart to probe "is my table still
+// served?" without re-outsourcing — a recovered server answers with the
+// tables it reloaded from its disk manifests.
+type ListTablesRequest struct{}
+
+// TableStatus describes one served table: its layout, which owners have
+// completed outsourcing, and the server's registration epoch for it.
+// The epoch increases on every registration event (an owner completing
+// an upload, a re-outsource, a recovery adoption) and is persisted in
+// the disk manifest, so it survives restarts: an owner that remembers
+// the epoch from its last probe can cheaply detect both "table gone"
+// and "table replaced since I last looked".
+type TableStatus struct {
+	Spec   TableSpec
+	Owners []int
+	Epoch  uint64
+}
+
+// ListTablesReply lists the server's served tables sorted by name.
+type ListTablesReply struct {
+	Tables []TableStatus
+}
+
 // ---- query lifecycle ----
 
 // QueryDoneRequest retires every piece of per-query state a node holds
@@ -346,6 +372,7 @@ func Register() {
 		AnnounceFetchRequest{}, AnnounceFetchReply{},
 		ClaimSubmitRequest{}, ClaimSubmitReply{},
 		ClaimFetchRequest{}, ClaimFetchReply{},
+		ListTablesRequest{}, ListTablesReply{}, TableStatus{},
 		QueryDoneRequest{}, QueryDoneReply{},
 	} {
 		gob.Register(v)

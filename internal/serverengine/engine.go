@@ -8,6 +8,22 @@
 // transport.Handler. It never contacts another server; its only outbound
 // calls go to the announcer S_a for max/min/median queries, exactly as
 // the paper's trust model prescribes.
+//
+// Durability: a disk-backed engine (Options.Store + DiskBacked) keeps
+// every column in the sharestore's chunked layout and records each
+// completed registration in a per-table manifest (TableManifest: spec,
+// completed owners, format version, registration epoch), written
+// atomically only after the owner's columns are fully promoted to their
+// live names. That manifest is what a restarted server trusts:
+// Engine.Recover (Options.AutoRecover, prism-server -recover) scans the
+// store, validates each manifest against the chunk indexes on disk, and
+// re-registers complete tables — so a restart does not force owners to
+// re-outsource. Tables that fail validation are quarantined into the
+// store's .quarantine/ area with a machine-readable reason rather than
+// served (or crashing boot); interrupted pending→live promotions are
+// resumed; crashed mid-upload assemblies are reclaimed. See recover.go
+// for the full state machine and docs/ARCHITECTURE.md for the on-disk
+// format.
 package serverengine
 
 import (
@@ -66,6 +82,14 @@ type Options struct {
 	// slot arrays to S_a.
 	AnnouncerAddr string
 	Caller        transport.Caller
+	// AutoRecover makes New reload serving state from the disk store's
+	// table manifests (see Engine.Recover) before the engine answers its
+	// first request, so a restarted disk-backed server resumes serving
+	// without any owner re-outsourcing. Recovery never fails boot:
+	// tables that do not validate are quarantined and the report (and
+	// any store-scan error) is available via RecoveryReport. Ignored
+	// unless DiskBacked with a Store.
+	AutoRecover bool
 }
 
 // Engine is one Prism server. All request handlers are safe for
@@ -85,6 +109,12 @@ type Engine struct {
 
 	mu     sync.RWMutex
 	tables map[string]*table
+	// epochFloor remembers the last registration epoch of tables this
+	// process dropped, so a drop + re-outsource of the same name keeps
+	// the epoch strictly increasing — an owner probing via ListTables
+	// can never mistake the replacement for its original registration.
+	// Guarded by mu; one uint64 per dropped name.
+	epochFloor map[string]uint64
 
 	// pending assembles sharded uploads (table → owner → partial
 	// columns); a table epoch is registered only once every cell of
@@ -118,6 +148,11 @@ type Engine struct {
 	// owners completing uploads concurrently).
 	manifestMu sync.Mutex
 
+	// recovery holds the report (and scan error, if any) of the
+	// AutoRecover pass New ran; nil when New did not recover.
+	recovery    *RecoveryReport
+	recoveryErr error
+
 	// heldBytes/peakHeld track the column bytes this engine holds
 	// resident: in-RAM pending upload assemblies, registered in-memory
 	// tables, and the hot-chunk caches. The benchx memscale experiment
@@ -130,6 +165,12 @@ type Engine struct {
 type table struct {
 	spec   protocol.TableSpec
 	owners map[int]*ownerCols
+	// epoch counts registration events for this table (an owner
+	// completing an upload, a recovery adoption). Disk-backed engines
+	// persist it in the manifest, so it survives restarts and owners can
+	// use ListTables to tell "still served" from "replaced since I last
+	// probed".
+	epoch uint64
 	// cache is the current epoch's hot-chunk cache (nil unless
 	// CacheColumns); every Store/Drop swaps in a fresh one, so queries
 	// holding the old snapshot never see the new epoch's columns.
@@ -263,14 +304,25 @@ func colKey(owner int, col string) string { return fmt.Sprintf("o%d.%s", owner, 
 // pendColKey is the pending (streaming upload) name of the same column.
 func pendColKey(owner int, col string) string { return fmt.Sprintf("pend%d.%s", owner, col) }
 
+// ManifestVersion is the current TableManifest format version. Version
+// 0 manifests (written before the field existed) decode identically and
+// are accepted by Recover; manifests from a newer format are quarantined
+// rather than guessed at.
+const ManifestVersion = 1
+
 // TableManifest is the durable registration record a disk-backed server
 // writes once an owner's upload completes: the table layout plus which
-// owners have fully outsourced. Streamed shard windows live under
-// pending column names until the manifest-covered rename, so a restarted
-// server reloading from disk can trust every "o<j>.*" column it finds.
+// owners have fully outsourced, a format version, and the registration
+// epoch (bumped on every registration event, so owners probing via
+// ListTables can distinguish "still served" from "re-registered since").
+// Streamed shard windows live under pending column names until the
+// manifest-covered rename, so a restarted server reloading from disk can
+// trust every "o<j>.*" column the manifest vouches for.
 type TableManifest struct {
-	Spec   protocol.TableSpec
-	Owners []int
+	Version int
+	Epoch   uint64
+	Spec    protocol.TableSpec
+	Owners  []int
 }
 
 // ocBytes is the resident size of an in-memory column set (0 for nil or
@@ -334,13 +386,25 @@ func New(v *params.ServerView, opts Options) *Engine {
 		opts:       opts,
 		powTab:     modmath.PowTable(v.G, v.Delta, v.EtaPrime),
 		tables:     make(map[string]*table),
+		epochFloor: make(map[string]uint64),
 		pending:    make(map[string]map[int]*pendingStore),
 		storeMarks: make(map[string]map[int]uploadMark),
 		sessions:   make(map[string]*querySession),
 		storeMus:   make(map[string]*sync.Mutex),
 	}
 	e.threads.Store(int64(opts.Threads))
+	if opts.AutoRecover && opts.DiskBacked && opts.Store != nil {
+		e.recovery, e.recoveryErr = e.Recover()
+	}
 	return e
+}
+
+// RecoveryReport returns the outcome of the AutoRecover pass New ran
+// (nil when the engine was not built with Options.AutoRecover). The
+// error reports a store-scan failure; per-table problems never error —
+// they quarantine the table and show up in the report.
+func (e *Engine) RecoveryReport() (*RecoveryReport, error) {
+	return e.recovery, e.recoveryErr
 }
 
 // SetThreads adjusts the worker-pool width (thread-sweep benchmarks and
@@ -412,6 +476,8 @@ func (e *Engine) Handle(ctx context.Context, req any) (any, error) {
 		return e.handleClaimSubmit(r)
 	case protocol.ClaimFetchRequest:
 		return e.handleClaimFetch(r)
+	case protocol.ListTablesRequest:
+		return e.handleListTables(), nil
 	case protocol.QueryDoneRequest:
 		e.endSession(r.QueryID)
 		return protocol.QueryDoneReply{}, nil
@@ -831,11 +897,12 @@ func (e *Engine) finishStore(spec protocol.TableSpec, owner int, oc *ownerCols) 
 	}
 	t, ok := e.tables[spec.Name]
 	if !ok {
-		t = &table{spec: spec, owners: make(map[int]*ownerCols)}
+		t = &table{spec: spec, owners: make(map[int]*ownerCols), epoch: e.epochFloor[spec.Name]}
 		e.tables[spec.Name] = t
 	}
 	e.trackHeld(ocBytes(oc) - ocBytes(t.owners[owner]))
 	t.owners[owner] = oc
+	t.epoch++
 	if e.opts.CacheColumns && e.opts.DiskBacked {
 		// New table epoch: invalidate hot chunks (release their bytes).
 		if t.cache != nil {
@@ -853,18 +920,22 @@ func (e *Engine) finishStore(spec protocol.TableSpec, owner int, oc *ownerCols) 
 		// and a stale snapshot can never overwrite a newer manifest.
 		e.manifestMu.Lock()
 		var owners []int
+		var epoch uint64
 		e.mu.RLock()
 		cur, ok := e.tables[spec.Name]
 		if ok {
 			for j := range cur.owners {
 				owners = append(owners, j)
 			}
+			epoch = cur.epoch
 		}
 		e.mu.RUnlock()
 		var err error
 		if ok { // a concurrent Drop skips the write; DropTable removed the dir
 			sort.Ints(owners)
-			err = e.opts.Store.WriteManifest(spec.Name, TableManifest{Spec: spec, Owners: owners})
+			err = e.opts.Store.WriteManifest(spec.Name, TableManifest{
+				Version: ManifestVersion, Epoch: epoch, Spec: spec, Owners: owners,
+			})
 		}
 		e.manifestMu.Unlock()
 		if err != nil {
@@ -886,6 +957,27 @@ func (e *Engine) storeLock(key string) *sync.Mutex {
 	return mu
 }
 
+// handleListTables reports the tables this server currently serves:
+// name/layout, the owners that have completed outsourcing, and the
+// registration epoch. Owners use it to probe a restarted server's state
+// without re-outsourcing; the reply is sorted by table name so probes
+// are comparable across servers.
+func (e *Engine) handleListTables() protocol.ListTablesReply {
+	e.mu.RLock()
+	tables := make([]protocol.TableStatus, 0, len(e.tables))
+	for _, t := range e.tables {
+		st := protocol.TableStatus{Spec: t.spec, Epoch: t.epoch}
+		for j := range t.owners {
+			st.Owners = append(st.Owners, j)
+		}
+		sort.Ints(st.Owners)
+		tables = append(tables, st)
+	}
+	e.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Spec.Name < tables[j].Spec.Name })
+	return protocol.ListTablesReply{Tables: tables}
+}
+
 func (e *Engine) handleDrop(r protocol.DropRequest) (any, error) {
 	e.mu.Lock()
 	if t, ok := e.tables[r.Table]; ok {
@@ -895,6 +987,10 @@ func (e *Engine) handleDrop(r protocol.DropRequest) (any, error) {
 		if t.cache != nil {
 			t.cache.discard()
 		}
+		// A later re-outsource under the same name continues the epoch
+		// rather than restarting it, so probes can't mistake the
+		// replacement for the original registration.
+		e.epochFloor[r.Table] = t.epoch
 		delete(e.tables, r.Table)
 	}
 	e.mu.Unlock()

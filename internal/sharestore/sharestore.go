@@ -9,10 +9,23 @@
 // patched without touching the rest. Version-1 monolithic column files
 // (one file per column, whole-payload CRC) remain readable and are
 // migrated to the chunked layout on first ranged write. A JSON manifest
-// per table records the protocol.TableSpec and the set of owners so a
-// restarted server can reload its state, and a sidecar file records the
-// raw table name so listings are not limited to sanitised directory
-// names.
+// per table records the protocol.TableSpec, the set of completed owners
+// and a monotonically increasing registration epoch; the manifest is
+// written atomically only after an owner's columns are fully promoted
+// to their live names, so it is the durable registration record a
+// restarted server trusts when reloading its serving state (see the
+// serverengine Recover path). A sidecar file records the raw table name
+// so listings are not limited to sanitised directory names.
+//
+// Recovery support (verify.go): VerifyColumn checks a column's on-disk
+// shape and CRCs against what a manifest promises, and QuarantineTable
+// moves a failing table — data preserved, never deleted — into the
+// store's reserved .quarantine/ area beside the live tables, with a
+// machine-readable reason file (QuarantineInfo) an operator can read
+// back through Quarantined. Table names are sanitised such that no user
+// table can collide with the quarantine area: any name starting with
+// '.' is diverted through the hashed form, and Tables skips dot-prefixed
+// directories.
 package sharestore
 
 import (
@@ -61,7 +74,9 @@ func (s *Store) colPath(table, col string) string {
 // path and silently cross-clobber each other's columns. Safe names that
 // already end in the "-xxxxxxxx" hash suffix are diverted through the
 // hashed form as well — otherwise the safe name "a_b-<crc of a/b>"
-// would collide with the rewritten "a/b".
+// would collide with the rewritten "a/b". Names starting with '.' are
+// also diverted: dot-prefixed directories are reserved for store
+// metadata (the .quarantine/ area), and Tables skips them.
 func sanitize(name string) string {
 	mapped := strings.Map(func(r rune) rune {
 		switch {
@@ -72,8 +87,11 @@ func sanitize(name string) string {
 			return '_'
 		}
 	}, name)
-	if mapped == name && name != "" && !looksHashed(name) {
+	if mapped == name && name != "" && name[0] != '.' && !looksHashed(name) {
 		return name
+	}
+	if len(mapped) > 0 && mapped[0] == '.' {
+		mapped = "_" + mapped[1:]
 	}
 	return fmt.Sprintf("%s-%08x", mapped, crc32.ChecksumIEEE([]byte(name)))
 }
@@ -197,6 +215,8 @@ func (s *Store) DropTable(table string) error {
 // stored — not the sanitised directory names (which diverge for any name
 // containing filesystem-unsafe characters). Legacy directories written
 // before the sidecar existed fall back to the directory name.
+// Dot-prefixed directories (the .quarantine/ area) are store metadata,
+// not tables, and are skipped.
 func (s *Store) Tables() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -204,7 +224,7 @@ func (s *Store) Tables() ([]string, error) {
 	}
 	var out []string
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
 		name := e.Name()

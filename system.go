@@ -92,9 +92,15 @@ func NewLocalSystem(cfg Config) (*System, error) {
 			opts.DiskBacked = true
 			opts.CacheColumns = cfg.HotColumns || cfg.HotChunks > 0
 			opts.CacheBytes = int64(cfg.HotChunks)
+			opts.AutoRecover = cfg.AutoRecover
 		}
 		opts.PendingTTL = cfg.PendingUploadTTL
 		eng := serverengine.New(view, opts)
+		if cfg.AutoRecover {
+			if _, err := eng.RecoveryReport(); err != nil {
+				return nil, fmt.Errorf("prism: server %d recovery: %w", phi, err)
+			}
+		}
 		s.servers[phi] = eng
 		s.network.Register(serverAddr(phi), eng)
 	}
@@ -122,6 +128,11 @@ func serverAddr(phi int) string { return fmt.Sprintf("server/%d", phi) }
 
 // Owner returns owner i's handle.
 func (s *System) Owner(i int) *Owner { return s.owners[i] }
+
+// ServerEngine exposes server phi's engine (advanced use: recovery
+// reports after Config.AutoRecover, held-bytes gauges, the benchmark
+// harness) — the server-side counterpart of Owner.Engine.
+func (s *System) ServerEngine(phi int) *serverengine.Engine { return s.servers[phi] }
 
 // Owners returns m.
 func (s *System) Owners() int { return len(s.owners) }
