@@ -10,7 +10,8 @@
 //	prism-bench -exp exp2 -csv out/      # also write CSV series
 //
 // Experiments: exp1 table12 exp2 exp3 exp4 sharegen table13 fanout
-// diskablation throughput tcpthroughput domainscale memscale all. The
+// diskablation throughput tcpthroughput domainscale memscale
+// streamscale all. The
 // tcpthroughput experiment runs the query mix over real loopback TCP
 // twice — with the serialised one-RPC-per-connection baseline and with
 // the multiplexed client — so the transport win is measured, not
@@ -21,7 +22,11 @@
 // memscale experiment compares peak server resident column bytes —
 // in-memory monolithic serving vs the sharded chunked segment store —
 // during outsourcing and a mixed query load, requiring identical result
-// fingerprints between the modes.
+// fingerprints between the modes. The streamscale experiment measures
+// the incremental-update path: single-tuple StoreDelta updates vs a
+// full re-outsource, read throughput while updates and
+// threshold-triggered compaction race, and result parity between the
+// merged base+delta view and the compacted base.
 package main
 
 import (
@@ -38,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|memscale|all")
+		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|memscale|streamscale|all")
 		paper   = flag.Bool("paper", false, "use the paper's full sizes (5M/20M domains; needs ~16GB RAM)")
 		domain  = flag.Uint64("domain", 0, "override: single domain size")
 		owners  = flag.Int("owners", 0, "override: owner count for exp1/exp3/table12/sharegen")
@@ -154,6 +159,10 @@ func main() {
 	if want("memscale") {
 		matched = true
 		run("memscale", func() ([]*report.Table, error) { return benchx.MemScale(ctx, sc) })
+	}
+	if want("streamscale") {
+		matched = true
+		run("streamscale", func() ([]*report.Table, error) { return benchx.StreamScale(ctx, sc) })
 	}
 	if !matched {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -16,8 +16,20 @@
 //	    -data owner0.csv -cols PK,DT -op outsource
 //	prism-owner ... -op psi
 //	prism-owner ... -op sum -cols DT
+//	prism-owner ... -data owner0.csv -cols PK,DT \
+//	    -add new.csv -remove gone.csv -op update
 //
-// Ops: outsource, psi, psu, count, psucount, sum, avg, list. The
+// Ops: outsource, psi, psu, count, psucount, sum, avg, update, list.
+//
+// "-op update" ships a tuple-set change as delta windows instead of
+// re-outsourcing the whole table: -data names the CSV as currently
+// outsourced, -add/-remove name CSVs (same format) of tuples to insert
+// and delete, and only the changed cells travel. Removed tuples must
+// match rows of -data exactly (key and every column). The servers merge
+// the deltas over the stored base and fold them into the base chunks at
+// the next compaction (see prism-server -deltamax/-compact).
+//
+// The
 // exemplary aggregations (max/min/median) need all owners online in one
 // coordinated flow; see examples/federated for a complete multi-process
 // deployment that drives them over TCP.
@@ -53,10 +65,12 @@ func main() {
 		viewPath = flag.String("view", "", "owner view file from prism-init (required)")
 		index    = flag.Int("index", 0, "this owner's index in [0, m)")
 		servers  = flag.String("servers", "", "comma-separated host:port of the 3 servers (required)")
-		dataPath = flag.String("data", "", "CSV data file (required for -op outsource)")
+		dataPath = flag.String("data", "", "CSV data file (required for -op outsource/update)")
 		cols     = flag.String("cols", "", "comma-separated aggregation columns")
 		table    = flag.String("table", "main", "logical table name")
-		op       = flag.String("op", "", "outsource|psi|psu|count|psucount|sum|avg|list (required)")
+		op       = flag.String("op", "", "outsource|psi|psu|count|psucount|sum|avg|update|list (required)")
+		addPath  = flag.String("add", "", "update: CSV of tuples to insert")
+		rmPath   = flag.String("remove", "", "update: CSV of tuples to delete (must match -data rows)")
 		verify   = flag.Bool("verify", false, "outsource verification columns / verify query results")
 		inflight = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 		shard    = flag.Uint64("shard", 0, "shard size in cells for uploads and query vectors (0 = one frame per exchange)")
@@ -114,6 +128,49 @@ func main() {
 		}
 		fmt.Printf("outsourced %d tuples over %d cells in %.3fs (build %.3fs, split %.3fs, upload %.3fs)\n",
 			len(data.Cells), st.Cells,
+			float64(st.BuildNS+st.SplitNS+st.UploadNS)/1e9,
+			float64(st.BuildNS)/1e9, float64(st.SplitNS)/1e9, float64(st.UploadNS)/1e9)
+
+	case "update":
+		if *dataPath == "" {
+			fatal(fmt.Errorf("-data is required for -op update (the table as currently outsourced)"))
+		}
+		if *addPath == "" && *rmPath == "" {
+			fatal(fmt.Errorf("-op update needs -add and/or -remove"))
+		}
+		data, err := loadCSV(*dataPath, view.B)
+		if err != nil {
+			fatal(err)
+		}
+		if err := owner.Load(data); err != nil {
+			fatal(err)
+		}
+		// Rebuild the retained table state (χ, multiplicities, sums)
+		// from -data without re-uploading anything; the servers still
+		// hold the matching base.
+		spec := ownerengine.OutsourceSpec{
+			Table: *table, AggCols: colList, Verify: *verify, WithCount: len(colList) > 0,
+		}
+		if err := owner.AdoptTable(spec); err != nil {
+			fatal(err)
+		}
+		var add, remove *ownerengine.Data
+		if *addPath != "" {
+			if add, err = loadCSV(*addPath, view.B); err != nil {
+				fatal(err)
+			}
+		}
+		if *rmPath != "" {
+			if remove, err = loadCSV(*rmPath, view.B); err != nil {
+				fatal(err)
+			}
+		}
+		st, err := owner.Update(ctx, *table, add, remove)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("updated %d cells over %d delta windows in %.3fs (build %.3fs, split %.3fs, upload %.3fs)\n",
+			st.Cells, st.Windows,
 			float64(st.BuildNS+st.SplitNS+st.UploadNS)/1e9,
 			float64(st.BuildNS)/1e9, float64(st.SplitNS)/1e9, float64(st.UploadNS)/1e9)
 

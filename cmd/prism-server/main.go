@@ -34,6 +34,8 @@ func main() {
 		hotChunks  = flag.Uint64("hotchunks", 0, "with -disk: hot-chunk cache byte budget per table (LRU eviction past it); implies -hotcols, 0 = unbounded cache when -hotcols is set")
 		chunkCells = flag.Uint64("chunkcells", 0, "share-store chunk size in cells for newly written columns (0 = 65536); align with the owners' -shard size")
 		pendTTL    = flag.Duration("pendttl", 0, "reclaim sharded-upload assemblies idle longer than this (crashed owners); 0 disables the sweep")
+		deltaMax   = flag.Int("deltamax", 0, "compact a table's delta log once it holds this many entries (0 = default threshold; incremental updates only)")
+		compactEvr = flag.Duration("compact", 0, "also sweep every table's delta log for compaction on this interval (0 = threshold-triggered only)")
 		threads    = flag.Int("threads", 0, "worker pool width (0 = GOMAXPROCS)")
 		inflight   = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 		recoverTab = flag.Bool("recover", false, "with -disk: reload outsourced tables from the store's manifests at startup (corrupt tables are quarantined, crashed uploads reclaimed) instead of booting empty")
@@ -46,7 +48,8 @@ func main() {
 	if err := viewio.Load(*viewPath, &view); err != nil {
 		fatal(err)
 	}
-	opts := serverengine.Options{Threads: *threads, PendingTTL: *pendTTL}
+	opts := serverengine.Options{Threads: *threads, PendingTTL: *pendTTL,
+		DeltaMax: *deltaMax, CompactEvery: *compactEvr}
 	if *storeDir != "" {
 		st, err := sharestore.Open(*storeDir)
 		if err != nil {

@@ -136,4 +136,25 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(psuOut, "PSU: 4 keys") {
 		t.Fatalf("psu output: %s", psuOut)
 	}
+
+	// Incremental update: owner 0 drops key 77 and gains key 5 (which
+	// owner 1 already holds), shipped as delta windows by a fresh
+	// process that adopts the table from the original CSV.
+	add0 := filepath.Join(work, "owner0-add.csv")
+	rm0 := filepath.Join(work, "owner0-rm.csv")
+	os.WriteFile(add0, []byte("key,DT\n5,20\n"), 0o644)
+	os.WriteFile(rm0, []byte("key,DT\n77,1\n"), 0o644)
+	upOut := ownerCmd(0, "-data", csv0, "-cols", "DT", "-verify",
+		"-add", add0, "-remove", rm0, "-op", "update")
+	if !strings.Contains(upOut, "updated 2 cells") {
+		t.Fatalf("update output: %s", upOut)
+	}
+	psiOut = ownerCmd(0, "-op", "psi", "-verify")
+	if !strings.Contains(psiOut, "PSI: 3 keys") || !strings.Contains(psiOut, "\n5\n") {
+		t.Fatalf("psi after update: %s", psiOut)
+	}
+	sumOut = ownerCmd(0, "-op", "sum", "-cols", "DT", "-verify")
+	if !strings.Contains(sumOut, "key 5: sum(DT)=29") || !strings.Contains(sumOut, "key 10: sum(DT)=150") {
+		t.Fatalf("sum after update: %s", sumOut)
+	}
 }

@@ -194,11 +194,52 @@ func TestQueryAsyncPinnedOwner(t *testing.T) {
 			t.Errorf("owner %d result diverged: %s != %s", j, got, want)
 		}
 	}
-	// Out-of-range pins must surface as error responses, never panics.
+	// Out-of-range pins must surface as error responses — never panics —
+	// and, like every error path that reached no owner, report Owner -1.
 	for _, idx := range []int{99, -1, sys.Owners()} {
 		resp := sys.QueryAsync(context.Background(), Request{Op: OpPSI, PinOwner: true, OwnerIdx: idx}).Wait()
 		if resp.Err == nil {
 			t.Errorf("out-of-range pinned owner %d accepted", idx)
+		}
+		if resp.Owner != -1 {
+			t.Errorf("out-of-range pin %d: Owner = %d, want -1", idx, resp.Owner)
+		}
+	}
+}
+
+// TestSchedulerColumnArity: the scheduler rejects requests whose column
+// list does not fit the operator instead of silently truncating it (an
+// extreme query with two columns used to answer for the first only).
+func TestSchedulerColumnArity(t *testing.T) {
+	sys := concSystem(t)
+	bad := []Request{
+		{Op: OpPSI, Cols: []string{"v"}},           // set ops take none
+		{Op: OpPSICount, Cols: []string{"v", "w"}}, // count ops take none
+		{Op: OpPSISum},                              // aggregation needs >= 1
+		{Op: OpPSUAvg},                              //
+		{Op: OpPSIMax},                              // extremes take exactly 1
+		{Op: OpPSIMin, Cols: []string{"v", "w"}},    //
+		{Op: OpPSIMedian, Cols: []string{"v", "w"}}, //
+		{Op: OpKind(99), Cols: []string{"v"}},       // unknown operator
+	}
+	for _, req := range bad {
+		resp := sys.QueryAsync(context.Background(), req).Wait()
+		if resp.Err == nil {
+			t.Errorf("%v with cols %v accepted", req.Op, req.Cols)
+		}
+		if resp.Owner != -1 {
+			t.Errorf("%v validation failure: Owner = %d, want -1", req.Op, resp.Owner)
+		}
+	}
+	// The well-formed shapes still run.
+	good := []Request{
+		{Op: OpPSI},
+		{Op: OpPSIMax, Cols: []string{"v"}},
+		{Op: OpPSISum, Cols: []string{"v"}},
+	}
+	for _, req := range good {
+		if resp := sys.QueryAsync(context.Background(), req).Wait(); resp.Err != nil {
+			t.Errorf("%v with cols %v rejected: %v", req.Op, req.Cols, resp.Err)
 		}
 	}
 }

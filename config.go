@@ -207,6 +207,19 @@ type Config struct {
 	// disables the sweep — stale assemblies then linger until the owner
 	// retries or the table is dropped.
 	PendingUploadTTL time.Duration
+	// DeltaMaxEntries triggers a compaction pass on a server once a
+	// table's merged-but-uncompacted delta entries (incremental updates,
+	// Owner.Update) reach this count: the base columns are rewritten
+	// with the overlay values and the absorbed delta-log segments are
+	// deleted. 0 disables threshold-triggered compaction; updates then
+	// accumulate in the overlay until CompactInterval (or a manual
+	// CompactTables call) folds them down.
+	DeltaMaxEntries int
+	// CompactInterval runs each server's compaction pass on a timer
+	// regardless of delta density, bounding how long the delta log can
+	// grow under a trickle of updates. 0 disables the timer. Timer-based
+	// servers need System.Close to stop their tickers.
+	CompactInterval time.Duration
 	// Seed makes the whole system deterministic; zero → fresh entropy.
 	Seed [32]byte
 	// DiskDir, when set, backs each server with an on-disk share store
@@ -246,6 +259,9 @@ func (c *Config) normalize() error {
 	}
 	if c.PerConnInflight == 0 {
 		c.PerConnInflight = transport.DefaultPerConnInflight
+	}
+	if c.DeltaMaxEntries < 0 || c.CompactInterval < 0 {
+		return errors.New("prism: DeltaMaxEntries and CompactInterval must be >= 0")
 	}
 	if c.AutoRecover && c.DiskDir == "" {
 		// Mirror prism-server, which rejects -recover without -store

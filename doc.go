@@ -136,6 +136,26 @@
 // are specified in docs/ARCHITECTURE.md; the operational runbook is
 // docs/OPERATIONS.md.
 //
+// # Incremental updates
+//
+// A tuple-set change no longer costs a full O(b) re-outsource:
+// Owner.Update (CLI: prism-owner -op update) folds the added and
+// removed tuples into the owner's retained tables, re-shares only the
+// changed cells, and ships them as StoreDelta windows over the upload
+// shard plan. Servers append accepted windows to a per-table delta log
+// of CRC'd, atomically written segments holding absolute replacement
+// values — replay is idempotent — and answer queries by patching every
+// fetched value through an in-memory overlay of the log, so reads see
+// base + deltas immediately. A compactor (Config.DeltaMaxEntries
+// threshold, Config.CompactInterval ticker, or System.CompactTables)
+// folds the log into the base chunks, bumps the table epoch, and only
+// then deletes segments; idempotent replay makes every crash point
+// between those steps recoverable, and cold-boot recovery replays the
+// surviving log over the surviving base (torn segments quarantine the
+// table). The prism-bench streamscale experiment measures update cost
+// against a full re-outsource and read throughput while updates and
+// compaction race.
+//
 // See examples/ for complete programs, docs/ARCHITECTURE.md for the
 // layer map, storage format and protocol details, and docs/OPERATIONS.md
 // for deployment, flags, the restart runbook and the benchmark

@@ -41,6 +41,8 @@ type SystemSpec struct {
 	Verify       bool
 	MaxValue     uint64
 	Seed         string
+	DeltaMax     int           // per-table delta-log compaction threshold (0 = default)
+	CompactEvery time.Duration // background compaction interval (0 = off)
 }
 
 func (s SystemSpec) withDefaults() SystemSpec {
@@ -112,6 +114,9 @@ func Build(spec SystemSpec) (*prism.System, []*workload.OwnerData, prism.ShareGe
 		ChunkCells:  spec.ChunkCells,
 		ShardCells:  spec.ShardCells,
 		EncodeWire:  spec.EncodeWire,
+
+		DeltaMaxEntries: spec.DeltaMax,
+		CompactInterval: spec.CompactEvery,
 	})
 	if err != nil {
 		return nil, nil, sg, err

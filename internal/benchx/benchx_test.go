@@ -396,3 +396,35 @@ func TestFig5FullScale(t *testing.T) {
 		t.Errorf("sparse fill visited %d, want a few hundred thousand (paper: ~400K)", pts[1].ActualWith)
 	}
 }
+
+func TestStreamScaleSmoke(t *testing.T) {
+	sc := tinyScale(t)
+	sc.Domains = []uint64{8192}
+	sc.ShardCells = 512
+	sc.ThroughputQueries = 12
+	tables, err := StreamScale(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	row := rows[0]
+	// The experiment's point: a single-tuple delta update must beat a
+	// full re-outsource by a wide margin.
+	var speedup float64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(row[3], "×"), "%f", &speedup); err != nil {
+		t.Fatalf("unparseable speedup %q: %v", row[3], err)
+	}
+	if speedup < 2 {
+		t.Errorf("update speedup %v over re-outsource, want well above 1", row[3])
+	}
+	if row[4] == "0.0" {
+		t.Error("zero read throughput during the update stream")
+	}
+	// Parity survived compaction (divergence fails StreamScale outright).
+	if row[7] != "match" {
+		t.Errorf("results column = %q, want match", row[7])
+	}
+}

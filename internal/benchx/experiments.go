@@ -691,3 +691,170 @@ func humanAll(ns []uint64) []string {
 	}
 	return out
 }
+
+// streamDeltaMax is the per-table delta-log threshold the streamscale
+// experiment runs under: small enough that the background compactor
+// fires several times during the update phase, so reads race both
+// in-flight deltas and base-chunk rewrites.
+const streamDeltaMax = 8
+
+// StreamScale measures the incremental-update path: the cost of
+// shipping a single-tuple change as StoreDelta windows versus a full
+// re-outsource of the same table, read throughput while updates and
+// threshold-triggered compaction run concurrently, and result parity
+// between the merged view (base chunks + delta overlay) and the
+// compacted base. Any fingerprint divergence or undrained backlog after
+// the final synchronous compaction fails the experiment.
+func StreamScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
+	shard := sc.ShardCells
+	if shard == 0 {
+		shard = 1 << 16
+	}
+	nup := sc.ThroughputQueries
+	if nup <= 0 {
+		nup = 24
+	}
+	budget := 64 * 2 * shard
+	tb := report.New(
+		fmt.Sprintf("Stream scale — %d owners, %d single-tuple updates, shard/chunk %s cells, compaction threshold %d entries",
+			sc.Owners, nup, human(shard), streamDeltaMax),
+		"domain", "update(ms)", "re-outsource(s)", "speedup", "reads/sec", "query peak resident", "backlog@compact", "results")
+
+	for _, domain := range sc.Domains {
+		if err := streamScalePoint(ctx, sc, tb, domain, shard, budget, nup); err != nil {
+			return nil, err
+		}
+	}
+	return []*report.Table{tb}, nil
+}
+
+func streamScalePoint(ctx context.Context, sc Scale, tb *report.Table, domain, shard, budget uint64, nup int) error {
+	spec := SystemSpec{
+		Owners:     sc.Owners,
+		Domain:     domain,
+		Seed:       "streamscale",
+		ShardCells: shard,
+		ChunkCells: shard,
+		HotChunks:  budget,
+		DiskDir:    fmt.Sprintf("%s/streamscale-%s", sc.DiskDir, human(domain)),
+		DeltaMax:   streamDeltaMax,
+	}
+	sys, _, _, err := Build(spec)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	// Baseline the delta path is up against: re-outsourcing the full
+	// O(b) table after a change. Owner 0's data is unchanged, so this
+	// rebuilds identical shares and leaves results untouched.
+	start := time.Now()
+	if _, err := sys.Owner(0).Outsource(ctx); err != nil {
+		return fmt.Errorf("benchx: streamscale @%s: re-outsource: %w", human(domain), err)
+	}
+	reout := time.Since(start)
+	sys.ResetServerHeldPeaks()
+
+	// Sustained reads racing the update stream and the background
+	// compactor. The reader reports how many queries it completed.
+	type tally struct {
+		n   int
+		err error
+	}
+	stop := make(chan struct{})
+	readRes := make(chan tally, 1)
+	first := make(chan struct{})
+	go func() {
+		var t tally
+		defer func() { readRes <- t }()
+		for i := 0; ; i++ {
+			if i > 0 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+			for _, r := range sys.QueryBatch(ctx, memScaleMix) {
+				if r.Err != nil {
+					t.err = fmt.Errorf("benchx: streamscale @%s: concurrent read: %w", human(domain), r.Err)
+					if i == 0 {
+						close(first)
+					}
+					return
+				}
+				t.n++
+			}
+			if i == 0 {
+				close(first)
+			}
+		}
+	}()
+
+	start = time.Now()
+	maxv := spec.withDefaults().MaxValue
+	for i := 0; i < nup; i++ {
+		cell := (uint64(i)*2654435761 + 7) % domain
+		// The loaded dataset carries every workload column; an update
+		// tuple must too, even though only AggCols are outsourced.
+		aggs := make(map[string][]uint64, len(workload.Columns))
+		for j, col := range workload.Columns {
+			aggs[col] = []uint64{1 + (uint64(i)+uint64(j)*13)%maxv}
+		}
+		if _, err := sys.Owner(0).UpdateCells(ctx, []uint64{cell}, aggs, nil, nil); err != nil {
+			close(stop)
+			<-readRes
+			return fmt.Errorf("benchx: streamscale @%s: update %d: %w", human(domain), i, err)
+		}
+	}
+	upWall := time.Since(start)
+	<-first // at least one full read pass lands inside the measured window
+	close(stop)
+	rt := <-readRes
+	readWall := time.Since(start)
+	if rt.err != nil {
+		return rt.err
+	}
+	peak := sys.PeakServerHeldBytes()
+
+	// Parity: the merged (base + delta overlay) view must answer
+	// exactly like the compacted base it is later folded into.
+	pre := make([]string, len(memScaleMix))
+	for i, r := range sys.QueryBatch(ctx, memScaleMix) {
+		if r.Err != nil {
+			return fmt.Errorf("benchx: streamscale @%s: pre-compaction read: %w", human(domain), r.Err)
+		}
+		pre[i] = responseFingerprint(r)
+	}
+	backlog := 0
+	for phi := 0; phi < 3; phi++ {
+		backlog += sys.ServerEngine(phi).DeltaBacklog("main")
+	}
+	if err := sys.CompactTables(); err != nil {
+		return fmt.Errorf("benchx: streamscale @%s: compaction: %w", human(domain), err)
+	}
+	for phi := 0; phi < 3; phi++ {
+		if n := sys.ServerEngine(phi).DeltaBacklog("main"); n != 0 {
+			return fmt.Errorf("benchx: streamscale @%s: server %d delta backlog %d after CompactTables", human(domain), phi, n)
+		}
+	}
+	for i, r := range sys.QueryBatch(ctx, memScaleMix) {
+		if r.Err != nil {
+			return fmt.Errorf("benchx: streamscale @%s: post-compaction read: %w", human(domain), r.Err)
+		}
+		if fp := responseFingerprint(r); fp != pre[i] {
+			return fmt.Errorf("benchx: streamscale @%s: query %d diverged after compaction", human(domain), i)
+		}
+	}
+
+	avgUp := upWall / time.Duration(nup)
+	tb.Add(human(domain),
+		fmt.Sprintf("%.2f", float64(avgUp.Nanoseconds())/1e6),
+		report.Seconds(reout.Nanoseconds()),
+		fmt.Sprintf("%.0f×", float64(reout)/float64(avgUp)),
+		fmt.Sprintf("%.1f", float64(rt.n)/readWall.Seconds()),
+		humanBytes(peak),
+		fmt.Sprint(backlog),
+		"match")
+	return nil
+}

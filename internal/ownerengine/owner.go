@@ -106,11 +106,20 @@ type Owner struct {
 	w3 []field.Elem // Lagrange weights for 3 shares
 }
 
-// localTable retains owner-local state about an outsourced table.
+// localTable retains owner-local state about an outsourced table: the
+// natural-order tables the shares were generated from, kept so
+// incremental updates (Update) can recompute exactly the cells a
+// tuple-set change touches. upMu serialises updates to the table, so
+// the absolute replacement values each delta window carries are
+// monotone in upload order.
 type localTable struct {
 	spec OutsourceSpec
 	b    uint64
-	chi  []uint16 // natural order; the owner's own membership bitmap
+
+	upMu sync.Mutex
+	chi  []uint16            // membership bitmap (natural order)
+	mult []uint64            // per-cell tuple multiplicity
+	sums map[string][]uint64 // per-cell aggregation sums (field elems)
 }
 
 // querySession is the owner-side per-query state: a unique query id and
@@ -218,12 +227,12 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 		}
 		sums[col] = acc
 	}
-	var counts []uint64
-	if spec.WithCount {
-		counts = make([]uint64, b)
-		for _, c := range d.Cells {
-			counts[c]++
-		}
+	// Multiplicity doubles as the count column and, retained in the
+	// local table, tells incremental updates when a removal empties a
+	// cell (χ flips back to 0).
+	mult := make([]uint64, b)
+	for _, c := range d.Cells {
+		mult[c]++
 	}
 	stats.BuildNS = time.Since(start).Nanoseconds()
 
@@ -251,9 +260,9 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 	}
 	var cntShares, vcntShares [][]uint64
 	if spec.WithCount {
-		cntShares = share.ShamirSplitVector(o.rng, perm.Apply(o.view.DB1, counts, nil), 1, 3)
+		cntShares = share.ShamirSplitVector(o.rng, perm.Apply(o.view.DB1, mult, nil), 1, 3)
 		if spec.Verify {
-			vcntShares = share.ShamirSplitVector(o.rng, perm.Apply(o.view.DB2, counts, nil), 1, 3)
+			vcntShares = share.ShamirSplitVector(o.rng, perm.Apply(o.view.DB2, mult, nil), 1, 3)
 		}
 	}
 	stats.SplitNS = time.Since(start).Nanoseconds()
@@ -332,9 +341,48 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 	stats.UploadNS = time.Since(start).Nanoseconds()
 
 	o.mu.Lock()
-	o.tables[spec.Table] = &localTable{spec: spec, b: b, chi: chi}
+	o.tables[spec.Table] = &localTable{spec: spec, b: b, chi: chi, mult: mult, sums: sums}
 	o.mu.Unlock()
 	return stats, nil
+}
+
+// AdoptTable rebuilds the owner-local update state for a table this
+// process did not outsource itself (the servers already hold it — e.g.
+// a fresh CLI process issuing updates against a recovered deployment).
+// The loaded data must be the pre-update dataset the table was
+// outsourced from, or subsequent deltas will diverge from the base.
+func (o *Owner) AdoptTable(spec OutsourceSpec) error {
+	o.mu.Lock()
+	d := o.data
+	o.mu.Unlock()
+	if d == nil {
+		return errors.New("ownerengine: no data loaded")
+	}
+	b := o.view.B
+	chi, err := domain.BuildChi(b, d.Cells)
+	if err != nil {
+		return err
+	}
+	mult := make([]uint64, b)
+	for _, c := range d.Cells {
+		mult[c]++
+	}
+	sums := make(map[string][]uint64, len(spec.AggCols))
+	for _, col := range spec.AggCols {
+		vs, ok := d.Aggs[col]
+		if !ok {
+			return fmt.Errorf("ownerengine: data has no column %q", col)
+		}
+		acc := make([]uint64, b)
+		for i, c := range d.Cells {
+			acc[c] = field.Add(acc[c], field.Reduce(vs[i]))
+		}
+		sums[col] = acc
+	}
+	o.mu.Lock()
+	o.tables[spec.Table] = &localTable{spec: spec, b: b, chi: chi, mult: mult, sums: sums}
+	o.mu.Unlock()
+	return nil
 }
 
 // localTableFor fetches owner-local table state.

@@ -115,6 +115,48 @@ type StoreRequest struct {
 // the final shard lands).
 type StoreReply struct{ Cells uint64 }
 
+// StoreDeltaRequest ships one window of an owner's incremental update
+// to one server: absolute replacement share values for individual
+// stored positions, covering tuple appends, value updates and deletes
+// alike (a delete is just the shares of the cell's new χ/sum/count
+// values). Positions follow the stored layouts — Pos indexes the
+// χ-order (PF_db1-permuted) columns, VPos the χ̄-order (PF_db2)
+// verification columns — so a server never learns which natural cells
+// changed, only that some stored positions did.
+//
+// Deltas carry absolute values, not increments: applying a window
+// twice equals applying it once, which is what lets servers log
+// windows durably and replay them over any base generation (see the
+// serverengine delta log and compactor). Each window is applied and
+// acknowledged independently; Shard, when set, names the stored-order
+// window [Offset, End()) the positions fall in and bounds per-frame
+// size exactly like sharded Store uploads.
+type StoreDeltaRequest struct {
+	Owner int
+	Table string
+	Shard Range // zero → positions may span the whole domain
+
+	Pos  []uint64            // stored (χ-order) positions, ascending
+	Chi  []uint16            // additive χ share per Pos (servers 0,1)
+	Sums map[string][]uint64 // Shamir sum share per agg column, parallel to Pos
+	Cnt  []uint64            // Shamir count share per Pos (when the table has counts)
+
+	VPos   []uint64            // χ̄-order positions, ascending (verify only)
+	ChiBar []uint16            // additive χ̄ share per VPos (servers 0,1)
+	VSums  map[string][]uint64 // verification sum shares, parallel to VPos
+	VCnt   []uint64            // verification count shares per VPos
+}
+
+// StoreDeltaReply acknowledges one applied delta window. Entries is
+// the number of per-position updates absorbed (both position spaces);
+// Epoch is the table's current registration epoch — unchanged by the
+// delta itself, bumped only when the background compactor folds the
+// delta log into the base chunks.
+type StoreDeltaReply struct {
+	Entries int
+	Epoch   uint64
+}
+
 // DropRequest removes a stored table (all owners) from a server.
 type DropRequest struct{ Table string }
 
@@ -361,6 +403,7 @@ func Register() {
 	for _, v := range []any{
 		TableSpec{}, Stats{},
 		StoreRequest{}, StoreReply{}, DropRequest{}, DropReply{},
+		StoreDeltaRequest{}, StoreDeltaReply{},
 		PSIRequest{}, PSIReply{},
 		PSIVerifyRequest{}, PSIVerifyReply{},
 		CountRequest{}, CountReply{},

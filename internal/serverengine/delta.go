@@ -1,0 +1,813 @@
+// Incremental updates: the in-RAM half of the delta layer.
+//
+// A StoreDelta window carries absolute replacement share values for
+// individual stored positions. Each accepted window is (on disk-backed
+// engines) appended durably to the table's delta log first, then merged
+// into the table's delta overlay — a per-column map from stored
+// position to the newest value — which every fetch path consults, so
+// queries see updates immediately without any base chunk being
+// rewritten. The background compactor periodically folds the overlay
+// into the base chunks (sharestore.PatchCells), bumps the table epoch,
+// and deletes the absorbed delta segments oldest-first.
+//
+// Ordering invariant: per table, sequence assignment, the durable log
+// append and the overlay insert happen under one delta lock, so when a
+// window with sequence s is visible in the overlay, every window with a
+// smaller sequence is too. Compaction snapshots the overlay (never the
+// raw sequence counter), so it can only absorb — and only deletes —
+// segments whose values it has folded into the base.
+//
+// Crash safety rests on segments being idempotent absolute values:
+// whatever prefix of {patch chunks, bump manifest epoch, delete
+// segments oldest-first} a crash permits, replaying the surviving log
+// over the surviving base reproduces exactly the pre- or
+// post-compaction values, never a mix of stale and fresh cells.
+package serverengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"prism/internal/protocol"
+	"prism/internal/sharestore"
+)
+
+// deltaEntryBytes is the held-bytes estimate for one overlay entry
+// (position, value, sequence plus map overhead).
+const deltaEntryBytes = 48
+
+// deltaOverlay is one table's merged, not-yet-compacted delta entries.
+// Readers take the read lock per fetch; inserts and truncations are
+// serialised by the engine's per-table delta lock and e.mu.
+type deltaOverlay struct {
+	mu      sync.RWMutex
+	cols    map[string]*colOverlay // keyed by colKey(owner, col)
+	entries int
+	bytes   int64
+	maxSeq  uint64
+}
+
+type colOverlay struct {
+	width int
+	cells map[uint64]deltaVal // stored position → newest value
+}
+
+type deltaVal struct {
+	val uint64
+	seq uint64
+}
+
+func newDeltaOverlay() *deltaOverlay {
+	return &deltaOverlay{cols: make(map[string]*colOverlay)}
+}
+
+// insert merges one delta window (already validated) at sequence seq
+// and returns the held-bytes growth.
+func (d *deltaOverlay) insert(ents []sharestore.DeltaCol, seq uint64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var grew int64
+	for _, ent := range ents {
+		co := d.cols[ent.Name]
+		if co == nil {
+			co = &colOverlay{width: ent.Width, cells: make(map[uint64]deltaVal)}
+			d.cols[ent.Name] = co
+		}
+		for i, p := range ent.Pos {
+			cur, ok := co.cells[p]
+			if !ok {
+				d.entries++
+				d.bytes += deltaEntryBytes
+				grew += deltaEntryBytes
+			}
+			if !ok || seq >= cur.seq {
+				co.cells[p] = deltaVal{val: ent.Vals[i], seq: seq}
+			}
+		}
+	}
+	if seq > d.maxSeq {
+		d.maxSeq = seq
+	}
+	return grew
+}
+
+// entryCount reports the number of live overlay entries.
+func (d *deltaOverlay) entryCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.entries
+}
+
+// heldBytes reports the overlay's held-bytes accounting.
+func (d *deltaOverlay) heldBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.bytes
+}
+
+// snapshot returns every overlay entry as sorted per-column position
+// and value lists, plus the highest sequence the snapshot covers — the
+// compactor's input. Entries inserted after snapshot returns carry a
+// larger sequence and survive the truncation that follows.
+func (d *deltaOverlay) snapshot() (map[string]sharestore.DeltaCol, uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[string]sharestore.DeltaCol, len(d.cols))
+	for name, co := range d.cols {
+		if len(co.cells) == 0 {
+			continue
+		}
+		dc := sharestore.DeltaCol{
+			Name:  name,
+			Width: co.width,
+			Pos:   make([]uint64, 0, len(co.cells)),
+		}
+		for p := range co.cells {
+			dc.Pos = append(dc.Pos, p)
+		}
+		sort.Slice(dc.Pos, func(i, j int) bool { return dc.Pos[i] < dc.Pos[j] })
+		dc.Vals = make([]uint64, len(dc.Pos))
+		for i, p := range dc.Pos {
+			dc.Vals[i] = co.cells[p].val
+		}
+		out[name] = dc
+	}
+	return out, d.maxSeq
+}
+
+// retainAfter builds a fresh overlay holding only the entries newer
+// than sequence s — the copy-on-truncate the compactor swaps in, so
+// queries holding the old overlay snapshot keep a consistent view.
+func (d *deltaOverlay) retainAfter(s uint64) *deltaOverlay {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	nd := newDeltaOverlay()
+	for name, co := range d.cols {
+		for p, v := range co.cells {
+			if v.seq <= s {
+				continue
+			}
+			nc := nd.cols[name]
+			if nc == nil {
+				nc = &colOverlay{width: co.width, cells: make(map[uint64]deltaVal)}
+				nd.cols[name] = nc
+			}
+			nc.cells[p] = v
+			nd.entries++
+			nd.bytes += deltaEntryBytes
+			if v.seq > nd.maxSeq {
+				nd.maxSeq = v.seq
+			}
+		}
+	}
+	return nd
+}
+
+// dropOwner removes one owner's overlay entries (a re-outsource
+// replaces that owner's base wholesale, so its pending deltas describe
+// the previous share stream and must not patch the new one). Returns
+// the held bytes released.
+func (d *deltaOverlay) dropOwner(owner int) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pre := fmt.Sprintf("o%d.", owner)
+	var released int64
+	for name, co := range d.cols {
+		if !strings.HasPrefix(name, pre) {
+			continue
+		}
+		released += int64(len(co.cells)) * deltaEntryBytes
+		d.entries -= len(co.cells)
+		d.bytes -= int64(len(co.cells)) * deltaEntryBytes
+		delete(d.cols, name)
+	}
+	return released
+}
+
+// patchU16 overlays key's delta entries onto the window rg of v. When v
+// is a shared slice (owned=false: an in-memory column, a cached chunk)
+// it is cloned before the first patched cell; an untouched window is
+// returned as-is.
+func (d *deltaOverlay) patchU16(key string, rg protocol.Range, v []uint16, owned bool) []uint16 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	co := d.cols[key]
+	if co == nil || len(co.cells) == 0 {
+		return v
+	}
+	cloned := owned
+	if uint64(len(co.cells)) < rg.Count {
+		for p, dv := range co.cells {
+			if p < rg.Offset || p >= rg.End() {
+				continue
+			}
+			if !cloned {
+				v = append([]uint16(nil), v...)
+				cloned = true
+			}
+			v[p-rg.Offset] = uint16(dv.val)
+		}
+		return v
+	}
+	for p := rg.Offset; p < rg.End(); p++ {
+		if dv, ok := co.cells[p]; ok {
+			if !cloned {
+				v = append([]uint16(nil), v...)
+				cloned = true
+			}
+			v[p-rg.Offset] = uint16(dv.val)
+		}
+	}
+	return v
+}
+
+// patchU64 is patchU16 for uint64 columns.
+func (d *deltaOverlay) patchU64(key string, rg protocol.Range, v []uint64, owned bool) []uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	co := d.cols[key]
+	if co == nil || len(co.cells) == 0 {
+		return v
+	}
+	cloned := owned
+	if uint64(len(co.cells)) < rg.Count {
+		for p, dv := range co.cells {
+			if p < rg.Offset || p >= rg.End() {
+				continue
+			}
+			if !cloned {
+				v = append([]uint64(nil), v...)
+				cloned = true
+			}
+			v[p-rg.Offset] = dv.val
+		}
+		return v
+	}
+	for p := rg.Offset; p < rg.End(); p++ {
+		if dv, ok := co.cells[p]; ok {
+			if !cloned {
+				v = append([]uint64(nil), v...)
+				cloned = true
+			}
+			v[p-rg.Offset] = dv.val
+		}
+	}
+	return v
+}
+
+// patchGatherU16 overlays key's delta entries onto a gathered fetch:
+// out[i] holds the cell at idx[i] and is always a fresh slice, so the
+// patch is in place.
+func (d *deltaOverlay) patchGatherU16(key string, idx []uint64, out []uint16) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	co := d.cols[key]
+	if co == nil || len(co.cells) == 0 {
+		return
+	}
+	for i, p := range idx {
+		if dv, ok := co.cells[p]; ok {
+			out[i] = uint16(dv.val)
+		}
+	}
+}
+
+// ---- StoreDelta ----
+
+func (e *Engine) handleStoreDelta(r protocol.StoreDeltaRequest) (any, error) {
+	if r.Owner < 0 || r.Owner >= e.view.M {
+		return nil, fmt.Errorf("server %d: owner index %d out of range [0,%d)", e.view.Index, r.Owner, e.view.M)
+	}
+	e.mu.RLock()
+	t, ok := e.tables[r.Table]
+	var spec protocol.TableSpec
+	registered := false
+	if ok {
+		spec = t.spec
+		_, registered = t.owners[r.Owner]
+	}
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server %d: unknown table %q", e.view.Index, r.Table)
+	}
+	if !registered {
+		return nil, fmt.Errorf("server %d: table %q owner %d has not outsourced, nothing to update", e.view.Index, r.Table, r.Owner)
+	}
+	ents, n, err := e.deltaEntries(spec, &r)
+	if err != nil {
+		return nil, err
+	}
+	if len(ents) == 0 {
+		e.mu.RLock()
+		epoch := uint64(0)
+		if t, ok := e.tables[r.Table]; ok {
+			epoch = t.epoch
+		}
+		e.mu.RUnlock()
+		return protocol.StoreDeltaReply{Entries: 0, Epoch: epoch}, nil
+	}
+
+	// The per-table delta lock serialises sequence assignment, the
+	// durable append and the overlay insert, so overlay visibility
+	// implies log durability in sequence order (see package comment).
+	mu := e.storeLock(r.Table + "/delta")
+	mu.Lock()
+	defer mu.Unlock()
+
+	e.mu.Lock()
+	t, ok = e.tables[r.Table]
+	if !ok || t.owners[r.Owner] == nil || !specEqual(t.spec, spec) {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("server %d: table %q changed under delta window", e.view.Index, r.Table)
+	}
+	t.deltaSeq++
+	seq := t.deltaSeq
+	e.mu.Unlock()
+
+	if e.opts.DiskBacked && e.opts.Store != nil {
+		if err := e.opts.Store.AppendDeltaSeg(r.Table, seq, ents); err != nil {
+			return nil, fmt.Errorf("server %d: delta log append: %w", e.view.Index, err)
+		}
+	}
+
+	e.mu.Lock()
+	t, ok = e.tables[r.Table]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("server %d: table %q dropped under delta window", e.view.Index, r.Table)
+	}
+	if t.delta == nil {
+		t.delta = newDeltaOverlay()
+	}
+	e.trackHeld(t.delta.insert(ents, seq))
+	epoch := t.epoch
+	entries := t.delta.entryCount()
+	compacting := t.compacting
+	e.mu.Unlock()
+
+	if e.opts.DeltaMax > 0 && entries >= e.opts.DeltaMax && !compacting {
+		go e.Compact(r.Table)
+	}
+	return protocol.StoreDeltaReply{Entries: n, Epoch: epoch}, nil
+}
+
+// deltaEntries validates a StoreDelta window against the registered
+// spec and this server's column layout and converts it into delta-log
+// column entries. n is the total per-position update count.
+func (e *Engine) deltaEntries(spec protocol.TableSpec, r *protocol.StoreDeltaRequest) ([]sharestore.DeltaCol, int, error) {
+	b := spec.B
+	lo, hi := uint64(0), b
+	if r.Shard.Sharded() {
+		if err := r.Shard.Validate(b); err != nil {
+			return nil, 0, fmt.Errorf("server %d: %w", e.view.Index, err)
+		}
+		lo, hi = r.Shard.Offset, r.Shard.End()
+	}
+	checkPos := func(side string, pos []uint64) error {
+		for i, p := range pos {
+			if p < lo || p >= hi {
+				return fmt.Errorf("server %d: delta %s position %d outside window [%d,%d)", e.view.Index, side, p, lo, hi)
+			}
+			if i > 0 && pos[i-1] >= p {
+				return fmt.Errorf("server %d: delta %s positions must be strictly ascending", e.view.Index, side)
+			}
+		}
+		return nil
+	}
+	if err := checkPos("χ-order", r.Pos); err != nil {
+		return nil, 0, err
+	}
+	np := len(r.Pos)
+	additive := e.view.Index < 2
+	if additive && len(r.Chi) != np {
+		return nil, 0, fmt.Errorf("server %d: %d χ shares for %d positions", e.view.Index, len(r.Chi), np)
+	}
+	if !additive && len(r.Chi) != 0 {
+		return nil, 0, fmt.Errorf("server %d: holds no additive χ shares", e.view.Index)
+	}
+	if len(r.Sums) > len(spec.AggCols) {
+		return nil, 0, fmt.Errorf("server %d: delta carries %d sum columns, table has %d", e.view.Index, len(r.Sums), len(spec.AggCols))
+	}
+	for _, col := range spec.AggCols {
+		if len(r.Sums[col]) != np {
+			return nil, 0, fmt.Errorf("server %d: delta column %q share length mismatch", e.view.Index, col)
+		}
+	}
+	if spec.HasCount {
+		if len(r.Cnt) != np {
+			return nil, 0, fmt.Errorf("server %d: delta count column length mismatch", e.view.Index)
+		}
+	} else if len(r.Cnt) != 0 {
+		return nil, 0, fmt.Errorf("server %d: table %q has no count column", e.view.Index, spec.Name)
+	}
+	nv := len(r.VPos)
+	if !spec.HasVerify {
+		if nv != 0 || len(r.ChiBar) != 0 || len(r.VSums) != 0 || len(r.VCnt) != 0 {
+			return nil, 0, fmt.Errorf("server %d: table %q outsourced without verification columns", e.view.Index, spec.Name)
+		}
+	} else {
+		if err := checkPos("χ̄-order", r.VPos); err != nil {
+			return nil, 0, err
+		}
+		if additive && len(r.ChiBar) != nv {
+			return nil, 0, fmt.Errorf("server %d: %d χ̄ shares for %d positions", e.view.Index, len(r.ChiBar), nv)
+		}
+		if !additive && len(r.ChiBar) != 0 {
+			return nil, 0, fmt.Errorf("server %d: holds no additive χ̄ shares", e.view.Index)
+		}
+		for _, col := range spec.AggCols {
+			if len(r.VSums[col]) != nv {
+				return nil, 0, fmt.Errorf("server %d: delta v-column %q share length mismatch", e.view.Index, col)
+			}
+		}
+		if spec.HasCount && len(r.VCnt) != nv {
+			return nil, 0, fmt.Errorf("server %d: delta v-count column length mismatch", e.view.Index)
+		}
+	}
+
+	var ents []sharestore.DeltaCol
+	n := 0
+	add := func(col string, width int, pos []uint64, vals []uint64) {
+		if len(pos) == 0 {
+			return
+		}
+		ents = append(ents, sharestore.DeltaCol{Name: colKey(r.Owner, col), Width: width, Pos: pos, Vals: vals})
+		n += len(pos)
+	}
+	if additive {
+		add("chi", 2, r.Pos, widenU16(r.Chi))
+	}
+	for _, col := range spec.AggCols {
+		add("sum."+col, 8, r.Pos, r.Sums[col])
+	}
+	if spec.HasCount {
+		add("cnt", 8, r.Pos, r.Cnt)
+	}
+	if spec.HasVerify {
+		if additive {
+			add("chibar", 2, r.VPos, widenU16(r.ChiBar))
+		}
+		for _, col := range spec.AggCols {
+			add("vsum."+col, 8, r.VPos, r.VSums[col])
+		}
+		if spec.HasCount {
+			add("vcnt", 8, r.VPos, r.VCnt)
+		}
+	}
+	return ents, n, nil
+}
+
+func widenU16(v []uint16) []uint64 {
+	out := make([]uint64, len(v))
+	for i, x := range v {
+		out[i] = uint64(x)
+	}
+	return out
+}
+
+// ---- compaction ----
+
+// CompactStats reports what one compaction pass absorbed.
+type CompactStats struct {
+	Entries  int    // overlay entries folded into the base
+	Segments int    // delta segments deleted
+	Epoch    uint64 // table epoch after the pass (0 if nothing to do)
+}
+
+// SetCompactStepHook installs a hook called before each compaction
+// ordering point ("patch:<col>", "swap", "delete:<seq>"). A non-nil
+// error aborts the pass at that point, leaving disk state exactly as a
+// crash there would — the crash-recovery tests drive every point.
+func (e *Engine) SetCompactStepHook(h func(step string) error) {
+	e.compactHookMu.Lock()
+	e.compactHook = h
+	e.compactHookMu.Unlock()
+}
+
+func (e *Engine) compactStep(step string) error {
+	e.compactHookMu.Lock()
+	h := e.compactHook
+	e.compactHookMu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h(step)
+}
+
+// Compact folds one table's delta overlay into its base columns:
+// rewrite affected base chunks with the overlay values (disk) or swap
+// in patched column copies (RAM), bump the table epoch, truncate the
+// overlay to the entries that arrived during the pass, and delete the
+// absorbed delta segments oldest-first. Queries run concurrently
+// throughout: they hold either the old snapshot (old base + full
+// overlay) or the new one (patched base + truncated overlay), which are
+// value-identical because overlay entries are absolute replacements.
+// Passes are serialised per table — a call blocks behind an in-flight
+// pass, so when Compact returns, every delta entry inserted before the
+// call has been folded. A pass over an empty overlay is a no-op.
+func (e *Engine) Compact(name string) (CompactStats, error) {
+	var st CompactStats
+	e.mu.RLock()
+	t0, ok := e.tables[name]
+	e.mu.RUnlock()
+	if !ok {
+		return st, fmt.Errorf("server %d: unknown table %q", e.view.Index, name)
+	}
+	t0.compactMu.Lock()
+	defer t0.compactMu.Unlock()
+
+	e.mu.Lock()
+	t, ok := e.tables[name]
+	if !ok || t != t0 {
+		e.mu.Unlock()
+		return st, nil // dropped or replaced while we waited
+	}
+	if t.delta == nil || t.delta.entryCount() == 0 {
+		e.mu.Unlock()
+		return st, nil
+	}
+	t.compacting = true
+	spec := t.spec
+	old := t.delta
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		if cur, ok := e.tables[name]; ok {
+			cur.compacting = false
+		}
+		e.mu.Unlock()
+	}()
+
+	snap, upto := old.snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	disk := e.opts.DiskBacked && e.opts.Store != nil
+	if disk {
+		for _, cn := range names {
+			if err := e.compactStep("patch:" + cn); err != nil {
+				return st, err
+			}
+			dc := snap[cn]
+			if err := e.opts.Store.PatchCells(name, cn, dc.Width, dc.Pos, dc.Vals); err != nil {
+				return st, fmt.Errorf("server %d: compacting %s/%s: %w", e.view.Index, name, cn, err)
+			}
+			st.Entries += len(dc.Pos)
+		}
+	} else {
+		for _, dc := range snap {
+			st.Entries += len(dc.Pos)
+		}
+	}
+
+	// Patched RAM columns are prepared outside the engine lock (the
+	// registered sets are immutable) and swapped in only if the owner's
+	// registration has not changed since the snapshot.
+	var patched map[int]*ownerCols
+	if !disk {
+		var err error
+		patched, err = e.patchedMemCols(name, spec, snap)
+		if err != nil {
+			return st, err
+		}
+	}
+
+	if err := e.compactStep("swap"); err != nil {
+		return st, err
+	}
+	e.mu.Lock()
+	t, ok = e.tables[name]
+	if !ok || !specEqual(t.spec, spec) {
+		e.mu.Unlock()
+		return st, fmt.Errorf("server %d: table %q changed under compaction", e.view.Index, name)
+	}
+	for j, oc := range patched {
+		if cur, live := t.owners[j]; live && !cur.onDisk {
+			e.trackHeld(ocBytes(oc) - ocBytes(cur))
+			t.owners[j] = oc
+		}
+	}
+	t.epoch++
+	st.Epoch = t.epoch
+	if t.cache != nil {
+		t.cache.discard()
+		t.cache = newChunkCache(e.opts.CacheBytes, e.trackHeld)
+	}
+	if t.delta == old {
+		nd := old.retainAfter(upto)
+		e.trackHeld(nd.heldBytes() - old.heldBytes())
+		t.delta = nd
+	}
+	e.mu.Unlock()
+
+	if disk {
+		// Make the new epoch durable before the absorbed segments go: a
+		// crash in between replays them over the patched base, which is a
+		// no-op (absolute values).
+		if err := e.writeManifestSnapshot(name, spec); err != nil {
+			return st, err
+		}
+		segs, err := e.opts.Store.DeltaSegs(name)
+		if err != nil {
+			return st, err
+		}
+		for _, seq := range segs {
+			if seq > upto {
+				break // never delete a segment newer than the snapshot
+			}
+			if err := e.compactStep(fmt.Sprintf("delete:%d", seq)); err != nil {
+				return st, err
+			}
+			if err := e.opts.Store.DeleteDeltaSeg(name, seq); err != nil {
+				return st, err
+			}
+			st.Segments++
+		}
+	}
+	return st, nil
+}
+
+// patchedMemCols clones the in-memory columns the snapshot touches and
+// applies the overlay values to the clones.
+func (e *Engine) patchedMemCols(name string, spec protocol.TableSpec, snap map[string]sharestore.DeltaCol) (map[int]*ownerCols, error) {
+	e.mu.RLock()
+	t, ok := e.tables[name]
+	var base map[int]*ownerCols
+	if ok {
+		base = make(map[int]*ownerCols, len(t.owners))
+		for j, oc := range t.owners {
+			base[j] = oc
+		}
+	}
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server %d: table %q dropped under compaction", e.view.Index, name)
+	}
+	patched := make(map[int]*ownerCols)
+	for cn, dc := range snap {
+		var owner int
+		var col string
+		if _, err := fmt.Sscanf(cn, "o%d.", &owner); err != nil {
+			return nil, fmt.Errorf("server %d: malformed delta column %q", e.view.Index, cn)
+		}
+		col = cn[strings.IndexByte(cn, '.')+1:]
+		src, live := base[owner]
+		if !live || src.onDisk {
+			continue // owner dropped or on disk; nothing to patch in RAM
+		}
+		oc := patched[owner]
+		if oc == nil {
+			oc = cloneOwnerCols(src)
+			patched[owner] = oc
+		}
+		if dc.Width == 2 {
+			v := memU16(oc, col)
+			if v == nil {
+				return nil, fmt.Errorf("server %d: table %q owner %d missing %s column", e.view.Index, name, owner, col)
+			}
+			for i, p := range dc.Pos {
+				v[p] = uint16(dc.Vals[i])
+			}
+		} else {
+			v := memU64(oc, col)
+			if v == nil {
+				return nil, fmt.Errorf("server %d: table %q owner %d missing %s column", e.view.Index, name, owner, col)
+			}
+			for i, p := range dc.Pos {
+				v[p] = dc.Vals[i]
+			}
+		}
+	}
+	_ = spec
+	return patched, nil
+}
+
+// cloneOwnerCols deep-copies an in-memory column set.
+func cloneOwnerCols(src *ownerCols) *ownerCols {
+	oc := &ownerCols{
+		chi:    append([]uint16(nil), src.chi...),
+		chibar: append([]uint16(nil), src.chibar...),
+		cnt:    append([]uint64(nil), src.cnt...),
+		vcnt:   append([]uint64(nil), src.vcnt...),
+	}
+	if src.sums != nil {
+		oc.sums = make(map[string][]uint64, len(src.sums))
+		for c, v := range src.sums {
+			oc.sums[c] = append([]uint64(nil), v...)
+		}
+	}
+	if src.vsums != nil {
+		oc.vsums = make(map[string][]uint64, len(src.vsums))
+		for c, v := range src.vsums {
+			oc.vsums[c] = append([]uint64(nil), v...)
+		}
+	}
+	return oc
+}
+
+// writeManifestSnapshot rewrites a table's manifest from the current
+// registration state — the same snapshot-under-manifestMu ordering
+// finishStore uses, so concurrent completions can never be overwritten
+// by a stale view.
+func (e *Engine) writeManifestSnapshot(name string, spec protocol.TableSpec) error {
+	e.manifestMu.Lock()
+	defer e.manifestMu.Unlock()
+	var owners []int
+	var epoch uint64
+	var floor map[int]uint64
+	e.mu.RLock()
+	cur, ok := e.tables[name]
+	if ok {
+		for j := range cur.owners {
+			owners = append(owners, j)
+		}
+		epoch = cur.epoch
+		if len(cur.deltaFloor) > 0 {
+			floor = make(map[int]uint64, len(cur.deltaFloor))
+			for j, s := range cur.deltaFloor {
+				floor[j] = s
+			}
+		}
+	}
+	e.mu.RUnlock()
+	if !ok {
+		return nil // concurrently dropped; DropTable removed the dir
+	}
+	sort.Ints(owners)
+	return e.opts.Store.WriteManifest(name, TableManifest{
+		Version: ManifestVersion, Epoch: epoch, Spec: spec, Owners: owners, DeltaFloor: floor,
+	})
+}
+
+// DeltaBacklog reports a table's merged-but-uncompacted delta entries
+// (0 for unknown tables) — the operations gauge behind the compaction
+// runbook and the -deltamax threshold.
+func (e *Engine) DeltaBacklog(name string) int {
+	e.mu.RLock()
+	t, ok := e.tables[name]
+	var d *deltaOverlay
+	if ok {
+		d = t.delta
+	}
+	e.mu.RUnlock()
+	if d == nil {
+		return 0
+	}
+	return d.entryCount()
+}
+
+// CompactAll runs Compact over every registered table (the background
+// ticker's pass). Errors are joined per table name into the returned
+// map; an empty map means a clean pass.
+func (e *Engine) CompactAll() map[string]error {
+	e.mu.RLock()
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	e.mu.RUnlock()
+	errs := make(map[string]error)
+	for _, n := range names {
+		if _, err := e.Compact(n); err != nil {
+			errs[n] = err
+		}
+	}
+	return errs
+}
+
+// startCompactor launches the background compaction ticker (called from
+// New when Options.CompactEvery > 0). Close stops it.
+func (e *Engine) startCompactor(every time.Duration) {
+	e.compactStop = make(chan struct{})
+	e.compactDone = make(chan struct{})
+	go func() {
+		defer close(e.compactDone)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				e.CompactAll()
+			case <-e.compactStop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the engine's background work (the compaction ticker).
+// Safe to call multiple times and on engines that never started one.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		if e.compactStop != nil {
+			close(e.compactStop)
+			<-e.compactDone
+		}
+	})
+}

@@ -78,6 +78,15 @@ type Options struct {
 	// (stale assemblies then linger until the owner retries or the table
 	// is dropped).
 	PendingTTL time.Duration
+	// DeltaMax triggers an automatic compaction pass once a table's
+	// delta overlay holds at least this many entries (prism-server
+	// -deltamax). 0 disables the density trigger; the overlay then grows
+	// until an explicit Compact or the CompactEvery ticker runs.
+	DeltaMax int
+	// CompactEvery runs a background compaction pass over every table at
+	// this period (prism-server -compact). 0 disables the ticker; call
+	// Engine.Close to stop it.
+	CompactEvery time.Duration
 	// AnnouncerAddr and Caller let the engine forward max/min/median
 	// slot arrays to S_a.
 	AnnouncerAddr string
@@ -153,6 +162,14 @@ type Engine struct {
 	recovery    *RecoveryReport
 	recoveryErr error
 
+	// compactHook intercepts compaction ordering points (crash-recovery
+	// tests); compactStop/compactDone manage the CompactEvery ticker.
+	compactHookMu sync.Mutex
+	compactHook   func(step string) error
+	compactStop   chan struct{}
+	compactDone   chan struct{}
+	closeOnce     sync.Once
+
 	// heldBytes/peakHeld track the column bytes this engine holds
 	// resident: in-RAM pending upload assemblies, registered in-memory
 	// tables, and the hot-chunk caches. The benchx memscale experiment
@@ -175,6 +192,20 @@ type table struct {
 	// CacheColumns); every Store/Drop swaps in a fresh one, so queries
 	// holding the old snapshot never see the new epoch's columns.
 	cache *chunkCache
+	// delta is the table's not-yet-compacted incremental updates (nil
+	// until the first StoreDelta); deltaSeq is the last delta-log
+	// sequence this process assigned; deltaFloor records, per owner, the
+	// highest sequence superseded by a re-outsource (cold-boot replay
+	// skips that owner's entries at or below it). compactMu serialises
+	// compaction passes — Compact blocks behind an in-flight pass, so a
+	// synchronous call is guaranteed to fold every entry inserted before
+	// it; compacting just suppresses duplicate threshold-trigger
+	// goroutines.
+	delta      *deltaOverlay
+	deltaSeq   uint64
+	deltaFloor map[int]uint64
+	compactMu  sync.Mutex
+	compacting bool
 }
 
 // tableView is an immutable snapshot of one table taken under the engine
@@ -182,8 +213,9 @@ type table struct {
 // owner registering, a re-outsource) can never race the query's reads.
 type tableView struct {
 	spec   protocol.TableSpec
-	owners []*ownerCols // dense, index = owner id
-	cache  *chunkCache  // the epoch's cache at snapshot time (may be nil)
+	owners []*ownerCols  // dense, index = owner id
+	cache  *chunkCache   // the epoch's cache at snapshot time (may be nil)
+	delta  *deltaOverlay // the delta overlay at snapshot time (may be nil)
 }
 
 type ownerCols struct {
@@ -323,6 +355,12 @@ type TableManifest struct {
 	Epoch   uint64
 	Spec    protocol.TableSpec
 	Owners  []int
+	// DeltaFloor records, per owner, the highest delta-log sequence
+	// superseded by a later full re-outsource: cold-boot replay skips
+	// that owner's entries at or below the floor (they describe the
+	// previous share stream). Absent for tables that never mixed deltas
+	// with a re-outsource; older manifests decode with a nil map.
+	DeltaFloor map[int]uint64 `json:",omitempty"`
 }
 
 // ocBytes is the resident size of an in-memory column set (0 for nil or
@@ -396,6 +434,9 @@ func New(v *params.ServerView, opts Options) *Engine {
 	if opts.AutoRecover && opts.DiskBacked && opts.Store != nil {
 		e.recovery, e.recoveryErr = e.Recover()
 	}
+	if opts.CompactEvery > 0 {
+		e.startCompactor(opts.CompactEvery)
+	}
 	return e
 }
 
@@ -456,6 +497,8 @@ func (e *Engine) Handle(ctx context.Context, req any) (any, error) {
 	switch r := req.(type) {
 	case protocol.StoreRequest:
 		return e.handleStore(r)
+	case protocol.StoreDeltaRequest:
+		return e.handleStoreDelta(r)
 	case protocol.DropRequest:
 		return e.handleDrop(r)
 	case protocol.PSIRequest:
@@ -702,6 +745,13 @@ func (e *Engine) absorbShard(r *protocol.StoreRequest) (*ownerCols, uint64, erro
 			copy(oc.vcnt[off:], r.VCountCol)
 		}
 	}
+	// Refresh the idle clock now that the window has been absorbed: a
+	// slow-but-live writer whose windows take a long time to land (large
+	// shards, slow disk) must not have the write time itself consume its
+	// idle budget.
+	e.pendMu.Lock()
+	p.touched = time.Now()
+	e.pendMu.Unlock()
 	p.got = append(p.got, r.Shard)
 	p.covered += r.Shard.Count
 	if p.covered < r.Spec.B {
@@ -804,6 +854,9 @@ func (e *Engine) sweepPending(now time.Time) int {
 		}
 		e.pendMu.Lock()
 		cur := e.pending[v.table][v.owner]
+		// Re-check the idle time under the lock: a shard that landed
+		// while this sweep scanned other victims refreshed touched and
+		// resets the budget.
 		stale := cur == v.p && now.Sub(cur.touched) > ttl
 		if stale {
 			delete(e.pending[v.table], v.owner)
@@ -903,6 +956,20 @@ func (e *Engine) finishStore(spec protocol.TableSpec, owner int, oc *ownerCols) 
 	e.trackHeld(ocBytes(oc) - ocBytes(t.owners[owner]))
 	t.owners[owner] = oc
 	t.epoch++
+	if t.delta != nil {
+		// A full re-outsource replaces this owner's base wholesale: its
+		// pending delta entries describe the previous share stream and
+		// must not patch the new columns.
+		e.trackHeld(-t.delta.dropOwner(owner))
+	}
+	if t.deltaSeq > 0 && e.opts.DiskBacked && e.opts.Store != nil {
+		// Likewise fence the owner's on-disk delta segments out of
+		// cold-boot replay (the floor is persisted in the manifest).
+		if t.deltaFloor == nil {
+			t.deltaFloor = make(map[int]uint64)
+		}
+		t.deltaFloor[owner] = t.deltaSeq
+	}
 	if e.opts.CacheColumns && e.opts.DiskBacked {
 		// New table epoch: invalidate hot chunks (release their bytes).
 		if t.cache != nil {
@@ -915,30 +982,10 @@ func (e *Engine) finishStore(spec protocol.TableSpec, owner int, oc *ownerCols) 
 	if e.opts.DiskBacked && e.opts.Store != nil {
 		// Durable registration record: written only after the owner's
 		// columns are fully assembled and promoted to their live names.
-		// The owner snapshot is taken while holding manifestMu, so
+		// The registration snapshot is taken while holding manifestMu, so
 		// concurrent completions serialise snapshot-then-write in order
 		// and a stale snapshot can never overwrite a newer manifest.
-		e.manifestMu.Lock()
-		var owners []int
-		var epoch uint64
-		e.mu.RLock()
-		cur, ok := e.tables[spec.Name]
-		if ok {
-			for j := range cur.owners {
-				owners = append(owners, j)
-			}
-			epoch = cur.epoch
-		}
-		e.mu.RUnlock()
-		var err error
-		if ok { // a concurrent Drop skips the write; DropTable removed the dir
-			sort.Ints(owners)
-			err = e.opts.Store.WriteManifest(spec.Name, TableManifest{
-				Version: ManifestVersion, Epoch: epoch, Spec: spec, Owners: owners,
-			})
-		}
-		e.manifestMu.Unlock()
-		if err != nil {
+		if err := e.writeManifestSnapshot(spec.Name, spec); err != nil {
 			return nil, err
 		}
 	}
@@ -986,6 +1033,9 @@ func (e *Engine) handleDrop(r protocol.DropRequest) (any, error) {
 		}
 		if t.cache != nil {
 			t.cache.discard()
+		}
+		if t.delta != nil {
+			e.trackHeld(-t.delta.heldBytes())
 		}
 		// A later re-outsource under the same name continues the epoch
 		// rather than restarting it, so probes can't mistake the
@@ -1060,7 +1110,7 @@ func (e *Engine) lookup(name string) (*tableView, error) {
 	t, ok := e.tables[name]
 	var v *tableView
 	if ok {
-		v = &tableView{spec: t.spec, owners: make([]*ownerCols, e.view.M), cache: t.cache}
+		v = &tableView{spec: t.spec, owners: make([]*ownerCols, e.view.M), cache: t.cache, delta: t.delta}
 		for j := 0; j < e.view.M; j++ {
 			v.owners[j] = t.owners[j] // nil when owner j has not outsourced
 		}
@@ -1166,27 +1216,40 @@ func (e *Engine) chunkSpanU64(t *tableView, key string, k uint64, stats *protoco
 }
 
 // fetchU16Window returns owner j's cells [rg.Offset, rg.End()) of a
-// uint16 column: a zero-copy slice for in-memory tables, a chunk-ranged
-// read for disk tables.
+// uint16 column, with the table's delta overlay merged in. The raw
+// fetch reports whether the slice is owned by the caller; shared slices
+// (in-memory columns, cached chunks) are cloned only when an overlay
+// entry actually lands in the window.
 func (e *Engine) fetchU16Window(t *tableView, owner int, col string, rg protocol.Range, stats *protocol.Stats) ([]uint16, error) {
+	v, owned, err := e.fetchU16WindowRaw(t, owner, col, rg, stats)
+	if err != nil || t.delta == nil {
+		return v, err
+	}
+	return t.delta.patchU16(colKey(owner, col), rg, v, owned), nil
+}
+
+// fetchU16WindowRaw is the overlay-free window fetch: a zero-copy slice
+// for in-memory tables (owned=false), a chunk-ranged read for disk
+// tables (owned unless served straight from the chunk cache).
+func (e *Engine) fetchU16WindowRaw(t *tableView, owner int, col string, rg protocol.Range, stats *protocol.Stats) ([]uint16, bool, error) {
 	oc := t.owners[owner]
 	if !oc.onDisk {
 		v := memU16(oc, col)
 		if v == nil {
-			return nil, fmt.Errorf("server %d: table %q owner %d missing %s column", e.view.Index, t.spec.Name, owner, col)
+			return nil, false, fmt.Errorf("server %d: table %q owner %d missing %s column", e.view.Index, t.spec.Name, owner, col)
 		}
-		return v[rg.Offset:rg.End()], nil
+		return v[rg.Offset:rg.End()], false, nil
 	}
 	key := colKey(owner, col)
 	if t.cache == nil {
 		start := time.Now()
 		v, err := e.opts.Store.ReadU16Range(t.spec.Name, key, rg.Offset, rg.Count)
 		stats.FetchNS += time.Since(start).Nanoseconds()
-		return v, err
+		return v, true, err
 	}
 	info, err := e.colInfo(t, key, stats)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	cc := info.ChunkCells
 	if rg.Count > 0 && rg.Offset%cc == 0 {
@@ -1198,7 +1261,8 @@ func (e *Engine) fetchU16Window(t *tableView, owner int, col string, rg protocol
 			// The window is exactly one whole chunk (shard windows
 			// aligned to the chunk size): hand out the chunk slice
 			// without copying.
-			return e.chunkSpanU16(t, key, rg.Offset/cc, stats)
+			v, err := e.chunkSpanU16(t, key, rg.Offset/cc, stats)
+			return v, false, err
 		}
 	}
 	if rg.Offset == 0 && rg.Count == info.Cells && info.NumChunks() > 1 {
@@ -1216,43 +1280,53 @@ func (e *Engine) fetchU16Window(t *tableView, owner int, col string, rg protocol
 		if hit {
 			stats.CacheHits++
 		}
-		return v, err
+		return v, false, err
 	}
 	out := make([]uint16, rg.Count)
 	if rg.Count == 0 {
-		return out, nil
+		return out, true, nil
 	}
 	for k := rg.Offset / cc; k*cc < rg.End(); k++ {
 		chunk, err := e.chunkSpanU16(t, key, k, stats)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		lo, hi := windowOverlap(k*cc, k*cc+uint64(len(chunk)), rg)
 		copy(out[lo-rg.Offset:], chunk[lo-k*cc:hi-k*cc])
 	}
-	return out, nil
+	return out, true, nil
 }
 
-// fetchU64Window is fetchU16Window for uint64 columns.
+// fetchU64Window is fetchU16Window for uint64 columns (delta overlay
+// merged in).
 func (e *Engine) fetchU64Window(t *tableView, owner int, col string, rg protocol.Range, stats *protocol.Stats) ([]uint64, error) {
+	v, owned, err := e.fetchU64WindowRaw(t, owner, col, rg, stats)
+	if err != nil || t.delta == nil {
+		return v, err
+	}
+	return t.delta.patchU64(colKey(owner, col), rg, v, owned), nil
+}
+
+// fetchU64WindowRaw is fetchU16WindowRaw for uint64 columns.
+func (e *Engine) fetchU64WindowRaw(t *tableView, owner int, col string, rg protocol.Range, stats *protocol.Stats) ([]uint64, bool, error) {
 	oc := t.owners[owner]
 	if !oc.onDisk {
 		v := memU64(oc, col)
 		if v == nil {
-			return nil, fmt.Errorf("server %d: owner %d missing %s column", e.view.Index, owner, col)
+			return nil, false, fmt.Errorf("server %d: owner %d missing %s column", e.view.Index, owner, col)
 		}
-		return v[rg.Offset:rg.End()], nil
+		return v[rg.Offset:rg.End()], false, nil
 	}
 	key := colKey(owner, col)
 	if t.cache == nil {
 		start := time.Now()
 		v, err := e.opts.Store.ReadU64Range(t.spec.Name, key, rg.Offset, rg.Count)
 		stats.FetchNS += time.Since(start).Nanoseconds()
-		return v, err
+		return v, true, err
 	}
 	info, err := e.colInfo(t, key, stats)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	cc := info.ChunkCells
 	if rg.Count > 0 && rg.Offset%cc == 0 {
@@ -1261,13 +1335,14 @@ func (e *Engine) fetchU64Window(t *tableView, owner int, col string, rg protocol
 			chunkEnd = info.Cells
 		}
 		if rg.End() == chunkEnd {
-			// Whole-chunk window: no copy (see fetchU16Window).
-			return e.chunkSpanU64(t, key, rg.Offset/cc, stats)
+			// Whole-chunk window: no copy (see fetchU16WindowRaw).
+			v, err := e.chunkSpanU64(t, key, rg.Offset/cc, stats)
+			return v, false, err
 		}
 	}
 	if rg.Offset == 0 && rg.Count == info.Cells && info.NumChunks() > 1 {
 		// Whole-column read: one cache entry, zero-copy warm handoff
-		// (see fetchU16Window).
+		// (see fetchU16WindowRaw).
 		load := func() ([]uint64, error) {
 			start := time.Now()
 			v, err := e.opts.Store.ReadU64Range(t.spec.Name, key, 0, info.Cells)
@@ -1278,21 +1353,21 @@ func (e *Engine) fetchU64Window(t *tableView, owner int, col string, rg protocol
 		if hit {
 			stats.CacheHits++
 		}
-		return v, err
+		return v, false, err
 	}
 	out := make([]uint64, rg.Count)
 	if rg.Count == 0 {
-		return out, nil
+		return out, true, nil
 	}
 	for k := rg.Offset / cc; k*cc < rg.End(); k++ {
 		chunk, err := e.chunkSpanU64(t, key, k, stats)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		lo, hi := windowOverlap(k*cc, k*cc+uint64(len(chunk)), rg)
 		copy(out[lo-rg.Offset:], chunk[lo-k*cc:hi-k*cc])
 	}
-	return out, nil
+	return out, true, nil
 }
 
 // windowOverlap intersects chunk cells [clo, chi) with the window rg.
@@ -1352,6 +1427,17 @@ func buildGatherPlan(idx []uint64, cc, cells uint64) gatherPlan {
 // scatter across the whole column (permuted reply windows, bucket-tree
 // frontiers).
 func (e *Engine) fetchU16Gather(t *tableView, owner int, col string, idx []uint64, plan *gatherPlan, stats *protocol.Stats) ([]uint16, error) {
+	out, err := e.fetchU16GatherRaw(t, owner, col, idx, plan, stats)
+	if err == nil && t.delta != nil {
+		// The gathered slice is always freshly built, so the overlay
+		// patches it in place.
+		t.delta.patchGatherU16(colKey(owner, col), idx, out)
+	}
+	return out, err
+}
+
+// fetchU16GatherRaw is the overlay-free gather.
+func (e *Engine) fetchU16GatherRaw(t *tableView, owner int, col string, idx []uint64, plan *gatherPlan, stats *protocol.Stats) ([]uint16, error) {
 	oc := t.owners[owner]
 	out := make([]uint16, len(idx))
 	if !oc.onDisk {

@@ -248,6 +248,51 @@ func TestPendingUploadTTLSweep(t *testing.T) {
 	}
 }
 
+// TestPendingUploadSweepIdleNotAge: the TTL sweep measures idle time
+// since the last window landed, not the age of the assembly. A
+// slow-but-live writer whose upload takes longer than the TTL overall,
+// but whose inter-window gaps stay under it, must survive the sweep and
+// complete.
+func TestPendingUploadSweepIdleNotAge(t *testing.T) {
+	const b = 96
+	const ttl = 500 * time.Millisecond
+	engines := newEngines(t, b, func(phi int) Options {
+		return Options{Threads: 2, PendingTTL: ttl}
+	})
+	e := engines[0]
+	spec := protocol.TableSpec{Name: "t", B: b, Plain: true}
+	windows := []protocol.Range{{Offset: 0, Count: 32}, {Offset: 32, Count: 32}, {Offset: 64, Count: 32}}
+	for i, rg := range windows[:2] {
+		if i > 0 {
+			time.Sleep(350 * time.Millisecond) // gap < ttl, cumulative age > ttl
+		}
+		if _, err := e.Handle(context.Background(), protocol.StoreRequest{
+			Owner: 0, Spec: spec, UploadID: "slow/1",
+			Shard: rg, ChiAdd: make([]uint16, rg.Count),
+		}); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+	}
+	time.Sleep(350 * time.Millisecond)
+	// The assembly is ~700ms old — past the TTL — but only ~350ms idle.
+	if n := e.sweepPending(time.Now()); n != 0 {
+		t.Fatalf("live slow upload swept (%d assemblies)", n)
+	}
+	if e.PendingUploads() != 1 {
+		t.Fatalf("pending = %d, want 1", e.PendingUploads())
+	}
+	// The writer finishes; the assembly retires cleanly.
+	if _, err := e.Handle(context.Background(), protocol.StoreRequest{
+		Owner: 0, Spec: spec, UploadID: "slow/1",
+		Shard: windows[2], ChiAdd: make([]uint16, windows[2].Count),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.PendingUploads() != 0 {
+		t.Error("pending assembly survives completion")
+	}
+}
+
 // TestChunkCacheBudget: with a byte budget smaller than the table, the
 // cache evicts LRU chunks — resident cache bytes stay within budget —
 // while query results remain correct.

@@ -213,8 +213,72 @@ func (e *Engine) recoverTable(name string, rep *RecoveryReport) error {
 		epoch++
 	}
 
+	// Replay the delta log: validate and merge every surviving segment
+	// into a fresh overlay, in sequence order, exactly as the live
+	// StoreDelta path built it. Sequence gaps are legal (an unacked
+	// append), but a torn or corrupt segment quarantines the table like
+	// a torn chunk, and so does a segment naming a column outside the
+	// manifest layout or a position outside the domain. Entries at or
+	// below an owner's re-outsource floor describe a superseded share
+	// stream and are skipped.
+	segs, err := st.DeltaSegs(name)
+	if err != nil {
+		return err
+	}
+	var overlay *deltaOverlay
+	var deltaSeq uint64
+	colDefs := make(map[string]colDef, len(owners)*len(cols))
+	colOwner := make(map[string]int, len(owners)*len(cols))
+	for _, j := range owners {
+		for _, cd := range cols {
+			k := colKey(j, cd.name)
+			colDefs[k] = cd
+			colOwner[k] = j
+		}
+	}
+	for _, seq := range segs {
+		dcs, rerr := st.ReadDeltaSeg(name, seq)
+		if rerr != nil {
+			e.quarantine(rep, name, "delta-corrupt", rerr.Error())
+			return nil
+		}
+		keep := dcs[:0]
+		for _, dc := range dcs {
+			cd, known := colDefs[dc.Name]
+			if !known || cd.width != dc.Width {
+				e.quarantine(rep, name, "delta-invalid",
+					fmt.Sprintf("segment d%d references column %q (width %d) outside the table layout", seq, dc.Name, dc.Width))
+				return nil
+			}
+			for _, p := range dc.Pos {
+				if p >= man.Spec.B {
+					e.quarantine(rep, name, "delta-invalid",
+						fmt.Sprintf("segment d%d column %q position %d outside domain of %d cells", seq, dc.Name, p, man.Spec.B))
+					return nil
+				}
+			}
+			if man.DeltaFloor[colOwner[dc.Name]] >= seq {
+				continue
+			}
+			keep = append(keep, dc)
+		}
+		if len(keep) > 0 {
+			if overlay == nil {
+				overlay = newDeltaOverlay()
+			}
+			overlay.insert(keep, seq)
+		}
+		deltaSeq = seq
+	}
+	for _, f := range man.DeltaFloor {
+		if f > deltaSeq {
+			deltaSeq = f
+		}
+	}
+
 	// Register: identical to a live registration — on-disk column sets
-	// (zero held bytes), a cold cache, the durable epoch.
+	// (zero held bytes), a cold cache, the durable epoch, the replayed
+	// delta overlay.
 	e.mu.Lock()
 	if _, exists := e.tables[name]; exists {
 		e.mu.Unlock()
@@ -223,9 +287,19 @@ func (e *Engine) recoverTable(name string, rep *RecoveryReport) error {
 	if f := e.epochFloor[name]; f > epoch {
 		epoch = f // a drop in this process outran the manifest on disk
 	}
-	t := &table{spec: man.Spec, owners: make(map[int]*ownerCols, len(owners)), epoch: epoch}
+	t := &table{spec: man.Spec, owners: make(map[int]*ownerCols, len(owners)), epoch: epoch, deltaSeq: deltaSeq}
 	for _, j := range owners {
 		t.owners[j] = &ownerCols{onDisk: true}
+	}
+	if overlay != nil {
+		t.delta = overlay
+		e.trackHeld(overlay.heldBytes())
+	}
+	if len(man.DeltaFloor) > 0 {
+		t.deltaFloor = make(map[int]uint64, len(man.DeltaFloor))
+		for j, s := range man.DeltaFloor {
+			t.deltaFloor[j] = s
+		}
 	}
 	if e.opts.CacheColumns {
 		t.cache = newChunkCache(e.opts.CacheBytes, e.trackHeld)
@@ -235,31 +309,11 @@ func (e *Engine) recoverTable(name string, rep *RecoveryReport) error {
 
 	if len(adopted) > 0 {
 		// Make the adoption durable so the next restart trusts the
-		// promoted columns directly. The owner/epoch snapshot is re-taken
+		// promoted columns directly. The registration snapshot is re-taken
 		// while holding manifestMu — the same ordering finishStore uses —
 		// so a registration racing this Recover (a live upload completing
 		// on a running engine) can never be overwritten by a stale view.
-		e.manifestMu.Lock()
-		var curOwners []int
-		var curEpoch uint64
-		e.mu.RLock()
-		cur, ok := e.tables[name]
-		if ok {
-			for j := range cur.owners {
-				curOwners = append(curOwners, j)
-			}
-			curEpoch = cur.epoch
-		}
-		e.mu.RUnlock()
-		var err error
-		if ok { // a concurrent Drop removed the dir; skip the write
-			sort.Ints(curOwners)
-			err = st.WriteManifest(name, TableManifest{
-				Version: ManifestVersion, Epoch: curEpoch, Spec: man.Spec, Owners: curOwners,
-			})
-		}
-		e.manifestMu.Unlock()
-		if err != nil {
+		if err := e.writeManifestSnapshot(name, man.Spec); err != nil {
 			return err
 		}
 	}

@@ -189,12 +189,41 @@ func (s *System) QueryBatch(ctx context.Context, reqs []Request) []*Response {
 	return out
 }
 
-// execute runs one request synchronously on its target owner.
+// validateCols checks the request's column arity against its operator
+// before any owner work starts: set/count operators carry no columns,
+// sum/avg take one or more, max/min/median exactly one. Without this
+// check an extreme query with several columns would silently answer for
+// Cols[0] only, and one with none would query the empty column name.
+func validateCols(req Request) error {
+	switch req.Op {
+	case OpPSI, OpPSU, OpPSICount, OpPSUCount:
+		if len(req.Cols) != 0 {
+			return fmt.Errorf("prism: %v takes no columns, got %d %v", req.Op, len(req.Cols), req.Cols)
+		}
+	case OpPSISum, OpPSIAvg, OpPSUSum, OpPSUAvg:
+		if len(req.Cols) == 0 {
+			return fmt.Errorf("prism: %v needs at least one aggregation column", req.Op)
+		}
+	case OpPSIMax, OpPSIMin, OpPSIMedian:
+		if len(req.Cols) != 1 {
+			return fmt.Errorf("prism: %v takes exactly one column, got %d %v", req.Op, len(req.Cols), req.Cols)
+		}
+	default:
+		return fmt.Errorf("prism: unknown operator %v", req.Op)
+	}
+	return nil
+}
+
+// execute runs one request synchronously on its target owner. Error
+// responses that never reached an owner report Owner: -1.
 func (s *System) execute(ctx context.Context, req Request) *Response {
+	if err := validateCols(req); err != nil {
+		return &Response{Op: req.Op, Owner: -1, Err: err}
+	}
 	var ow *Owner
 	if req.PinOwner {
 		if req.OwnerIdx < 0 || req.OwnerIdx >= len(s.owners) {
-			return &Response{Op: req.Op, Owner: req.OwnerIdx,
+			return &Response{Op: req.Op, Owner: -1,
 				Err: fmt.Errorf("prism: owner index %d out of range [0,%d)", req.OwnerIdx, len(s.owners))}
 		}
 		ow = s.owners[req.OwnerIdx]
@@ -205,12 +234,6 @@ func (s *System) execute(ctx context.Context, req Request) *Response {
 		}
 	}
 	resp := &Response{Op: req.Op, Owner: ow.idx}
-	col := func() string {
-		if len(req.Cols) > 0 {
-			return req.Cols[0]
-		}
-		return ""
-	}
 	switch req.Op {
 	case OpPSI:
 		resp.Set, resp.Err = ow.PSI(ctx)
@@ -229,13 +252,11 @@ func (s *System) execute(ctx context.Context, req Request) *Response {
 	case OpPSUAvg:
 		resp.Agg, resp.Err = ow.PSUAvg(ctx, req.Cols...)
 	case OpPSIMax:
-		resp.Extreme, resp.Err = ow.PSIMax(ctx, col())
+		resp.Extreme, resp.Err = ow.PSIMax(ctx, req.Cols[0])
 	case OpPSIMin:
-		resp.Extreme, resp.Err = ow.PSIMin(ctx, col())
+		resp.Extreme, resp.Err = ow.PSIMin(ctx, req.Cols[0])
 	case OpPSIMedian:
-		resp.Extreme, resp.Err = ow.PSIMedian(ctx, col())
-	default:
-		resp.Err = fmt.Errorf("prism: unknown operator %v", req.Op)
+		resp.Extreme, resp.Err = ow.PSIMedian(ctx, req.Cols[0])
 	}
 	return resp
 }

@@ -79,6 +79,8 @@ func NewLocalSystem(cfg Config) (*System, error) {
 		}
 		opts := serverengine.Options{
 			Threads:       cfg.Threads,
+			DeltaMax:      cfg.DeltaMaxEntries,
+			CompactEvery:  cfg.CompactInterval,
 			AnnouncerAddr: "announcer",
 			Caller:        s.network,
 		}
@@ -125,6 +127,29 @@ func NewLocalSystem(cfg Config) (*System, error) {
 }
 
 func serverAddr(phi int) string { return fmt.Sprintf("server/%d", phi) }
+
+// Close stops the system's background work — the servers' compaction
+// tickers (Config.CompactInterval). Safe to call multiple times; a
+// system without tickers needs no Close but tolerates one.
+func (s *System) Close() {
+	for _, e := range s.servers {
+		e.Close()
+	}
+}
+
+// CompactTables runs one synchronous compaction pass on every server,
+// folding all pending incremental updates into the base columns. The
+// returned error joins per-server per-table failures; nil means every
+// server's delta backlog is now empty.
+func (s *System) CompactTables() error {
+	var errs []error
+	for phi, e := range s.servers {
+		for name, err := range e.CompactAll() {
+			errs = append(errs, fmt.Errorf("prism: server %d compacting %q: %w", phi, name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
 
 // Owner returns owner i's handle.
 func (s *System) Owner(i int) *Owner { return s.owners[i] }
@@ -191,8 +216,8 @@ func (s *System) ResetServerHeldPeaks() {
 	}
 }
 
-// Load installs rows as this owner's private table.
-func (o *Owner) Load(rows []Row) error {
+// rowsToData encodes rows into the engine's cell/column format.
+func (o *Owner) rowsToData(rows []Row) (*ownerengine.Data, error) {
 	data := &ownerengine.Data{Aggs: make(map[string][]uint64)}
 	for _, col := range o.sys.cfg.AggColumns {
 		data.Aggs[col] = make([]uint64, 0, len(rows))
@@ -200,12 +225,21 @@ func (o *Owner) Load(rows []Row) error {
 	for _, r := range rows {
 		cell, err := o.sys.cfg.Domain.cellOfRow(r)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		data.Cells = append(data.Cells, cell)
 		for _, col := range o.sys.cfg.AggColumns {
 			data.Aggs[col] = append(data.Aggs[col], r.Aggs[col])
 		}
+	}
+	return data, nil
+}
+
+// Load installs rows as this owner's private table.
+func (o *Owner) Load(rows []Row) error {
+	data, err := o.rowsToData(rows)
+	if err != nil {
+		return err
 	}
 	return o.eng.Load(data)
 }
@@ -237,6 +271,69 @@ func (o *Owner) Outsource(ctx context.Context) (ShareGenStats, error) {
 	st, err := o.eng.Outsource(ctx, spec)
 	return ShareGenStats(st), err
 }
+
+// Update incrementally applies a tuple-set change to this owner's
+// outsourced table: add and remove list rows to insert and delete
+// (either may be nil). Removed rows must match rows the owner
+// previously contributed. Only the cells the change touches are
+// re-shared and shipped (as delta windows the servers merge over the
+// base), so the cost scales with the change, not the domain.
+func (o *Owner) Update(ctx context.Context, add, remove []Row) (UpdateStats, error) {
+	var addData, rmData *ownerengine.Data
+	var err error
+	if len(add) > 0 {
+		if addData, err = o.rowsToData(add); err != nil {
+			return UpdateStats{}, err
+		}
+	}
+	if len(remove) > 0 {
+		if rmData, err = o.rowsToData(remove); err != nil {
+			return UpdateStats{}, err
+		}
+	}
+	st, err := o.eng.Update(ctx, o.sys.table, addData, rmData)
+	return UpdateStats(st), err
+}
+
+// UpdateCells is Update for pre-encoded tuples (the LoadCells
+// counterpart): cells plus parallel aggregation arrays per side.
+func (o *Owner) UpdateCells(ctx context.Context, addCells []uint64, addAggs map[string][]uint64, rmCells []uint64, rmAggs map[string][]uint64) (UpdateStats, error) {
+	var addData, rmData *ownerengine.Data
+	if len(addCells) > 0 {
+		if addAggs == nil {
+			addAggs = map[string][]uint64{}
+		}
+		addData = &ownerengine.Data{Cells: addCells, Aggs: addAggs}
+	}
+	if len(rmCells) > 0 {
+		if rmAggs == nil {
+			rmAggs = map[string][]uint64{}
+		}
+		rmData = &ownerengine.Data{Cells: rmCells, Aggs: rmAggs}
+	}
+	st, err := o.eng.Update(ctx, o.sys.table, addData, rmData)
+	return UpdateStats(st), err
+}
+
+// AdoptTable rebuilds this owner's local update state for a table the
+// servers already hold (e.g. after cold-boot recovery, when the table
+// was outsourced by an earlier process). The currently loaded rows must
+// be the dataset the table was outsourced from.
+func (o *Owner) AdoptTable() error {
+	return o.eng.AdoptTable(ownerengine.OutsourceSpec{
+		Table:     o.sys.table,
+		AggCols:   o.sys.cfg.AggColumns,
+		Verify:    o.sys.cfg.Verify,
+		WithCount: len(o.sys.cfg.AggColumns) > 0,
+	})
+}
+
+// UpdateStats reports one incremental update's cost; compare TotalNS
+// against ShareGenStats.TotalNS for the re-outsource it replaced.
+type UpdateStats ownerengine.UpdateStats
+
+// TotalNS is the full update time.
+func (u UpdateStats) TotalNS() int64 { return u.BuildNS + u.SplitNS + u.UploadNS }
 
 // OutsourceAll runs Phase 1 for every owner and returns the summed
 // share-generation stats (the §8.1 "share generation time" metric).
