@@ -11,7 +11,7 @@
 //
 // Experiments: exp1 table12 exp2 exp3 exp4 sharegen table13 fanout
 // diskablation throughput tcpthroughput domainscale memscale
-// streamscale all. The
+// streamscale groupscale all. The
 // tcpthroughput experiment runs the query mix over real loopback TCP
 // twice — with the serialised one-RPC-per-connection baseline and with
 // the multiplexed client — so the transport win is measured, not
@@ -26,7 +26,12 @@
 // the incremental-update path: single-tuple StoreDelta updates vs a
 // full re-outsource, read throughput while updates and
 // threshold-triggered compaction race, and result parity between the
-// merged base+delta view and the compacted base.
+// merged base+delta view and the compacted base. The groupscale
+// experiment sweeps 1/2/4 server groups over one fixed domain, each
+// group a full S0/S1/S2 triple serving a contiguous cell range,
+// reporting mixed-query throughput, the peak wire frame (which must not
+// grow with groups) and the owner-side merge cost; multi-group result
+// fingerprints must match the single-group baseline.
 package main
 
 import (
@@ -43,7 +48,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|memscale|streamscale|all")
+		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|memscale|streamscale|groupscale|all")
 		paper   = flag.Bool("paper", false, "use the paper's full sizes (5M/20M domains; needs ~16GB RAM)")
 		domain  = flag.Uint64("domain", 0, "override: single domain size")
 		owners  = flag.Int("owners", 0, "override: owner count for exp1/exp3/table12/sharegen")
@@ -163,6 +168,10 @@ func main() {
 	if want("streamscale") {
 		matched = true
 		run("streamscale", func() ([]*report.Table, error) { return benchx.StreamScale(ctx, sc) })
+	}
+	if want("groupscale") {
+		matched = true
+		run("groupscale", func() ([]*report.Table, error) { return benchx.GroupScale(ctx, sc) })
 	}
 	if !matched {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -38,7 +38,24 @@
 // owners, registration epoch) without touching any data — the cheap
 // "is my table still served?" check after a server restart (servers
 // started with -recover reload their tables from disk manifests, so the
-// probe replaces a full re-outsource).
+// probe replaces a full re-outsource). In a multi-group deployment it
+// fans out to every group and cross-checks the answers: a table served
+// by some servers of a group but not others, with disagreeing owner
+// sets, or by some groups but not all, is flagged SPLIT-BRAIN — queries
+// against it would silently cover only part of the domain, so heal it
+// (restart the lagging server with -recover, or re-outsource) before
+// querying.
+//
+// Multi-group deployments (prism-init -groups) pass one owner view per
+// group via -views and one server triple per group in -servers,
+// ';'-separated in group order:
+//
+//	prism-owner -views views/owner-g0.view,views/owner-g1.view -index 0 \
+//	    -servers "h1:7001,h2:7002,h3:7003;h4:7001,h5:7002,h6:7003" \
+//	    -data owner0.csv -cols PK,DT -op outsource
+//
+// The owner routes each cell window to the group owning its domain
+// range, runs the groups concurrently, and merges results locally.
 //
 // For large domains pass -shard N to move uploads and query vectors as
 // N-cell windows instead of one O(b) frame per exchange (see the README
@@ -51,58 +68,79 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"prism/internal/ownerengine"
 	"prism/internal/params"
+	"prism/internal/protocol"
 	"prism/internal/transport"
 	"prism/internal/viewio"
 )
 
 func main() {
 	var (
-		viewPath = flag.String("view", "", "owner view file from prism-init (required)")
-		index    = flag.Int("index", 0, "this owner's index in [0, m)")
-		servers  = flag.String("servers", "", "comma-separated host:port of the 3 servers (required)")
-		dataPath = flag.String("data", "", "CSV data file (required for -op outsource/update)")
-		cols     = flag.String("cols", "", "comma-separated aggregation columns")
-		table    = flag.String("table", "main", "logical table name")
-		op       = flag.String("op", "", "outsource|psi|psu|count|psucount|sum|avg|update|list (required)")
-		addPath  = flag.String("add", "", "update: CSV of tuples to insert")
-		rmPath   = flag.String("remove", "", "update: CSV of tuples to delete (must match -data rows)")
-		verify   = flag.Bool("verify", false, "outsource verification columns / verify query results")
-		inflight = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
-		shard    = flag.Uint64("shard", 0, "shard size in cells for uploads and query vectors (0 = one frame per exchange)")
+		viewPath  = flag.String("view", "", "owner view file from prism-init (single-group deployments)")
+		viewPaths = flag.String("views", "", "comma-separated per-group owner view files, in group order (multi-group deployments)")
+		index     = flag.Int("index", 0, "this owner's index in [0, m)")
+		servers   = flag.String("servers", "", "comma-separated host:port of each group's 3 servers; ';' separates groups (required)")
+		dataPath  = flag.String("data", "", "CSV data file (required for -op outsource/update)")
+		cols      = flag.String("cols", "", "comma-separated aggregation columns")
+		table     = flag.String("table", "main", "logical table name")
+		op        = flag.String("op", "", "outsource|psi|psu|count|psucount|sum|avg|update|list (required)")
+		addPath   = flag.String("add", "", "update: CSV of tuples to insert")
+		rmPath    = flag.String("remove", "", "update: CSV of tuples to delete (must match -data rows)")
+		verify    = flag.Bool("verify", false, "outsource verification columns / verify query results")
+		inflight  = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
+		shard     = flag.Uint64("shard", 0, "shard size in cells for uploads and query vectors (0 = one frame per exchange)")
 	)
 	flag.Parse()
-	if *viewPath == "" || *servers == "" || *op == "" {
+	if (*viewPath == "" && *viewPaths == "") || *servers == "" || *op == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var view params.OwnerView
-	if err := viewio.Load(*viewPath, &view); err != nil {
-		fatal(err)
+	paths := []string{*viewPath}
+	if *viewPaths != "" {
+		paths = strings.Split(*viewPaths, ",")
 	}
-	addrs := strings.Split(*servers, ",")
-	if len(addrs) != params.NumServers {
-		fatal(fmt.Errorf("need %d server addresses, got %d", params.NumServers, len(addrs)))
+	serverGroups := strings.Split(*servers, ";")
+	if len(serverGroups) != len(paths) {
+		fatal(fmt.Errorf("%d server groups for %d owner views; pass one ';'-separated server triple per view", len(serverGroups), len(paths)))
 	}
-	book := make(map[string]string, len(addrs))
-	logical := make([]string, len(addrs))
-	for i, a := range addrs {
-		logical[i] = fmt.Sprintf("server/%d", i)
-		book[logical[i]] = strings.TrimSpace(a)
+	book := make(map[string]string)
+	cfgs := make([]ownerengine.GroupConfig, len(paths))
+	for g, p := range paths {
+		view := new(params.OwnerView)
+		if err := viewio.Load(strings.TrimSpace(p), view); err != nil {
+			fatal(err)
+		}
+		addrs := strings.Split(serverGroups[g], ",")
+		if len(addrs) != params.NumServers {
+			fatal(fmt.Errorf("group %d: need %d server addresses, got %d", g, params.NumServers, len(addrs)))
+		}
+		logical := make([]string, len(addrs))
+		for i, a := range addrs {
+			if g == 0 {
+				logical[i] = fmt.Sprintf("server/%d", i)
+			} else {
+				logical[i] = fmt.Sprintf("g%d/server/%d", g, i)
+			}
+			book[logical[i]] = strings.TrimSpace(a)
+		}
+		cfgs[g] = ownerengine.GroupConfig{View: view, Servers: logical}
 	}
 	client := transport.NewTCPClientOpts(book, transport.ClientOptions{PerConnInflight: *inflight})
 	defer client.Close()
 
-	owner, err := ownerengine.New(*index, &view, client, logical, [32]byte{})
+	owner, err := ownerengine.NewMulti(*index, cfgs, client, [32]byte{})
 	if err != nil {
 		fatal(err)
 	}
 	owner.SetShardCells(*shard)
 	ctx := context.Background()
+	b := owner.DomainB()
+	m := owner.View().M
 	var colList []string
 	if *cols != "" {
 		colList = strings.Split(*cols, ",")
@@ -113,7 +151,7 @@ func main() {
 		if *dataPath == "" {
 			fatal(fmt.Errorf("-data is required for outsourcing"))
 		}
-		data, err := loadCSV(*dataPath, view.B)
+		data, err := loadCSV(*dataPath, b)
 		if err != nil {
 			fatal(err)
 		}
@@ -138,7 +176,7 @@ func main() {
 		if *addPath == "" && *rmPath == "" {
 			fatal(fmt.Errorf("-op update needs -add and/or -remove"))
 		}
-		data, err := loadCSV(*dataPath, view.B)
+		data, err := loadCSV(*dataPath, b)
 		if err != nil {
 			fatal(err)
 		}
@@ -156,12 +194,12 @@ func main() {
 		}
 		var add, remove *ownerengine.Data
 		if *addPath != "" {
-			if add, err = loadCSV(*addPath, view.B); err != nil {
+			if add, err = loadCSV(*addPath, b); err != nil {
 				fatal(err)
 			}
 		}
 		if *rmPath != "" {
-			if remove, err = loadCSV(*rmPath, view.B); err != nil {
+			if remove, err = loadCSV(*rmPath, b); err != nil {
 				fatal(err)
 			}
 		}
@@ -231,35 +269,105 @@ func main() {
 		}
 
 	case "list":
-		lists, err := owner.ListTables(ctx)
-		if err != nil {
-			fatal(err)
-		}
-		served := true
-		for phi, tables := range lists {
-			if len(tables) == 0 {
-				fmt.Printf("server %d: no tables served\n", phi)
-			}
-			found := false
-			for _, t := range tables {
-				fmt.Printf("server %d: table %q epoch %d owners %v (b=%d, agg=%v, verify=%v)\n",
-					phi, t.Spec.Name, t.Epoch, t.Owners, t.Spec.B, t.Spec.AggCols, t.Spec.HasVerify)
-				if t.Spec.Name == *table && len(t.Owners) == view.M {
-					found = true
-				}
-			}
-			if !found {
-				served = false
-			}
-		}
-		if served {
-			fmt.Printf("table %q: served by all servers with all %d owners\n", *table, view.M)
-		} else {
-			fmt.Printf("table %q: NOT fully served (outsourcing needed)\n", *table)
-		}
+		listTables(ctx, owner, *table, m)
 
 	default:
 		fatal(fmt.Errorf("unknown -op %q", *op))
+	}
+}
+
+// listTables fans the inventory probe out to every group's servers,
+// prints each answer, and cross-checks them: a table served by only
+// part of a group's server triple, with disagreeing owner sets inside a
+// group, or by some groups but not all, is split-brained — a query
+// against it would silently cover only part of the domain.
+func listTables(ctx context.Context, owner *ownerengine.Owner, table string, m int) {
+	ng := owner.NumGroups()
+	// inv[name][g][phi] is the table's status on group g's server φ
+	// (nil where that server does not serve it).
+	inv := make(map[string][][]*protocol.TableStatus)
+	slot := func(name string) [][]*protocol.TableStatus {
+		if inv[name] == nil {
+			inv[name] = make([][]*protocol.TableStatus, ng)
+			for g := range inv[name] {
+				inv[name][g] = make([]*protocol.TableStatus, params.NumServers)
+			}
+		}
+		return inv[name]
+	}
+	for g := 0; g < ng; g++ {
+		lists, err := owner.ListTablesGroup(ctx, g)
+		if err != nil {
+			fatal(err)
+		}
+		for phi, tables := range lists {
+			prefix := fmt.Sprintf("server %d", phi)
+			if ng > 1 {
+				prefix = fmt.Sprintf("group %d server %d", g, phi)
+			}
+			if len(tables) == 0 {
+				fmt.Printf("%s: no tables served\n", prefix)
+			}
+			for i := range tables {
+				t := &tables[i]
+				fmt.Printf("%s: table %q epoch %d owners %v (b=%d, agg=%v, verify=%v)\n",
+					prefix, t.Spec.Name, t.Epoch, t.Owners, t.Spec.B, t.Spec.AggCols, t.Spec.HasVerify)
+				slot(t.Spec.Name)[g][phi] = t
+			}
+		}
+	}
+
+	names := make([]string, 0, len(inv))
+	for name := range inv {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	targetHealthy := false
+	for _, name := range names {
+		gv := inv[name]
+		var problems []string
+		allOwners := true
+		for g := 0; g < ng; g++ {
+			served, owners, mismatch := 0, "", false
+			for phi := 0; phi < params.NumServers; phi++ {
+				st := gv[g][phi]
+				if st == nil {
+					continue
+				}
+				served++
+				if len(st.Owners) != m {
+					allOwners = false
+				}
+				os := fmt.Sprint(st.Owners)
+				if owners == "" {
+					owners = os
+				} else if os != owners {
+					mismatch = true
+				}
+			}
+			switch {
+			case served == 0:
+				problems = append(problems, fmt.Sprintf("group %d does not serve it", g))
+			case served < params.NumServers:
+				problems = append(problems, fmt.Sprintf("only %d/%d of group %d's servers serve it", served, params.NumServers, g))
+			case mismatch:
+				problems = append(problems, fmt.Sprintf("group %d's servers disagree on the registered owners", g))
+			}
+		}
+		switch {
+		case len(problems) > 0:
+			fmt.Printf("table %q: SPLIT-BRAIN — %s\n", name, strings.Join(problems, "; "))
+		case !allOwners:
+			fmt.Printf("table %q: served everywhere but missing owners (want all %d)\n", name, m)
+		default:
+			fmt.Printf("table %q: served by all servers in all %d group(s) with all %d owners\n", name, ng, m)
+			if name == table {
+				targetHealthy = true
+			}
+		}
+	}
+	if !targetHealthy {
+		fmt.Printf("table %q: NOT fully served (outsourcing needed)\n", table)
 	}
 }
 

@@ -4,6 +4,13 @@
 // (servers never talk to each other).
 //
 //	prism-server -view views/server-0.view -listen :7001 -announcer localhost:7000
+//
+// In a multi-group deployment (prism-init -groups) each server loads
+// its group's view (server-g<g>-<phi>.view); the group id and domain
+// range are baked into the view, so no extra flag is needed. The server
+// rejects data-plane requests targeting another group and stamps its
+// group into table manifests, so a restart with -recover cannot adopt
+// another group's shares.
 package main
 
 import (
@@ -48,8 +55,12 @@ func main() {
 	if err := viewio.Load(*viewPath, &view); err != nil {
 		fatal(err)
 	}
+	// Multi-group deployments bake the group id into the view file
+	// (prism-init -groups); the engine then rejects data-plane requests
+	// targeting any other group and stamps the group into table
+	// manifests so a restart cannot adopt another group's shares.
 	opts := serverengine.Options{Threads: *threads, PendingTTL: *pendTTL,
-		DeltaMax: *deltaMax, CompactEvery: *compactEvr}
+		DeltaMax: *deltaMax, CompactEvery: *compactEvr, Group: view.Group}
 	if *storeDir != "" {
 		st, err := sharestore.Open(*storeDir)
 		if err != nil {
@@ -100,8 +111,8 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("prism-server: S_%d listening on %s (m=%d, b=%d, δ=%d)\n",
-		view.Index, ln.Addr(), view.M, view.B, view.Delta)
+	fmt.Printf("prism-server: S_%d listening on %s (m=%d, b=%d, δ=%d, group=%d, cells [%d, %d))\n",
+		view.Index, ln.Addr(), view.M, view.B, view.Delta, view.Group, view.Start, view.Start+view.B)
 	serveOpts := []transport.ServeOption{transport.WithLogf(log.Printf)}
 	if *inflight > 0 {
 		serveOpts = append(serveOpts, transport.WithPerConnWorkers(*inflight))

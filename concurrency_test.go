@@ -383,9 +383,11 @@ func TestServerSessionsRetired(t *testing.T) {
 // zero live query sessions.
 func assertNoSessions(t testing.TB, sys *System) {
 	t.Helper()
-	for phi, e := range sys.servers {
-		if n := e.Sessions(); n != 0 {
-			t.Errorf("server %d still holds %d query sessions after all queries completed", phi, n)
+	for g, grp := range sys.servers {
+		for phi, e := range grp {
+			if n := e.Sessions(); n != 0 {
+				t.Errorf("group %d server %d still holds %d query sessions after all queries completed", g, phi, n)
+			}
 		}
 	}
 	if n := sys.ann.Sessions(); n != 0 {

@@ -153,6 +153,15 @@ type Config struct {
 	Verify bool
 	// Threads is each server's worker-pool width (Figure 3 sweep).
 	Threads int
+	// Groups partitions the cell domain across this many independent
+	// server groups: each group is a full S0/S1/S2 triple serving a
+	// contiguous cell range, with its own permutations and share streams
+	// but deployment-global masking parameters (so cross-group extreme
+	// results stay comparable). Owners route each query window to the
+	// owning group and run groups concurrently; results merge
+	// owner-side. 0 or 1 → the classic single-group deployment
+	// (bit-for-bit identical wiring and share streams).
+	Groups int
 	// MaxInflight bounds how many scheduled queries (QueryAsync /
 	// QueryBatch) execute simultaneously. 0 → GOMAXPROCS. Resizable at
 	// runtime via System.SetMaxInflight.
@@ -253,6 +262,15 @@ func (c *Config) normalize() error {
 	}
 	if c.MaxAggValue == 0 {
 		c.MaxAggValue = 1 << 20
+	}
+	if c.Groups < 0 {
+		return errors.New("prism: Groups must be >= 0")
+	}
+	if c.Groups <= 1 {
+		c.Groups = 1
+	}
+	if uint64(c.Groups) > c.Domain.Size() {
+		return fmt.Errorf("prism: %d groups cannot tile a %d-cell domain", c.Groups, c.Domain.Size())
 	}
 	if c.PerConnInflight < 0 {
 		return errors.New("prism: PerConnInflight must be >= 0")

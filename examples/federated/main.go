@@ -128,16 +128,16 @@ func main() {
 				log.Fatalf("bank %d missing common client", j)
 			}
 			locals[j] = v
-			must(o.SubmitExtreme(ctx, qid, protocol.KindMax, v))
+			must(o.SubmitExtreme(ctx, qid, protocol.KindMax, cell, v))
 		}
-		out, err := querier.FetchExtreme(ctx, qid, protocol.KindMax)
+		out, err := querier.FetchExtreme(ctx, qid, protocol.KindMax, cell)
 		must(err)
 		z := out.Values[0]
 		for j, o := range owners {
 			must(o.CheckExtremeConsistency(protocol.KindMax, z, locals[j], true))
-			must(o.SubmitClaim(ctx, qid, locals[j] == z))
+			must(o.SubmitClaim(ctx, qid, cell, locals[j] == z))
 		}
-		claims, err := querier.FetchClaims(ctx, qid)
+		claims, err := querier.FetchClaims(ctx, qid, cell)
 		must(err)
 		var holders []int
 		for j, h := range claims {

@@ -1,0 +1,325 @@
+package prism
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// groupParityConfig is the deployment shape of the multi-group parity
+// tests: 3 owners over a 128-cell domain, verification on, with knobs
+// for group count, disk backing and sharded exchanges.
+func groupParityConfig(t *testing.T, groups int, diskDir string, shard uint64) Config {
+	t.Helper()
+	dom, err := IntDomain(1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Owners:      3,
+		Domain:      dom,
+		AggColumns:  []string{"v"},
+		MaxAggValue: 50_000,
+		Verify:      true,
+		Groups:      groups,
+		Seed:        [32]byte{11, 22, 33},
+		DiskDir:     diskDir,
+	}
+	if shard > 0 {
+		cfg.ShardCells = shard
+		cfg.ChunkCells = shard
+	}
+	return cfg
+}
+
+// loadGroupRows loads deterministic rows into every owner. Keys 1 and
+// 128 are common to all owners, pinning intersection cells into the
+// first and last group of any partition — so the cross-group extreme
+// round always has candidates from more than one group.
+func loadGroupRows(t *testing.T, sys *System) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	for j := 0; j < sys.Owners(); j++ {
+		rows := []Row{
+			{IntKey: 1, Aggs: map[string]uint64{"v": 500 + uint64(j)*13}},
+			{IntKey: 128, Aggs: map[string]uint64{"v": 700 + uint64(j)*7}},
+		}
+		for i := 0; i < 20; i++ {
+			rows = append(rows, Row{
+				IntKey: uint64(rng.Int63n(128)) + 1,
+				Aggs:   map[string]uint64{"v": uint64(rng.Int63n(1000))},
+			})
+		}
+		if err := sys.Owner(j).Load(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// groupFingerprint canonically serialises the semantic outcome of every
+// operator — sets, counts, verified sums/avgs, and the per-cell AND
+// global extremes — so single- and multi-group deployments can be
+// compared exactly.
+func groupFingerprint(t *testing.T, sys *System) string {
+	t.Helper()
+	ctx := context.Background()
+	var sb strings.Builder
+
+	psi, err := sys.PSI(ctx)
+	if err != nil {
+		t.Fatalf("PSI: %v", err)
+	}
+	fmt.Fprintf(&sb, "psi:%v\n", psi.Cells)
+
+	psu, err := sys.PSU(ctx)
+	if err != nil {
+		t.Fatalf("PSU: %v", err)
+	}
+	fmt.Fprintf(&sb, "psu:%v\n", psu.Cells)
+
+	cnt, err := sys.PSICount(ctx)
+	if err != nil {
+		t.Fatalf("PSICount: %v", err)
+	}
+	fmt.Fprintf(&sb, "count:%d\n", cnt.Count)
+
+	ucnt, err := sys.PSUCount(ctx)
+	if err != nil {
+		t.Fatalf("PSUCount: %v", err)
+	}
+	fmt.Fprintf(&sb, "psucount:%d\n", ucnt.Count)
+
+	sum, err := sys.PSISum(ctx, "v")
+	if err != nil {
+		t.Fatalf("PSISum: %v", err)
+	}
+	cells := append([]uint64(nil), sum.Cells...)
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	for _, c := range cells {
+		v, _ := sum.Sum("v", c)
+		fmt.Fprintf(&sb, "sum:%d=%d\n", c, v)
+	}
+
+	avg, err := sys.PSIAvg(ctx, "v")
+	if err != nil {
+		t.Fatalf("PSIAvg: %v", err)
+	}
+	for _, c := range cells {
+		v, _ := avg.Avg("v", c)
+		fmt.Fprintf(&sb, "avg:%d=%.6f\n", c, v)
+	}
+
+	for _, ext := range []struct {
+		name string
+		run  func(context.Context, string) (*ExtremeResult, error)
+	}{
+		{"max", sys.PSIMax},
+		{"min", sys.PSIMin},
+		{"median", sys.PSIMedian},
+	} {
+		res, err := ext.run(ctx, "v")
+		if err != nil {
+			t.Fatalf("%s: %v", ext.name, err)
+		}
+		ecells := append([]uint64(nil), res.Cells...)
+		sort.Slice(ecells, func(i, j int) bool { return ecells[i] < ecells[j] })
+		for _, c := range ecells {
+			pc := res.PerCell[c]
+			fmt.Fprintf(&sb, "%s:%d=%d owners=%v pair=%v\n", ext.name, c, pc.Value, pc.Owners, pc.MedianPair)
+		}
+		if res.Global == nil {
+			t.Fatalf("%s: nil global extreme over a non-empty intersection", ext.name)
+		}
+		fmt.Fprintf(&sb, "%s-global:%d@%d owners=%v pair=%v\n",
+			ext.name, res.Global.Value, res.GlobalCell, res.Global.Owners, res.Global.MedianPair)
+	}
+	return sb.String()
+}
+
+// TestMultiGroupParityAllOps: partitioning the domain across server
+// groups must be invisible in every operator's answer. Each deployment
+// shape (in-memory vs disk-backed × monolithic vs sharded exchanges) is
+// run single-group and at 2 and 3 groups (3 exercises the uneven
+// remainder split 43/43/42) over identical data, and the complete query
+// fingerprints — including the cross-group global extreme round — must
+// be identical.
+func TestMultiGroupParityAllOps(t *testing.T) {
+	shapes := []struct {
+		name  string
+		disk  bool
+		shard uint64
+	}{
+		{"mem-monolithic", false, 0},
+		{"mem-sharded", false, 32},
+		{"disk-monolithic", true, 0},
+		{"disk-sharded", true, 32},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			var want string
+			for _, groups := range []int{1, 2, 3} {
+				dir := ""
+				if shape.disk {
+					dir = t.TempDir()
+				}
+				sys, err := NewLocalSystem(groupParityConfig(t, groups, dir, shape.shard))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := sys.NumGroups(); got != groups {
+					t.Fatalf("NumGroups = %d, want %d", got, groups)
+				}
+				loadGroupRows(t, sys)
+				if _, err := sys.OutsourceAll(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				fp := groupFingerprint(t, sys)
+				sys.Close()
+				if groups == 1 {
+					want = fp
+					continue
+				}
+				if fp != want {
+					t.Fatalf("%d-group fingerprint diverged from single-group:\n--- single ---\n%s--- %d groups ---\n%s",
+						groups, want, groups, fp)
+				}
+			}
+		})
+	}
+}
+
+// TestDeadGroupErrorTagged: when one group's server dies, cross-domain
+// queries must fail with an error naming the dead group — and updates
+// that touch only healthy groups must keep working, since the router
+// only contacts groups owning the changed cells.
+func TestDeadGroupErrorTagged(t *testing.T) {
+	sys, err := NewLocalSystem(groupParityConfig(t, 3, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	loadGroupRows(t, sys)
+	if _, err := sys.OutsourceAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	sys.interceptGroupServer(1, 0, down())
+	defer sys.restoreGroupServer(1, 0)
+
+	for _, q := range []struct {
+		name string
+		run  func() error
+	}{
+		{"PSI", func() error { _, err := sys.PSI(ctx); return err }},
+		{"PSICount", func() error { _, err := sys.PSICount(ctx); return err }},
+		{"PSISum", func() error { _, err := sys.PSISum(ctx, "v"); return err }},
+	} {
+		err := q.run()
+		if err == nil {
+			t.Fatalf("%s succeeded with group 1's server 0 dead", q.name)
+		}
+		if !strings.Contains(err.Error(), "group 1:") {
+			t.Fatalf("%s error %q does not name the dead group", q.name, err)
+		}
+	}
+
+	// Cell 1 (key 2) lives in group 0 of the 43/43/42 split; an update
+	// confined to it never touches the dead group.
+	st, err := sys.Owner(0).UpdateCells(ctx, []uint64{1}, map[string][]uint64{"v": {9}}, nil, nil)
+	if err != nil {
+		t.Fatalf("update confined to a healthy group failed: %v", err)
+	}
+	if !st.FastPath {
+		t.Error("append-only update skipped the fast path")
+	}
+
+	// Once the server is back, cross-domain queries work again.
+	sys.restoreGroupServer(1, 0)
+	if _, err := sys.PSI(ctx); err != nil {
+		t.Fatalf("PSI broken after the group recovered: %v", err)
+	}
+}
+
+// TestMultiGroupRestartRecovery: a disk-backed multi-group deployment
+// must cold-boot each server back into its own group — recovered tables
+// serve identical fingerprints with no re-outsourcing — and a server
+// booted over another group's store must quarantine the foreign
+// manifest (its shares cover a different domain slice) instead of
+// serving it.
+func TestMultiGroupRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := groupParityConfig(t, 2, dir, 32)
+	sys1, err := NewLocalSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadGroupRows(t, sys1)
+	if _, err := sys1.OutsourceAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := groupFingerprint(t, sys1)
+	sys1.Close()
+
+	cfg2 := cfg
+	cfg2.AutoRecover = true
+	sys2, err := NewLocalSystem(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owners reload their private tables (extreme queries submit local
+	// values) — purely owner-local; not a byte moves to the servers.
+	loadGroupRows(t, sys2)
+	for g := 0; g < 2; g++ {
+		for phi := 0; phi < 3; phi++ {
+			rep, err := sys2.GroupServerEngine(g, phi).RecoveryReport()
+			if err != nil {
+				t.Fatalf("group %d server %d recovery: %v", g, phi, err)
+			}
+			if len(rep.Recovered) != 1 || rep.Recovered[0].Name != "main" {
+				t.Fatalf("group %d server %d recovery report = %+v", g, phi, rep)
+			}
+			if len(rep.Quarantined) != 0 {
+				t.Fatalf("group %d server %d quarantined healthy tables: %+v", g, phi, rep.Quarantined)
+			}
+		}
+	}
+	if got := groupFingerprint(t, sys2); got != want {
+		t.Fatalf("fingerprints diverged across multi-group restart:\n--- before ---\n%s--- after ---\n%s", want, got)
+	}
+	sys2.Close()
+
+	// Swap the two groups' server-0 stores: both servers now boot over a
+	// store whose manifests were written by the other group. Boot must
+	// succeed, but each must quarantine the foreign table.
+	g0 := filepath.Join(dir, "server-0")
+	g1 := filepath.Join(dir, "g1-server-0")
+	tmp := filepath.Join(dir, "swap-tmp")
+	for _, mv := range [][2]string{{g0, tmp}, {g1, g0}, {tmp, g1}} {
+		if err := os.Rename(mv[0], mv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys3, err := NewLocalSystem(cfg2)
+	if err != nil {
+		t.Fatalf("boot over swapped group stores must not fail: %v", err)
+	}
+	defer sys3.Close()
+	for g := 0; g < 2; g++ {
+		rep, err := sys3.GroupServerEngine(g, 0).RecoveryReport()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Recovered) != 0 {
+			t.Fatalf("group %d server 0 served another group's shares: %+v", g, rep.Recovered)
+		}
+		if len(rep.Quarantined) != 1 || rep.Quarantined[0].Reason != "group-mismatch" {
+			t.Fatalf("group %d server 0 report = %+v, want one group-mismatch quarantine", g, rep)
+		}
+	}
+}

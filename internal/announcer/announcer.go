@@ -27,8 +27,9 @@ import (
 type Engine struct {
 	view *params.AnnouncerView
 
-	mu      sync.Mutex
-	pending map[string]*state
+	mu        sync.Mutex
+	pending   map[string]*state
+	placement []protocol.GroupRange
 }
 
 type state struct {
@@ -36,11 +37,24 @@ type state struct {
 	arrays  [2][][]byte
 	have    [2]bool
 	results [2]*protocol.AnnounceFetchReply
+	// vals are the reconstructed masked values, retained after resolve
+	// so a multi-cell extreme query can reduce its per-cell rounds to
+	// one global outcome (ExtremeReduceRequest) before retiring them.
+	vals []*big.Int
 }
 
 // New builds an announcer for the given view.
 func New(v *params.AnnouncerView) *Engine {
 	return &Engine{view: v, pending: make(map[string]*state)}
+}
+
+// SetPlacement installs the deployment's group placement, served to
+// owners via PlacementRequest. The slice is retained; callers must not
+// mutate it afterwards.
+func (e *Engine) SetPlacement(groups []protocol.GroupRange) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.placement = groups
 }
 
 // Sessions reports the number of live per-query states (tests and
@@ -59,6 +73,12 @@ func (e *Engine) Handle(_ context.Context, req any) (any, error) {
 		return e.handleAnnounce(r)
 	case protocol.AnnounceFetchRequest:
 		return e.handleFetch(r)
+	case protocol.PlacementRequest:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return protocol.PlacementReply{Groups: e.placement}, nil
+	case protocol.ExtremeReduceRequest:
+		return e.handleReduce(r)
 	case protocol.QueryDoneRequest:
 		e.mu.Lock()
 		delete(e.pending, r.QueryID)
@@ -169,7 +189,68 @@ func (e *Engine) resolve(st *state) error {
 		res1.IndexShare, res1.HasIndex = i1, true
 	}
 	st.results[0], st.results[1] = res0, res1
+	st.vals = vals
 	return nil
+}
+
+// handleReduce folds the retained values of several resolved per-cell
+// rounds into one query-global outcome. The values it compares are the
+// same masked points it already announced per round (one F, shared
+// across groups, keeps them comparable), so nothing new leaks; the
+// winning value goes back to the querier, who unmasks it exactly as it
+// unmasks a per-round result.
+func (e *Engine) handleReduce(r protocol.ExtremeReduceRequest) (any, error) {
+	if len(r.SubQueryIDs) == 0 {
+		return nil, fmt.Errorf("announcer: reduce %q: no sub-queries", r.QueryID)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rounds := make([][]*big.Int, len(r.SubQueryIDs))
+	for i, qid := range r.SubQueryIDs {
+		st, ok := e.pending[qid]
+		if !ok || st.vals == nil {
+			return nil, fmt.Errorf("announcer: reduce %q: sub-query %q not resolved", r.QueryID, qid)
+		}
+		if st.kind != r.Kind {
+			return nil, fmt.Errorf("announcer: reduce %q: sub-query %q is %v, want %v", r.QueryID, qid, st.kind, r.Kind)
+		}
+		rounds[i] = st.vals
+	}
+
+	rep := protocol.ExtremeReduceReply{}
+	switch r.Kind {
+	case protocol.KindMax, protocol.KindMin:
+		wantGreater := r.Kind == protocol.KindMax
+		winner, best := -1, (*big.Int)(nil)
+		for i, vals := range rounds {
+			cand := vals[0]
+			for _, v := range vals[1:] {
+				if (v.Cmp(cand) > 0) == wantGreater && v.Cmp(cand) != 0 {
+					cand = v
+				}
+			}
+			if best == nil || ((cand.Cmp(best) > 0) == wantGreater && cand.Cmp(best) != 0) {
+				winner, best = i, cand
+			}
+		}
+		rep.Values = [][]byte{best.Bytes()}
+		rep.WinnerSub, rep.HasWinner = winner, true
+	case protocol.KindMedian:
+		var pool []*big.Int
+		for _, vals := range rounds {
+			pool = append(pool, vals...)
+		}
+		sort.Slice(pool, func(a, b int) bool { return pool[a].Cmp(pool[b]) < 0 })
+		n := len(pool)
+		if n%2 == 1 {
+			rep.Values = [][]byte{pool[n/2].Bytes()}
+		} else {
+			rep.Values = [][]byte{pool[n/2-1].Bytes(), pool[n/2].Bytes()}
+		}
+	default:
+		return nil, fmt.Errorf("announcer: reduce %q: unknown kind %v", r.QueryID, r.Kind)
+	}
+	return rep, nil
 }
 
 // splitIndex additively shares the winning slot index in Z_δ.

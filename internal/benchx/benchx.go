@@ -28,6 +28,7 @@ import (
 type SystemSpec struct {
 	Owners       int
 	Domain       uint64
+	Groups       int // server groups partitioning the domain (0/1 = one)
 	KeysPerOwner int
 	CommonKeys   int
 	Threads      int
@@ -103,6 +104,7 @@ func Build(spec SystemSpec) (*prism.System, []*workload.OwnerData, prism.ShareGe
 	sys, err := prism.NewLocalSystem(prism.Config{
 		Owners:      spec.Owners,
 		Domain:      dom,
+		Groups:      spec.Groups,
 		AggColumns:  spec.AggCols,
 		MaxAggValue: spec.MaxValue * uint64(spec.Owners+1),
 		Verify:      spec.Verify,

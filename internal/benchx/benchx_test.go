@@ -428,3 +428,31 @@ func TestStreamScaleSmoke(t *testing.T) {
 		t.Errorf("results column = %q, want match", row[7])
 	}
 }
+
+func TestGroupScaleSmoke(t *testing.T) {
+	sc := tinyScale(t)
+	sc.Domains = []uint64{2048}
+	sc.ThroughputQueries = 6
+	tables, err := GroupScale(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (groups 1/2/4)", len(rows))
+	}
+	if rows[0][0] != "1" || rows[0][5] != "baseline" {
+		t.Errorf("first row = %v, want the 1-group baseline", rows[0])
+	}
+	for _, row := range rows[1:] {
+		// Multi-group answers must be bit-identical to the single-group
+		// baseline (divergence fails GroupScale outright).
+		if row[5] != "match" {
+			t.Errorf("groups=%s results column = %q, want match", row[0], row[5])
+		}
+		var speedup float64
+		if _, err := fmt.Sscanf(strings.TrimSuffix(row[2], "×"), "%f", &speedup); err != nil {
+			t.Fatalf("unparseable speedup %q: %v", row[2], err)
+		}
+	}
+}

@@ -801,10 +801,19 @@ func streamScalePoint(ctx context.Context, sc Scale, tb *report.Table, domain, s
 		for j, col := range workload.Columns {
 			aggs[col] = []uint64{1 + (uint64(i)+uint64(j)*13)%maxv}
 		}
-		if _, err := sys.Owner(0).UpdateCells(ctx, []uint64{cell}, aggs, nil, nil); err != nil {
+		st, err := sys.Owner(0).UpdateCells(ctx, []uint64{cell}, aggs, nil, nil)
+		if err != nil {
 			close(stop)
 			<-readRes
 			return fmt.Errorf("benchx: streamscale @%s: update %d: %w", human(domain), i, err)
+		}
+		if !st.FastPath {
+			// Every streamscale update is append-only, so the owner must
+			// take the direct-append fold that skips the removal-match
+			// scan — the measured update cost depends on it.
+			close(stop)
+			<-readRes
+			return fmt.Errorf("benchx: streamscale @%s: append-only update %d skipped the fast path", human(domain), i)
 		}
 	}
 	upWall := time.Since(start)
@@ -857,4 +866,102 @@ func streamScalePoint(ctx context.Context, sc Scale, tb *report.Table, domain, s
 		fmt.Sprint(backlog),
 		"match")
 	return nil
+}
+
+// groupScaleGroups is the group-count sweep of the groupscale
+// experiment.
+var groupScaleGroups = []int{1, 2, 4}
+
+// GroupScale measures multi-group domain partitioning: sustained mixed
+// queries/sec at 1, 2 and 4 server groups over one fixed domain, with
+// every server's worker pool pinned to one thread so the sweep models
+// adding server hardware rather than oversubscribing one box. Frames
+// are gob-encoded to measure the peak wire frame (per-group windows
+// shrink as groups split the domain, so the peak must not grow), and
+// the owner-side result-merge cost is reported per query. Every
+// multi-group point's response fingerprints are compared against the
+// single-group baseline; any divergence fails the experiment.
+func GroupScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
+	domain := sc.Domains[len(sc.Domains)-1]
+	nq := sc.ThroughputQueries
+	if nq <= 0 {
+		nq = 24
+	}
+	const inflight = 8
+	tb := report.New(
+		fmt.Sprintf("Group scale — %d owners, %s-cell domain, %d mixed queries per point, %d in flight, 1 thread per server",
+			sc.Owners, human(domain), nq, inflight),
+		"groups", "queries/sec", "speedup", "peak frame", "owner merge(ms/query)", "results")
+
+	var baseline []string
+	var baseQPS float64
+	var basePeak int64
+	for _, groups := range groupScaleGroups {
+		spec := SystemSpec{
+			Owners:     sc.Owners,
+			Domain:     domain,
+			Groups:     groups,
+			Threads:    1,
+			EncodeWire: true,
+			Seed:       "groupscale",
+		}
+		sys, _, _, err := Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		sys.SetMaxInflight(inflight)
+		sys.ResetPeakFrame()
+
+		reqs := make([]prism.Request, nq)
+		for i := range reqs {
+			reqs[i] = memScaleMix[i%len(memScaleMix)]
+		}
+		start := time.Now()
+		resps := sys.QueryBatch(ctx, reqs)
+		wall := time.Since(start)
+
+		fps := make([]string, len(resps))
+		var ownerNS int64
+		for i, r := range resps {
+			if r.Err != nil {
+				return nil, fmt.Errorf("benchx: groupscale @%d groups: query %d failed: %v", groups, i, r.Err)
+			}
+			fps[i] = responseFingerprint(r)
+			ownerNS += statsOf(r).OwnerNS
+		}
+		result := "baseline"
+		if baseline == nil {
+			baseline = fps
+		} else {
+			result = "match"
+			for i := range fps {
+				if fps[i] != baseline[i] {
+					return nil, fmt.Errorf("benchx: groupscale @%d groups: query %d result diverged from single-group baseline", groups, i)
+				}
+			}
+		}
+		peak := sys.PeakFrameBytes()
+		if basePeak == 0 {
+			basePeak = peak
+		} else if peak > basePeak {
+			// Per-group windows are sub-ranges of the single-group
+			// window, so splitting the domain must never grow a frame.
+			return nil, fmt.Errorf("benchx: groupscale @%d groups: peak frame %s exceeds the single-group peak %s",
+				groups, humanBytes(peak), humanBytes(basePeak))
+		}
+		qps := float64(nq) / wall.Seconds()
+		speedup := "1.00×"
+		if baseQPS == 0 {
+			baseQPS = qps
+		} else {
+			speedup = fmt.Sprintf("%.2f×", qps/baseQPS)
+		}
+		tb.Add(fmt.Sprint(groups),
+			fmt.Sprintf("%.1f", qps),
+			speedup,
+			humanBytes(peak),
+			fmt.Sprintf("%.2f", float64(ownerNS)/float64(nq)/1e6),
+			result)
+	}
+	return []*report.Table{tb}, nil
 }

@@ -48,7 +48,7 @@ func (r *AggResult) Avg(col string, cell uint64) (float64, bool) {
 // Lagrange-interpolated into a single stored-order accumulator as its
 // three replies arrive, so the owner holds one reconstruction vector per
 // column instead of three servers' worth of reply vectors.
-func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, cols []string, withCount, verify bool) (*AggResult, error) {
+func (o *engine) Aggregate(ctx context.Context, table string, selected []uint64, cols []string, withCount, verify bool) (*AggResult, error) {
 	wall := time.Now()
 	b := o.view.B
 	sess := o.newSession("agg")
@@ -96,6 +96,7 @@ func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, 
 		req := protocol.AggRequest{
 			Table:     table,
 			QueryID:   qid,
+			Group:     o.view.Group,
 			Cols:      cols,
 			WithCount: withCount,
 			Z:         zShares[phi][rg.Offset:rg.End()],
@@ -190,7 +191,7 @@ func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, 
 
 // interpolateWindow Lagrange-interpolates one window of three degree-2
 // share vectors into dst[rg.Offset:rg.End()) (stored order).
-func (o *Owner) interpolateWindow(dst []uint64, rg protocol.Range, s0, s1, s2 []uint64) error {
+func (o *engine) interpolateWindow(dst []uint64, rg protocol.Range, s0, s1, s2 []uint64) error {
 	n := int(rg.Count)
 	if len(s0) != n || len(s1) != n || len(s2) != n {
 		return fmt.Errorf("share vectors have %d/%d/%d cells, want %d", len(s0), len(s1), len(s2), n)

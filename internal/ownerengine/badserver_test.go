@@ -94,7 +94,7 @@ func TestOwnerRejectsMalformedReplies(t *testing.T) {
 	if err := o.VerifyPSI(ctx, "t", &SetResult{fop: make([]uint64, 16)}); err == nil {
 		t.Error("short verify reply accepted")
 	}
-	if _, err := o.FetchClaims(ctx, "q"); err != nil {
+	if _, err := o.FetchClaims(ctx, "q", 0); err != nil {
 		// A 1-slot fpos for a 2-owner system: lengths agree between the
 		// two (identical stub) servers, so reconstruction proceeds and
 		// yields a 1-entry vector; the orchestrator's slot checks catch
@@ -108,7 +108,7 @@ func TestOwnerRejectsMalformedReplies(t *testing.T) {
 // value reconstructs outside F's image with overwhelming probability.
 func TestExtremeFetchTamperedShareCaught(t *testing.T) {
 	o := shapeOwner(t, "")
-	_, err := o.FetchExtreme(context.Background(), "q", protocol.KindMax)
+	_, err := o.FetchExtreme(context.Background(), "q", protocol.KindMax, 0)
 	if err == nil {
 		t.Error("tampered extreme value accepted")
 	}

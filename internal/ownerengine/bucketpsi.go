@@ -28,7 +28,7 @@ type bucketMeta struct {
 // assembly, supersede and register-on-complete semantics as Outsource)
 // instead of one monolithic frame, so bucket trees scale to the same
 // domains the main table does.
-func (o *Owner) OutsourceBucketTree(ctx context.Context, base string, tree *bucket.Tree) error {
+func (o *engine) OutsourceBucketTree(ctx context.Context, base string, tree *bucket.Tree) error {
 	for k, level := range tree.Levels {
 		o.mu.Lock()
 		shares := share.AdditiveSplitVector(o.rng, level, o.view.Delta, 2)
@@ -43,7 +43,7 @@ func (o *Owner) OutsourceBucketTree(ctx context.Context, base string, tree *buck
 		uploadID := fmt.Sprintf("%s/%d", o.uploadEpoch, o.uploadSeq.Add(1))
 		var completed [2]bool
 		err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-			req := protocol.StoreRequest{Owner: o.Index, Spec: spec, ChiAdd: shares[phi][rg.Offset:rg.End()]}
+			req := protocol.StoreRequest{Owner: o.Index, Group: o.view.Group, Spec: spec, ChiAdd: shares[phi][rg.Offset:rg.End()]}
 			if p.wire {
 				req.Shard = rg
 				req.UploadID = uploadID
@@ -100,7 +100,7 @@ type BucketPSIResult struct {
 
 // BucketizedPSI runs the §6.6 protocol: PSI on the top level, then
 // per-round expansion of common buckets' children, down to the leaves.
-func (o *Owner) BucketizedPSI(ctx context.Context, base string) (*BucketPSIResult, error) {
+func (o *engine) BucketizedPSI(ctx context.Context, base string) (*BucketPSIResult, error) {
 	o.mu.Lock()
 	meta := o.bucketMeta[base]
 	o.mu.Unlock()
@@ -122,7 +122,7 @@ func (o *Owner) BucketizedPSI(ctx context.Context, base string) (*BucketPSIResul
 		}
 		qid := o.newSession(fmt.Sprintf("bpsi-L%d", k)).qid
 		table := bucketLevelTable(base, k)
-		req := protocol.PSIRequest{Table: table, QueryID: qid, Cells: frontier}
+		req := protocol.PSIRequest{Table: table, QueryID: qid, Group: o.view.Group, Cells: frontier}
 		replies, err := o.call2(ctx, func(int) any { return req })
 		if err != nil {
 			return nil, err

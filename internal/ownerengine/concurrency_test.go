@@ -173,7 +173,7 @@ func TestSessionQIDsUnique(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			qid := o.newSession("stress").qid
+			qid := o.groups[0].newSession("stress").qid
 			mu.Lock()
 			defer mu.Unlock()
 			if seen[qid] {

@@ -16,7 +16,7 @@ import (
 // minimum (for min), or total (for median — the paper's median example
 // first sums per owner) of column col restricted to tuples at cell.
 // ok is false when the owner has no tuple at the cell.
-func (o *Owner) LocalValue(kind protocol.ExtremeKind, col string, cell uint64) (uint64, bool, error) {
+func (o *engine) LocalValue(kind protocol.ExtremeKind, col string, cell uint64) (uint64, bool, error) {
 	o.mu.Lock()
 	d := o.data
 	o.mu.Unlock()
@@ -53,7 +53,7 @@ func (o *Owner) LocalValue(kind protocol.ExtremeKind, col string, cell uint64) (
 // SubmitExtreme masks this owner's local value with the order-preserving
 // polynomial (v = F(M) + r, r < F(M+1)−F(M)) and sends one additive big
 // share to each additive-share server (§6.3 Step 3).
-func (o *Owner) SubmitExtreme(ctx context.Context, qid string, kind protocol.ExtremeKind, localValue uint64) error {
+func (o *engine) SubmitExtreme(ctx context.Context, qid string, kind protocol.ExtremeKind, localValue uint64) error {
 	if localValue > o.view.MaxAgg {
 		return fmt.Errorf("ownerengine: value %d exceeds declared aggregation bound %d", localValue, o.view.MaxAgg)
 	}
@@ -69,6 +69,7 @@ func (o *Owner) SubmitExtreme(ctx context.Context, qid string, kind protocol.Ext
 			QueryID: qid,
 			Kind:    kind,
 			Owner:   o.Index,
+			Group:   o.view.Group,
 			VShare:  shares[phi].Bytes(),
 		}
 	})
@@ -89,7 +90,7 @@ type ExtremeOutcome struct {
 // FetchExtreme retrieves the announcer's result shares from both servers,
 // reconstructs the masked value(s) mod Q, and binary-searches z with
 // F(z) ≤ v < F(z+1) (§6.3 Step 5a).
-func (o *Owner) FetchExtreme(ctx context.Context, qid string, kind protocol.ExtremeKind) (*ExtremeOutcome, error) {
+func (o *engine) FetchExtreme(ctx context.Context, qid string, kind protocol.ExtremeKind) (*ExtremeOutcome, error) {
 	wall := time.Now()
 	replies, err := o.call2(ctx, func(int) any {
 		return protocol.ExtremeFetchRequest{QueryID: qid}
@@ -150,7 +151,7 @@ func (o *Owner) FetchExtreme(ctx context.Context, qid string, kind protocol.Extr
 // verification): the announced max cannot be below this owner's own
 // value (resp. above, for min). Returns ErrVerificationFailed on
 // inconsistency.
-func (o *Owner) CheckExtremeConsistency(kind protocol.ExtremeKind, announced uint64, localValue uint64, has bool) error {
+func (o *engine) CheckExtremeConsistency(kind protocol.ExtremeKind, announced uint64, localValue uint64, has bool) error {
 	if !has {
 		return nil
 	}
@@ -170,7 +171,7 @@ func (o *Owner) CheckExtremeConsistency(kind protocol.ExtremeKind, announced uin
 // SubmitClaim sends additive shares of α_i = [M_i = z] to both servers
 // (§6.3 Step 5b). Owners without a value at the cell submit α = 0 so the
 // servers observe identical behaviour from every owner.
-func (o *Owner) SubmitClaim(ctx context.Context, qid string, holdsExtreme bool) error {
+func (o *engine) SubmitClaim(ctx context.Context, qid string, holdsExtreme bool) error {
 	var alpha uint64
 	if holdsExtreme {
 		alpha = 1
@@ -179,14 +180,14 @@ func (o *Owner) SubmitClaim(ctx context.Context, qid string, holdsExtreme bool) 
 	shares := share.AdditiveSplit(o.rng, alpha, o.view.Delta, 2)
 	o.mu.Unlock()
 	_, err := o.call2(ctx, func(phi int) any {
-		return protocol.ClaimSubmitRequest{QueryID: qid, Owner: o.Index, Share: shares[phi]}
+		return protocol.ClaimSubmitRequest{QueryID: qid, Owner: o.Index, Group: o.view.Group, Share: shares[phi]}
 	})
 	return err
 }
 
 // FetchClaims retrieves the fpos vectors from both servers and adds them
 // (§6.3 Step 7), yielding the 0/1 ownership vector over owner slots.
-func (o *Owner) FetchClaims(ctx context.Context, qid string) ([]bool, error) {
+func (o *engine) FetchClaims(ctx context.Context, qid string) ([]bool, error) {
 	replies, err := o.call2(ctx, func(int) any {
 		return protocol.ClaimFetchRequest{QueryID: qid}
 	})

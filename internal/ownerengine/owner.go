@@ -80,8 +80,11 @@ type QueryStats struct {
 	Rounds  int
 }
 
-// Owner is one DB owner's protocol engine.
-type Owner struct {
+// engine is one DB owner's per-group protocol engine: it speaks the
+// unchanged PRISM math against exactly one server group's triple over
+// that group's slice of the cell domain. The exported Owner (router.go)
+// owns one engine per group and routes/merges above this layer.
+type engine struct {
 	Index int
 
 	view    *params.OwnerView
@@ -137,7 +140,7 @@ type querySession struct {
 // with the servers); the session PRG is seeded from a second nonce that
 // never leaves the owner, so an observer of the qid cannot reconstruct
 // the query's share randomness.
-func (o *Owner) newSession(prefix string) *querySession {
+func (o *engine) newSession(prefix string) *querySession {
 	o.mu.Lock()
 	n1, n2 := o.rng.Uint64(), o.rng.Uint64()
 	o.mu.Unlock()
@@ -147,22 +150,21 @@ func (o *Owner) newSession(prefix string) *querySession {
 	}
 }
 
-// New builds an owner engine. serverAddrs must have params.NumServers
-// entries; seed drives all share randomness (zero → fresh entropy).
-func New(index int, view *params.OwnerView, caller transport.Caller, serverAddrs []string, seed prg.Seed) (*Owner, error) {
+// newEngine builds a per-group owner engine. serverAddrs must have
+// params.NumServers entries (the group's triple); rngLabel names the
+// PRG stream derived from seed, so the router can keep the historical
+// "owner/<i>" stream for single-group deployments and distinct
+// "owner/<i>/g<g>" streams per group otherwise.
+func newEngine(index int, view *params.OwnerView, caller transport.Caller, serverAddrs []string, seed prg.Seed, rngLabel string) (*engine, error) {
 	if len(serverAddrs) != params.NumServers {
 		return nil, fmt.Errorf("ownerengine: need %d server addresses, got %d", params.NumServers, len(serverAddrs))
 	}
-	var zero prg.Seed
-	if seed == zero {
-		seed = prg.NewSeed()
-	}
-	o := &Owner{
+	o := &engine{
 		Index:      index,
 		view:       view,
 		caller:     caller,
 		servers:    append([]string(nil), serverAddrs...),
-		rng:        prg.New(seed.Derive(fmt.Sprintf("owner/%d", index))),
+		rng:        prg.New(seed.Derive(rngLabel)),
 		tables:     make(map[string]*localTable),
 		bucketMeta: make(map[string]*bucketMeta),
 		w3:         share.LagrangeWeights(3),
@@ -172,10 +174,10 @@ func New(index int, view *params.OwnerView, caller transport.Caller, serverAddrs
 }
 
 // View exposes the owner's parameter view (for orchestration layers).
-func (o *Owner) View() *params.OwnerView { return o.view }
+func (o *engine) View() *params.OwnerView { return o.view }
 
 // Load installs the owner's private tuples.
-func (o *Owner) Load(d *Data) error {
+func (o *engine) Load(d *Data) error {
 	if err := d.Validate(o.view.B, o.view.MaxAgg); err != nil {
 		return err
 	}
@@ -186,7 +188,7 @@ func (o *Owner) Load(d *Data) error {
 }
 
 // Data returns the loaded dataset (owner-local, never shared).
-func (o *Owner) Data() *Data {
+func (o *engine) Data() *Data {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.data
@@ -194,7 +196,7 @@ func (o *Owner) Data() *Data {
 
 // Outsource runs Phase 1 for one table: build χ (and χ̄, aggregate
 // columns per spec), permute, secret-share, and upload to the servers.
-func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStats, error) {
+func (o *engine) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStats, error) {
 	o.mu.Lock()
 	d := o.data
 	o.mu.Unlock()
@@ -287,7 +289,7 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 	var completed [params.NumServers]bool
 	err = o.forEachShard(ctx, p, params.NumServers, func(phi int, rg protocol.Range) any {
 		lo, hi := rg.Offset, rg.End()
-		req := protocol.StoreRequest{Owner: o.Index, Spec: pspec}
+		req := protocol.StoreRequest{Owner: o.Index, Group: o.view.Group, Spec: pspec}
 		if p.wire {
 			req.Shard = rg
 			req.UploadID = uploadID
@@ -351,7 +353,7 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 // a fresh CLI process issuing updates against a recovered deployment).
 // The loaded data must be the pre-update dataset the table was
 // outsourced from, or subsequent deltas will diverge from the base.
-func (o *Owner) AdoptTable(spec OutsourceSpec) error {
+func (o *engine) AdoptTable(spec OutsourceSpec) error {
 	o.mu.Lock()
 	d := o.data
 	o.mu.Unlock()
@@ -386,7 +388,7 @@ func (o *Owner) AdoptTable(spec OutsourceSpec) error {
 }
 
 // localTableFor fetches owner-local table state.
-func (o *Owner) localTableFor(name string) (*localTable, error) {
+func (o *engine) localTableFor(name string) (*localTable, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	t, ok := o.tables[name]
@@ -398,7 +400,7 @@ func (o *Owner) localTableFor(name string) (*localTable, error) {
 
 // call2 issues the same request builder to the two additive-share
 // servers concurrently and returns both replies.
-func (o *Owner) call2(ctx context.Context, build func(phi int) any) ([2]any, error) {
+func (o *engine) call2(ctx context.Context, build func(phi int) any) ([2]any, error) {
 	var out [2]any
 	errs := [2]error{}
 	var wg sync.WaitGroup

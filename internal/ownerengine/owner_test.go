@@ -131,7 +131,7 @@ func TestLocalValueKinds(t *testing.T) {
 
 func TestSubmitExtremeRejectsOverBound(t *testing.T) {
 	r := newRig(t, 2, 8)
-	err := r.owners[0].SubmitExtreme(context.Background(), "q", protocol.KindMax, 1<<40)
+	err := r.owners[0].SubmitExtreme(context.Background(), "q", protocol.KindMax, 0, 1<<40)
 	if err == nil {
 		t.Error("value over MaxAgg accepted")
 	}

@@ -23,7 +23,7 @@ type SetResult struct {
 // enabled the stored-order vector is fetched window by window and the
 // per-cell recombination (Equation 4) folds each window in as its pair
 // of replies arrives, so no whole-domain reply frame ever exists.
-func (o *Owner) PSI(ctx context.Context, table string) (*SetResult, error) {
+func (o *engine) PSI(ctx context.Context, table string) (*SetResult, error) {
 	wall := time.Now()
 	qid := o.newSession("psi").qid
 	b := o.view.B
@@ -33,7 +33,7 @@ func (o *Owner) PSI(ctx context.Context, table string) (*SetResult, error) {
 	stats.Rounds = 1
 	fopStored := make([]uint64, b)
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.PSIRequest{Table: table, QueryID: qid}
+		req := protocol.PSIRequest{Table: table, QueryID: qid, Group: o.view.Group}
 		if p.wire {
 			req.Shard = rg
 		}
@@ -88,7 +88,7 @@ func psiPair(replies []any, rg protocol.Range, stats *QueryStats) ([2][]uint64, 
 // VerifyPSI runs the §5.2 verification round against a prior PSI result:
 // fetch the χ̄-side vectors, recombine, and require r1_i·r2_i ≡ 1 (mod η)
 // at every cell (Equation 10). Returns ErrVerificationFailed on tamper.
-func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) error {
+func (o *engine) VerifyPSI(ctx context.Context, table string, res *SetResult) error {
 	if res == nil || uint64(len(res.fop)) != o.view.B {
 		return fmt.Errorf("ownerengine: VerifyPSI needs the PSI result vector")
 	}
@@ -98,7 +98,7 @@ func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) err
 	p := o.plan(b)
 	r2Stored := make([]uint64, b)
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.PSIVerifyRequest{Table: table, QueryID: qid}
+		req := protocol.PSIVerifyRequest{Table: table, QueryID: qid, Group: o.view.Group}
 		if p.wire {
 			req.Shard = rg
 		}
@@ -139,7 +139,7 @@ func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) err
 }
 
 // PSU runs the §7 protocol and returns the union cells.
-func (o *Owner) PSU(ctx context.Context, table string) (*SetResult, error) {
+func (o *engine) PSU(ctx context.Context, table string) (*SetResult, error) {
 	wall := time.Now()
 	qid := o.newSession("psu").qid
 	b := o.view.B
@@ -149,7 +149,7 @@ func (o *Owner) PSU(ctx context.Context, table string) (*SetResult, error) {
 	stats.Rounds = 1
 	fopStored := make([]uint64, b)
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.PSURequest{Table: table, QueryID: qid}
+		req := protocol.PSURequest{Table: table, QueryID: qid, Group: o.view.Group}
 		if p.wire {
 			req.Shard = rg
 		}
@@ -212,7 +212,7 @@ type CountResult struct {
 // Sharded windows cover the permuted vectors, so counting (and the
 // position-wise verification) folds in per window — a count query never
 // materialises a whole-domain vector on either side of the wire.
-func (o *Owner) Count(ctx context.Context, table string, verify bool) (*CountResult, error) {
+func (o *engine) Count(ctx context.Context, table string, verify bool) (*CountResult, error) {
 	wall := time.Now()
 	qid := o.newSession("count").qid
 	b := o.view.B
@@ -222,7 +222,7 @@ func (o *Owner) Count(ctx context.Context, table string, verify bool) (*CountRes
 	stats.Rounds = 1
 	count := 0
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.CountRequest{Table: table, QueryID: qid, Verify: verify}
+		req := protocol.CountRequest{Table: table, QueryID: qid, Group: o.view.Group, Verify: verify}
 		if p.wire {
 			req.Shard = rg
 		}
@@ -273,7 +273,7 @@ func (o *Owner) Count(ctx context.Context, table string, verify bool) (*CountRes
 
 // PSUCount runs PSU count: PF_s1-permuted masked sums; the owner counts
 // nonzero entries, folding each permuted window in as it arrives.
-func (o *Owner) PSUCount(ctx context.Context, table string) (*CountResult, error) {
+func (o *engine) PSUCount(ctx context.Context, table string) (*CountResult, error) {
 	wall := time.Now()
 	qid := o.newSession("psucount").qid
 	b := o.view.B
@@ -283,7 +283,7 @@ func (o *Owner) PSUCount(ctx context.Context, table string) (*CountResult, error
 	stats.Rounds = 1
 	count := 0
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.PSURequest{Table: table, QueryID: qid, Permute: true}
+		req := protocol.PSURequest{Table: table, QueryID: qid, Group: o.view.Group, Permute: true}
 		if p.wire {
 			req.Shard = rg
 		}

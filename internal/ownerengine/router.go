@@ -1,0 +1,634 @@
+package ownerengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"prism/internal/bucket"
+	"prism/internal/params"
+	"prism/internal/prg"
+	"prism/internal/protocol"
+	"prism/internal/transport"
+)
+
+// Owner is one DB owner. It is a placement/routing layer over one
+// protocol engine per server group: each engine speaks the unchanged
+// PRISM math against its group's S0/S1/S2 triple over that group's
+// contiguous slice [Start, Start+B) of the cell domain. The router
+// splits loaded tuples and query scopes by owning group, fans the
+// per-group exchanges out concurrently, and merges the results back
+// into the global domain — set results concatenate (group slices are
+// contiguous and ascending), counts and aggregates sum, and extreme
+// rounds route whole to the single group owning the queried cell.
+//
+// A single-group Owner (New) delegates everything to its one engine
+// unchanged, including the historical PRG stream labels, so existing
+// deployments and recorded share streams are unaffected.
+type Owner struct {
+	Index int
+
+	groups []*engine
+	starts []uint64 // starts[g] = groups[g].view.Start
+	b      uint64   // total domain size (sum of group Bs)
+}
+
+// GroupConfig describes one server group from an owner's perspective.
+type GroupConfig struct {
+	View    *params.OwnerView // group-scoped view (Group, Start, B set)
+	Servers []string          // the group's params.NumServers server addresses
+}
+
+// New builds a single-group owner. serverAddrs must have
+// params.NumServers entries; seed drives all share randomness
+// (zero → fresh entropy).
+func New(index int, view *params.OwnerView, caller transport.Caller, serverAddrs []string, seed prg.Seed) (*Owner, error) {
+	var zero prg.Seed
+	if seed == zero {
+		seed = prg.NewSeed()
+	}
+	e, err := newEngine(index, view, caller, serverAddrs, seed, fmt.Sprintf("owner/%d", index))
+	if err != nil {
+		return nil, err
+	}
+	return &Owner{Index: index, groups: []*engine{e}, starts: []uint64{view.Start}, b: view.B}, nil
+}
+
+// NewMulti builds an owner spanning several server groups. Group views
+// must cover the domain contiguously in group order (group g starts
+// where group g−1 ends); seed is resolved once so every group's engine
+// draws from streams derived from the same root (zero → fresh entropy).
+func NewMulti(index int, groups []GroupConfig, caller transport.Caller, seed prg.Seed) (*Owner, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("ownerengine: NewMulti needs at least one group")
+	}
+	if len(groups) == 1 {
+		return New(index, groups[0].View, caller, groups[0].Servers, seed)
+	}
+	var zero prg.Seed
+	if seed == zero {
+		seed = prg.NewSeed()
+	}
+	o := &Owner{Index: index}
+	var next uint64
+	for g, gc := range groups {
+		v := gc.View
+		if v.Group != g {
+			return nil, fmt.Errorf("ownerengine: group %d view is labelled group %d", g, v.Group)
+		}
+		if v.Start != next {
+			return nil, fmt.Errorf("ownerengine: group %d starts at cell %d, want %d (groups must tile the domain)", g, v.Start, next)
+		}
+		e, err := newEngine(index, v, caller, gc.Servers, seed, fmt.Sprintf("owner/%d/g%d", index, g))
+		if err != nil {
+			return nil, fmt.Errorf("ownerengine: group %d: %w", g, err)
+		}
+		o.groups = append(o.groups, e)
+		o.starts = append(o.starts, v.Start)
+		next = v.Start + v.B
+	}
+	o.b = next
+	return o, nil
+}
+
+// NumGroups reports how many server groups this owner spans.
+func (o *Owner) NumGroups() int { return len(o.groups) }
+
+// DomainB is the total cell-domain size across all groups.
+func (o *Owner) DomainB() uint64 { return o.b }
+
+// View exposes the group-0 parameter view. All cryptographic material
+// that must be deployment-global (Poly, Q, PF, MaxAgg, Delta, M) is
+// identical across groups, so group 0's copy answers for all of them;
+// domain fields (B, Start) are group-scoped — use DomainB for the
+// global size.
+func (o *Owner) View() *params.OwnerView { return o.groups[0].View() }
+
+// GroupView exposes group g's parameter view.
+func (o *Owner) GroupView(g int) *params.OwnerView { return o.groups[g].View() }
+
+// groupOf locates the group owning a global cell.
+func (o *Owner) groupOf(cell uint64) (int, error) {
+	if cell >= o.b {
+		return 0, fmt.Errorf("ownerengine: cell %d outside domain of %d cells", cell, o.b)
+	}
+	for g := len(o.groups) - 1; g > 0; g-- {
+		if cell >= o.starts[g] {
+			return g, nil
+		}
+	}
+	return 0, nil
+}
+
+// groupErr tags an error with the group it came from, so a dead or
+// misbehaving group is identifiable from a merged multi-group failure.
+// Single-group owners return engine errors verbatim.
+func (o *Owner) groupErr(g int, err error) error {
+	if err == nil || len(o.groups) == 1 {
+		return err
+	}
+	return fmt.Errorf("group %d: %w", g, err)
+}
+
+// eachGroup runs fn for every listed group concurrently and joins the
+// group-tagged errors.
+func (o *Owner) eachGroup(sel []int, fn func(g int) error) error {
+	if len(sel) == 1 {
+		return o.groupErr(sel[0], fn(sel[0]))
+	}
+	errs := make([]error, len(sel))
+	var wg sync.WaitGroup
+	for k, g := range sel {
+		wg.Add(1)
+		go func(k, g int) {
+			defer wg.Done()
+			errs[k] = o.groupErr(g, fn(g))
+		}(k, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (o *Owner) allGroups() []int {
+	sel := make([]int, len(o.groups))
+	for g := range sel {
+		sel[g] = g
+	}
+	return sel
+}
+
+// splitData partitions a global dataset into per-group datasets with
+// group-local cell indices. Every group receives a dataset (possibly
+// empty) carrying every aggregation column, so per-group engines answer
+// column lookups uniformly. A nil dataset splits into nils.
+func (o *Owner) splitData(d *Data) ([]*Data, error) {
+	parts := make([]*Data, len(o.groups))
+	if d == nil {
+		return parts, nil
+	}
+	for g := range parts {
+		p := &Data{Cells: []uint64{}}
+		if d.Aggs != nil {
+			p.Aggs = make(map[string][]uint64, len(d.Aggs))
+			for col := range d.Aggs {
+				p.Aggs[col] = []uint64{}
+			}
+		}
+		parts[g] = p
+	}
+	for i, c := range d.Cells {
+		g, err := o.groupOf(c)
+		if err != nil {
+			return nil, err
+		}
+		p := parts[g]
+		p.Cells = append(p.Cells, c-o.starts[g])
+		for col, vs := range d.Aggs {
+			p.Aggs[col] = append(p.Aggs[col], vs[i])
+		}
+	}
+	return parts, nil
+}
+
+// Load installs the owner's private tuples, splitting them across
+// groups by owning cell range.
+func (o *Owner) Load(d *Data) error {
+	if len(o.groups) == 1 {
+		return o.groups[0].Load(d)
+	}
+	if err := d.Validate(o.b, o.View().MaxAgg); err != nil {
+		return err
+	}
+	parts, err := o.splitData(d)
+	if err != nil {
+		return err
+	}
+	for g, e := range o.groups {
+		if err := e.Load(parts[g]); err != nil {
+			return o.groupErr(g, err)
+		}
+	}
+	return nil
+}
+
+// Data returns the loaded dataset (owner-local, never shared). For a
+// multi-group owner the tuples come back grouped by owning group in
+// ascending group order; the original interleaving is not preserved.
+func (o *Owner) Data() *Data {
+	if len(o.groups) == 1 {
+		return o.groups[0].Data()
+	}
+	out := &Data{}
+	for g, e := range o.groups {
+		d := e.Data()
+		if d == nil {
+			continue
+		}
+		for _, c := range d.Cells {
+			out.Cells = append(out.Cells, c+o.starts[g])
+		}
+		for col, vs := range d.Aggs {
+			if out.Aggs == nil {
+				out.Aggs = make(map[string][]uint64)
+			}
+			out.Aggs[col] = append(out.Aggs[col], vs...)
+		}
+	}
+	return out
+}
+
+// Outsource runs Phase 1 against every group concurrently. Stats sum
+// across groups (total work, not wall time).
+func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStats, error) {
+	if len(o.groups) == 1 {
+		return o.groups[0].Outsource(ctx, spec)
+	}
+	var mu sync.Mutex
+	var total ShareGenStats
+	err := o.eachGroup(o.allGroups(), func(g int) error {
+		st, err := o.groups[g].Outsource(ctx, spec)
+		mu.Lock()
+		total.BuildNS += st.BuildNS
+		total.SplitNS += st.SplitNS
+		total.UploadNS += st.UploadNS
+		total.Cells += st.Cells
+		mu.Unlock()
+		return err
+	})
+	return total, err
+}
+
+// AdoptTable rebuilds owner-local update state for an already-served
+// table in every group.
+func (o *Owner) AdoptTable(spec OutsourceSpec) error {
+	for g, e := range o.groups {
+		if err := e.AdoptTable(spec); err != nil {
+			return o.groupErr(g, err)
+		}
+	}
+	return nil
+}
+
+// SetShardCells bounds every per-group exchange's window size.
+func (o *Owner) SetShardCells(n uint64) {
+	for _, e := range o.groups {
+		e.SetShardCells(n)
+	}
+}
+
+// ShardCells reports the configured window size.
+func (o *Owner) ShardCells() uint64 { return o.groups[0].ShardCells() }
+
+// mergeQueryStats folds one group's query stats into a global result's.
+// Server work and owner CPU sum; rounds take the maximum since the
+// groups' rounds run concurrently.
+func mergeQueryStats(dst *QueryStats, src QueryStats) {
+	dst.Server.Add(src.Server)
+	dst.OwnerNS += src.OwnerNS
+	if src.Rounds > dst.Rounds {
+		dst.Rounds = src.Rounds
+	}
+}
+
+// setQuery fans one set-result query (PSI or PSU) out to every group
+// and reassembles the global result: per-group fop vectors concatenate
+// into the global natural-order vector (group slices are contiguous and
+// ascending) and result cells shift by their group's start.
+func (o *Owner) setQuery(ctx context.Context, run func(e *engine) (*SetResult, error)) (*SetResult, error) {
+	if len(o.groups) == 1 {
+		return run(o.groups[0])
+	}
+	subs := make([]*SetResult, len(o.groups))
+	err := o.eachGroup(o.allGroups(), func(g int) error {
+		res, err := run(o.groups[g])
+		subs[g] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SetResult{fop: make([]uint64, 0, o.b)}
+	for g, sub := range subs {
+		for _, c := range sub.Cells {
+			out.Cells = append(out.Cells, c+o.starts[g])
+		}
+		out.fop = append(out.fop, sub.fop...)
+		mergeQueryStats(&out.Stats, sub.Stats)
+		if sub.Stats.WallNS > out.Stats.WallNS {
+			out.Stats.WallNS = sub.Stats.WallNS
+		}
+	}
+	return out, nil
+}
+
+// PSI runs the intersection query across all groups.
+func (o *Owner) PSI(ctx context.Context, table string) (*SetResult, error) {
+	return o.setQuery(ctx, func(e *engine) (*SetResult, error) { return e.PSI(ctx, table) })
+}
+
+// PSU runs the union query across all groups.
+func (o *Owner) PSU(ctx context.Context, table string) (*SetResult, error) {
+	return o.setQuery(ctx, func(e *engine) (*SetResult, error) { return e.PSU(ctx, table) })
+}
+
+// VerifyPSI runs the verification round in every group against the
+// group's slice of the global fop vector.
+func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) error {
+	if len(o.groups) == 1 {
+		return o.groups[0].VerifyPSI(ctx, table, res)
+	}
+	if res == nil || uint64(len(res.fop)) != o.b {
+		return fmt.Errorf("ownerengine: VerifyPSI needs the PSI result vector")
+	}
+	subs := make([]*SetResult, len(o.groups))
+	err := o.eachGroup(o.allGroups(), func(g int) error {
+		e := o.groups[g]
+		sub := &SetResult{fop: res.fop[o.starts[g] : o.starts[g]+e.view.B]}
+		subs[g] = sub
+		return e.VerifyPSI(ctx, table, sub)
+	})
+	if err != nil {
+		return err
+	}
+	for _, sub := range subs {
+		res.Stats.Server.Add(sub.Stats.Server)
+		res.Stats.OwnerNS += sub.Stats.OwnerNS
+	}
+	res.Stats.Rounds++
+	return nil
+}
+
+// countQuery fans a scalar-count query out to every group and sums.
+func (o *Owner) countQuery(ctx context.Context, run func(e *engine) (*CountResult, error)) (*CountResult, error) {
+	if len(o.groups) == 1 {
+		return run(o.groups[0])
+	}
+	subs := make([]*CountResult, len(o.groups))
+	err := o.eachGroup(o.allGroups(), func(g int) error {
+		res, err := run(o.groups[g])
+		subs[g] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &CountResult{}
+	for _, sub := range subs {
+		out.Count += sub.Count
+		mergeQueryStats(&out.Stats, sub.Stats)
+		if sub.Stats.WallNS > out.Stats.WallNS {
+			out.Stats.WallNS = sub.Stats.WallNS
+		}
+	}
+	return out, nil
+}
+
+// Count runs PSI count across all groups and sums the cardinalities.
+func (o *Owner) Count(ctx context.Context, table string, verify bool) (*CountResult, error) {
+	return o.countQuery(ctx, func(e *engine) (*CountResult, error) { return e.Count(ctx, table, verify) })
+}
+
+// PSUCount runs PSU count across all groups and sums the cardinalities.
+func (o *Owner) PSUCount(ctx context.Context, table string) (*CountResult, error) {
+	return o.countQuery(ctx, func(e *engine) (*CountResult, error) { return e.PSUCount(ctx, table) })
+}
+
+// Aggregate splits the selected cells by owning group, runs the
+// aggregation in every involved group concurrently, and re-keys the
+// per-cell results back into the global domain.
+func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, cols []string, withCount, verify bool) (*AggResult, error) {
+	if len(o.groups) == 1 {
+		return o.groups[0].Aggregate(ctx, table, selected, cols, withCount, verify)
+	}
+	perGroup := make([][]uint64, len(o.groups))
+	for _, c := range selected {
+		g, err := o.groupOf(c)
+		if err != nil {
+			return nil, fmt.Errorf("ownerengine: selected cell %d out of range", c)
+		}
+		perGroup[g] = append(perGroup[g], c-o.starts[g])
+	}
+	var sel []int
+	for g := range o.groups {
+		if len(perGroup[g]) > 0 {
+			sel = append(sel, g)
+		}
+	}
+	if len(sel) == 0 {
+		// No selected cells: run in group 0 so table-existence errors and
+		// the empty-result shape match the single-group behaviour.
+		sel = []int{0}
+	}
+	subs := make([]*AggResult, len(o.groups))
+	err := o.eachGroup(sel, func(g int) error {
+		res, err := o.groups[g].Aggregate(ctx, table, perGroup[g], cols, withCount, verify)
+		subs[g] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AggResult{Sums: make(map[string]map[uint64]uint64)}
+	if withCount {
+		out.Counts = make(map[uint64]uint64)
+	}
+	for g, sub := range subs {
+		if sub == nil {
+			continue
+		}
+		for col, m := range sub.Sums {
+			if out.Sums[col] == nil {
+				out.Sums[col] = make(map[uint64]uint64, len(m))
+			}
+			for c, v := range m {
+				out.Sums[col][c+o.starts[g]] = v
+			}
+		}
+		for c, v := range sub.Counts {
+			if out.Counts == nil {
+				out.Counts = make(map[uint64]uint64)
+			}
+			out.Counts[c+o.starts[g]] = v
+		}
+		mergeQueryStats(&out.Stats, sub.Stats)
+		if sub.Stats.WallNS > out.Stats.WallNS {
+			out.Stats.WallNS = sub.Stats.WallNS
+		}
+	}
+	return out, nil
+}
+
+// Update applies a tuple-set change, splitting the added and removed
+// tuples by owning group and shipping deltas only to groups whose slice
+// actually changed.
+func (o *Owner) Update(ctx context.Context, table string, add, remove *Data) (UpdateStats, error) {
+	if len(o.groups) == 1 {
+		return o.groups[0].Update(ctx, table, add, remove)
+	}
+	addParts, err := o.splitData(add)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	remParts, err := o.splitData(remove)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	var sel []int
+	for g := range o.groups {
+		if (addParts[g] != nil && len(addParts[g].Cells) > 0) || (remParts[g] != nil && len(remParts[g].Cells) > 0) {
+			sel = append(sel, g)
+		}
+	}
+	if len(sel) == 0 {
+		// Nothing to apply anywhere: run in group 0 so unknown-table and
+		// not-adopted errors still surface exactly as before.
+		sel = []int{0}
+	}
+	var mu sync.Mutex
+	var total UpdateStats
+	total.FastPath = true
+	err = o.eachGroup(sel, func(g int) error {
+		st, err := o.groups[g].Update(ctx, table, addParts[g], remParts[g])
+		mu.Lock()
+		total.BuildNS += st.BuildNS
+		total.SplitNS += st.SplitNS
+		total.UploadNS += st.UploadNS
+		total.Cells += st.Cells
+		total.Windows += st.Windows
+		total.FastPath = total.FastPath && st.FastPath
+		mu.Unlock()
+		return err
+	})
+	return total, err
+}
+
+// LocalValue computes this owner's private per-cell statistic, routed
+// to the group owning the cell.
+func (o *Owner) LocalValue(kind protocol.ExtremeKind, col string, cell uint64) (uint64, bool, error) {
+	g, err := o.groupOf(cell)
+	if err != nil {
+		return 0, false, err
+	}
+	return o.groups[g].LocalValue(kind, col, cell-o.starts[g])
+}
+
+// SubmitExtreme masks and submits this owner's local value for the
+// extreme round at cell; the round runs entirely within the group
+// owning the cell.
+func (o *Owner) SubmitExtreme(ctx context.Context, qid string, kind protocol.ExtremeKind, cell uint64, localValue uint64) error {
+	g, err := o.groupOf(cell)
+	if err != nil {
+		return err
+	}
+	return o.groupErr(g, o.groups[g].SubmitExtreme(ctx, qid, kind, localValue))
+}
+
+// FetchExtreme retrieves and unmasks the announcer's per-round result
+// through the group owning the cell.
+func (o *Owner) FetchExtreme(ctx context.Context, qid string, kind protocol.ExtremeKind, cell uint64) (*ExtremeOutcome, error) {
+	g, err := o.groupOf(cell)
+	if err != nil {
+		return nil, err
+	}
+	out, err := o.groups[g].FetchExtreme(ctx, qid, kind)
+	return out, o.groupErr(g, err)
+}
+
+// CheckExtremeConsistency is the owner's local sanity check of an
+// announced extreme (pure local math; no routing involved).
+func (o *Owner) CheckExtremeConsistency(kind protocol.ExtremeKind, announced uint64, localValue uint64, has bool) error {
+	return o.groups[0].CheckExtremeConsistency(kind, announced, localValue, has)
+}
+
+// SubmitClaim submits this owner's claim share for the extreme round at
+// cell, routed to the group owning the cell.
+func (o *Owner) SubmitClaim(ctx context.Context, qid string, cell uint64, holdsExtreme bool) error {
+	g, err := o.groupOf(cell)
+	if err != nil {
+		return err
+	}
+	return o.groupErr(g, o.groups[g].SubmitClaim(ctx, qid, holdsExtreme))
+}
+
+// FetchClaims retrieves the ownership vector for the extreme round at
+// cell, routed to the group owning the cell.
+func (o *Owner) FetchClaims(ctx context.Context, qid string, cell uint64) ([]bool, error) {
+	g, err := o.groupOf(cell)
+	if err != nil {
+		return nil, err
+	}
+	out, err := o.groups[g].FetchClaims(ctx, qid)
+	return out, o.groupErr(g, err)
+}
+
+// DecodeReducedExtreme unmasks the masked values of a cross-group
+// extreme reduce reply (protocol.ExtremeReduceReply.Values): the
+// announcer compares and returns the same order-preserving masked
+// points it announces per round — F is deployment-global, so group-0's
+// polynomial unmasks values from any group's round.
+func (o *Owner) DecodeReducedExtreme(kind protocol.ExtremeKind, values [][]byte) ([]uint64, error) {
+	v := o.groups[0].view
+	out := make([]uint64, 0, len(values))
+	for _, vb := range values {
+		z, err := v.Poly.SearchZ(new(big.Int).SetBytes(vb), v.MaxAgg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: reduced value not in F's image: %v", ErrVerificationFailed, err)
+		}
+		out = append(out, z)
+	}
+	return out, nil
+}
+
+// ListTables asks group 0's servers for their table inventories.
+func (o *Owner) ListTables(ctx context.Context) ([][]protocol.TableStatus, error) {
+	return o.groups[0].ListTables(ctx)
+}
+
+// ListTablesGroup asks group g's servers for their table inventories.
+func (o *Owner) ListTablesGroup(ctx context.Context, g int) ([][]protocol.TableStatus, error) {
+	if g < 0 || g >= len(o.groups) {
+		return nil, fmt.Errorf("ownerengine: no group %d (have %d)", g, len(o.groups))
+	}
+	out, err := o.groups[g].ListTables(ctx)
+	return out, o.groupErr(g, err)
+}
+
+// TableServed reports whether every group's three servers fully serve
+// the table. The returned statuses describe group 0 (the historical
+// single-group shape).
+func (o *Owner) TableServed(ctx context.Context, table string) (bool, []*protocol.TableStatus, error) {
+	ok, sts, err := o.groups[0].TableServed(ctx, table)
+	if err != nil || !ok || len(o.groups) == 1 {
+		return ok, sts, err
+	}
+	for g := 1; g < len(o.groups); g++ {
+		gok, _, err := o.groups[g].TableServed(ctx, table)
+		if err != nil {
+			return false, sts, o.groupErr(g, err)
+		}
+		if !gok {
+			return false, sts, nil
+		}
+	}
+	return true, sts, nil
+}
+
+// OutsourceBucketTree outsources a bucketized-PSI tree. Bucket trees
+// index the whole domain at group-agnostic fanouts, so the protocol is
+// restricted to single-group deployments.
+func (o *Owner) OutsourceBucketTree(ctx context.Context, base string, tree *bucket.Tree) error {
+	if len(o.groups) != 1 {
+		return errors.New("ownerengine: bucketized PSI requires a single-group deployment")
+	}
+	return o.groups[0].OutsourceBucketTree(ctx, base, tree)
+}
+
+// BucketizedPSI runs the bucketized intersection (single-group only).
+func (o *Owner) BucketizedPSI(ctx context.Context, base string) (*BucketPSIResult, error) {
+	if len(o.groups) != 1 {
+		return nil, errors.New("ownerengine: bucketized PSI requires a single-group deployment")
+	}
+	return o.groups[0].BucketizedPSI(ctx, base)
+}

@@ -23,10 +23,10 @@ const defaultShardInflight = 8
 // monolithic one-frame-per-exchange wire behaviour. Safe to call
 // concurrently with queries; in-flight queries keep the plan they
 // started with.
-func (o *Owner) SetShardCells(n uint64) { o.shardCells.Store(n) }
+func (o *engine) SetShardCells(n uint64) { o.shardCells.Store(n) }
 
 // ShardCells reports the current shard size (0 = monolithic).
-func (o *Owner) ShardCells() uint64 { return o.shardCells.Load() }
+func (o *engine) ShardCells() uint64 { return o.shardCells.Load() }
 
 // shardPlan is the frame decomposition of one O(b) exchange.
 type shardPlan struct {
@@ -38,7 +38,7 @@ type shardPlan struct {
 // single whole-domain range with wire=false, so requests carry a zero
 // Shard field — which gob omits, preserving the pre-sharding message
 // payloads and one-frame-per-exchange behaviour.
-func (o *Owner) plan(b uint64) shardPlan {
+func (o *engine) plan(b uint64) shardPlan {
 	s := o.shardCells.Load()
 	if s == 0 || b == 0 {
 		return shardPlan{ranges: []protocol.Range{{Offset: 0, Count: b}}}
@@ -68,7 +68,7 @@ func (o *Owner) plan(b uint64) shardPlan {
 // The first error (a failed call, a failed merge, or the caller's
 // context dying) cancels the remaining shard exchanges and is returned
 // after all in-flight work has drained.
-func (o *Owner) forEachShard(ctx context.Context, p shardPlan, nsrv int, build func(phi int, rg protocol.Range) any, merge func(rg protocol.Range, replies []any) error) error {
+func (o *engine) forEachShard(ctx context.Context, p shardPlan, nsrv int, build func(phi int, rg protocol.Range) any, merge func(rg protocol.Range, replies []any) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	sem := make(chan struct{}, defaultShardInflight)

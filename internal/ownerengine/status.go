@@ -17,7 +17,7 @@ import (
 // manifests answers without any re-outsourcing, and the per-table epoch
 // lets a probe distinguish "still the registration I made" from
 // "re-registered since".
-func (o *Owner) ListTables(ctx context.Context) ([][]protocol.TableStatus, error) {
+func (o *engine) ListTables(ctx context.Context) ([][]protocol.TableStatus, error) {
 	out := make([][]protocol.TableStatus, params.NumServers)
 	errs := make([]error, params.NumServers)
 	var wg sync.WaitGroup
@@ -46,7 +46,7 @@ func (o *Owner) ListTables(ctx context.Context) ([][]protocol.TableStatus, error
 // all m owners registered — the cheap "can I query right now?" probe.
 // It returns the table's status per server (nil entries for servers not
 // serving it) alongside the verdict.
-func (o *Owner) TableServed(ctx context.Context, table string) (bool, []*protocol.TableStatus, error) {
+func (o *engine) TableServed(ctx context.Context, table string) (bool, []*protocol.TableStatus, error) {
 	lists, err := o.ListTables(ctx)
 	if err != nil {
 		return false, nil, err

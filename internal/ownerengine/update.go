@@ -30,6 +30,10 @@ type UpdateStats struct {
 	UploadNS int64 // delta-window transport
 	Cells    uint64
 	Windows  int // delta windows actually shipped (empty ones are skipped)
+	// FastPath reports that the append-only fold ran: with no removals
+	// the O(n) removal-match scan and the kept-tuple rebuild are skipped
+	// and the adds fold in by direct append.
+	FastPath bool
 }
 
 // Update applies a tuple-set change to an outsourced table: add and
@@ -40,7 +44,7 @@ type UpdateStats struct {
 // state such as exemplary-aggregation values is computed from) and the
 // retained table state are folded forward, then only the changed cells
 // are re-shared and shipped to the servers.
-func (o *Owner) Update(ctx context.Context, table string, add, remove *Data) (UpdateStats, error) {
+func (o *engine) Update(ctx context.Context, table string, add, remove *Data) (UpdateStats, error) {
 	var stats UpdateStats
 	t, err := o.localTableFor(table)
 	if err != nil {
@@ -89,8 +93,31 @@ func (o *Owner) Update(ctx context.Context, table string, add, remove *Data) (Up
 			}
 		}
 	}
-	taken := make(map[int]bool)
-	if remove != nil {
+	// Append-only fast path: with no removals there is nothing to match
+	// against the loaded tuples, so skip the O(n·r) scan and the
+	// kept-tuple rebuild entirely and fold the adds in by appending to
+	// the existing parallel arrays. The three-index slice expressions cap
+	// capacity at the current length, forcing the appends to copy — the
+	// old Data snapshot stays intact for in-flight queries.
+	var nd *Data
+	if remove == nil || len(remove.Cells) == 0 {
+		stats.FastPath = true
+		nd = &Data{
+			Cells: d.Cells[:len(d.Cells):len(d.Cells)],
+			Aggs:  make(map[string][]uint64, len(d.Aggs)),
+		}
+		if add != nil {
+			nd.Cells = append(nd.Cells, add.Cells...)
+		}
+		for col, vs := range d.Aggs {
+			kept := vs[:len(vs):len(vs)]
+			if add != nil {
+				kept = append(kept, add.Aggs[col]...)
+			}
+			nd.Aggs[col] = kept
+		}
+	} else {
+		taken := make(map[int]bool)
 		for i, c := range remove.Cells {
 			found := -1
 			for j, dc := range d.Cells {
@@ -114,29 +141,29 @@ func (o *Owner) Update(ctx context.Context, table string, add, remove *Data) (Up
 			}
 			taken[found] = true
 		}
-	}
-	// Fold the dataset copy-on-write: in-flight queries iterating the
-	// old Data keep a consistent snapshot.
-	nd := &Data{Aggs: make(map[string][]uint64, len(d.Aggs))}
-	for j, c := range d.Cells {
-		if !taken[j] {
-			nd.Cells = append(nd.Cells, c)
-		}
-	}
-	if add != nil {
-		nd.Cells = append(nd.Cells, add.Cells...)
-	}
-	for col, vs := range d.Aggs {
-		kept := make([]uint64, 0, len(nd.Cells))
-		for j := range d.Cells {
+		// Fold the dataset copy-on-write: in-flight queries iterating the
+		// old Data keep a consistent snapshot.
+		nd = &Data{Aggs: make(map[string][]uint64, len(d.Aggs))}
+		for j, c := range d.Cells {
 			if !taken[j] {
-				kept = append(kept, vs[j])
+				nd.Cells = append(nd.Cells, c)
 			}
 		}
 		if add != nil {
-			kept = append(kept, add.Aggs[col]...)
+			nd.Cells = append(nd.Cells, add.Cells...)
 		}
-		nd.Aggs[col] = kept
+		for col, vs := range d.Aggs {
+			kept := make([]uint64, 0, len(nd.Cells))
+			for j := range d.Cells {
+				if !taken[j] {
+					kept = append(kept, vs[j])
+				}
+			}
+			if add != nil {
+				kept = append(kept, add.Aggs[col]...)
+			}
+			nd.Aggs[col] = kept
+		}
 	}
 
 	// Guard the retained table state separately: if the loaded dataset
@@ -297,7 +324,7 @@ func (o *Owner) Update(ctx context.Context, table string, add, remove *Data) (Up
 	stats.Windows = len(live.ranges)
 	total := 0
 	err = o.forEachShard(ctx, live, params.NumServers, func(phi int, rg protocol.Range) any {
-		req := protocol.StoreDeltaRequest{Owner: o.Index, Table: table}
+		req := protocol.StoreDeltaRequest{Owner: o.Index, Group: o.view.Group, Table: table}
 		if p.wire {
 			req.Shard = rg
 		}

@@ -40,6 +40,14 @@ type Config struct {
 
 // System is the initiator's complete view. It is never shipped to any
 // other entity; use the For* methods to derive entity views.
+//
+// In a multi-group deployment (GenerateGroups) each group has its own
+// System over its slice of the natural domain: B is the group's cell
+// count, Group its index and Start its first natural cell. The
+// protocol-wide parameters (δ, η, η′, g, α, m-shares, PF, F(x), Q, the
+// PSU seed) are identical across groups — they derive from the same
+// master seed — so owners can compare masked values across groups and
+// the single shared announcer serves every group.
 type System struct {
 	M        int
 	B        uint64
@@ -48,6 +56,9 @@ type System struct {
 	EtaPrime uint64
 	G        uint64
 	Alpha    uint64
+
+	Group int    // server-group index (0 in single-group deployments)
+	Start uint64 // first natural domain cell owned by this group
 
 	MShares [2]uint16 // additive shares of m for S1, S2 (§4: "provides additive shares of m to servers")
 
@@ -65,15 +76,23 @@ var zeroSeed prg.Seed
 
 // Generate runs the initiator. Deterministic given a non-zero Config.Seed.
 func Generate(cfg Config) (*System, error) {
+	seed := cfg.Seed
+	if seed == zeroSeed {
+		seed = prg.NewSeed()
+	}
+	return generate(cfg, seed, "quad")
+}
+
+// generate is Generate with the master seed resolved and the quad
+// derivation label explicit, so multi-group generation can give each
+// group its own cell permutations while every seed-derived
+// protocol-wide parameter stays shared.
+func generate(cfg Config, seed prg.Seed, quadLabel string) (*System, error) {
 	if cfg.NumOwners < 2 {
 		return nil, errors.New("params: need at least 2 DB owners")
 	}
 	if cfg.DomainSize == 0 {
 		return nil, errors.New("params: domain size must be positive")
-	}
-	seed := cfg.Seed
-	if seed == zeroSeed {
-		seed = prg.NewSeed()
 	}
 	delta := cfg.Delta
 	if delta == 0 {
@@ -118,7 +137,7 @@ func Generate(cfg Config) (*System, error) {
 	if cfg.DomainSize > 1<<31 {
 		return nil, errors.New("params: domain too large for uint32 permutations")
 	}
-	quad, err := perm.NewQuad(prg.New(seed.Derive("quad")), int(cfg.DomainSize))
+	quad, err := perm.NewQuad(prg.New(seed.Derive(quadLabel)), int(cfg.DomainSize))
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +183,67 @@ func Generate(cfg Config) (*System, error) {
 	}, nil
 }
 
+// MultiSystem is the initiator's view of a multi-group deployment: the
+// natural domain [0, DomainSize) partitioned into contiguous ranges,
+// one independent S0/S1/S2 group per range.
+type MultiSystem struct {
+	Groups []*System // Groups[g].B cells starting at Groups[g].Start
+}
+
+// GenerateGroups partitions cfg.DomainSize across n server groups and
+// runs the initiator once per group. Group g receives a contiguous
+// range of ⌈b/n⌉ or ⌊b/n⌋ cells; protocol-wide parameters are shared
+// (see System). n ≤ 1 degenerates to exactly Generate's single-group
+// output, including its seed-derivation labels.
+func GenerateGroups(cfg Config, n int) (*MultiSystem, error) {
+	seed := cfg.Seed
+	if seed == zeroSeed {
+		seed = prg.NewSeed()
+	}
+	if n <= 1 {
+		sys, err := generate(cfg, seed, "quad")
+		if err != nil {
+			return nil, err
+		}
+		return &MultiSystem{Groups: []*System{sys}}, nil
+	}
+	if uint64(n) > cfg.DomainSize {
+		return nil, fmt.Errorf("params: %d groups over a %d-cell domain", n, cfg.DomainSize)
+	}
+	ms := &MultiSystem{Groups: make([]*System, n)}
+	base, rem := cfg.DomainSize/uint64(n), cfg.DomainSize%uint64(n)
+	start := uint64(0)
+	for g := 0; g < n; g++ {
+		count := base
+		if uint64(g) < rem {
+			count++
+		}
+		sub := cfg
+		sub.DomainSize = count
+		sys, err := generate(sub, seed, fmt.Sprintf("quad/g%d", g))
+		if err != nil {
+			return nil, fmt.Errorf("params: group %d: %w", g, err)
+		}
+		sys.Group, sys.Start = g, start
+		ms.Groups[g] = sys
+		start += count
+	}
+	return ms, nil
+}
+
+// NumGroups reports the group count.
+func (ms *MultiSystem) NumGroups() int { return len(ms.Groups) }
+
+// GroupOf returns the index of the group owning a natural domain cell.
+func (ms *MultiSystem) GroupOf(cell uint64) int {
+	for g, sys := range ms.Groups {
+		if cell >= sys.Start && cell < sys.Start+sys.B {
+			return g
+		}
+	}
+	return -1
+}
+
 // nextBigPrime returns the smallest probable prime > n.
 func nextBigPrime(n *big.Int) (*big.Int, error) {
 	p := new(big.Int).Add(n, big.NewInt(1))
@@ -180,7 +260,10 @@ func nextBigPrime(n *big.Int) (*big.Int, error) {
 	return nil, errors.New("params: prime search exhausted")
 }
 
-// OwnerView is what every DB owner receives from the initiator.
+// OwnerView is what every DB owner receives from the initiator. In a
+// multi-group deployment the owner holds one view per group; Group and
+// Start locate the view's cell range in the natural domain (both zero
+// for single-group deployments and pre-multi-group view files).
 type OwnerView struct {
 	M      int
 	B      uint64
@@ -192,9 +275,13 @@ type OwnerView struct {
 	Poly   *opoly.Poly
 	Q      *big.Int
 	MaxAgg uint64
+	Group  int
+	Start  uint64
 }
 
-// ServerView is what server φ (0-based index) receives.
+// ServerView is what server φ (0-based index) receives. Group is the
+// server group the view belongs to (zero for single-group deployments
+// and pre-multi-group view files).
 type ServerView struct {
 	Index    int // 0, 1, 2
 	M        int
@@ -207,6 +294,8 @@ type ServerView struct {
 	S2       perm.Perm
 	PF       perm.Perm
 	PSUSeed  prg.Seed
+	Group    int
+	Start    uint64
 }
 
 // AnnouncerView is what the announcer S_a receives (§4: "knows δ" plus
@@ -223,6 +312,7 @@ func (s *System) ForOwner() *OwnerView {
 		M: s.M, B: s.B, Delta: s.Delta, Eta: s.Eta,
 		DB1: s.Quad.DB1, DB2: s.Quad.DB2, PF: s.PF,
 		Poly: s.Poly, Q: s.Q, MaxAgg: s.MaxAgg,
+		Group: s.Group, Start: s.Start,
 	}
 }
 
@@ -236,6 +326,7 @@ func (s *System) ForServer(phi int) (*ServerView, error) {
 		EtaPrime: s.EtaPrime, G: s.G,
 		S1: s.Quad.S1, S2: s.Quad.S2, PF: s.PF,
 		PSUSeed: s.PSUSeed,
+		Group:   s.Group, Start: s.Start,
 	}
 	if phi < 2 {
 		v.MShare = s.MShares[phi]

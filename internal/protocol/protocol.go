@@ -86,6 +86,7 @@ func (s *Stats) Add(s2 Stats) {
 // arrived, so queries never observe a half-uploaded epoch.
 type StoreRequest struct {
 	Owner int
+	Group int // target server group (0 in single-group deployments)
 	Spec  TableSpec
 	Shard Range // zero → whole table in one frame
 	// UploadID identifies one sharded upload attempt. Owners mint ids of
@@ -133,6 +134,7 @@ type StoreReply struct{ Cells uint64 }
 // size exactly like sharded Store uploads.
 type StoreDeltaRequest struct {
 	Owner int
+	Group int // target server group
 	Table string
 	Shard Range // zero → positions may span the whole domain
 
@@ -171,6 +173,7 @@ type DropReply struct{}
 type PSIRequest struct {
 	Table   string
 	QueryID string
+	Group   int      // target server group
 	Shard   Range    // zero → all cells in one frame
 	Cells   []uint32 // nil → all cells; else the bucket-tree frontier (§6.6)
 }
@@ -187,6 +190,7 @@ type PSIReply struct {
 type PSIVerifyRequest struct {
 	Table   string
 	QueryID string
+	Group   int   // target server group
 	Shard   Range // zero → all cells in one frame
 }
 
@@ -206,6 +210,7 @@ type PSIVerifyReply struct {
 type CountRequest struct {
 	Table   string
 	QueryID string
+	Group   int   // target server group
 	Shard   Range // zero → whole permuted vector in one frame
 	Verify  bool
 }
@@ -228,6 +233,7 @@ type CountReply struct {
 type PSURequest struct {
 	Table   string
 	QueryID string
+	Group   int   // target server group
 	Shard   Range // zero → whole vector in one frame
 	Permute bool  // true → PF_s1-permuted output (PSU count mode)
 }
@@ -248,6 +254,7 @@ type PSUReply struct {
 type AggRequest struct {
 	Table     string
 	QueryID   string
+	Group     int   // target server group
 	Shard     Range // zero → whole-domain selector in one frame
 	Cols      []string
 	WithCount bool     // also aggregate the count column (average queries)
@@ -294,6 +301,7 @@ type ExtremeSubmitRequest struct {
 	QueryID string
 	Kind    ExtremeKind
 	Owner   int
+	Group   int    // target server group
 	VShare  []byte // big.Int bytes, value in [0, Q)
 }
 
@@ -345,6 +353,7 @@ type AnnounceFetchReply struct {
 type ClaimSubmitRequest struct {
 	QueryID string
 	Owner   int
+	Group   int // target server group
 	Share   uint16
 }
 
@@ -386,6 +395,59 @@ type ListTablesReply struct {
 	Tables []TableStatus
 }
 
+// ---- group placement (multi-group deployments) ----
+
+// GroupRange describes one server group's slice of the natural cell
+// domain and the addresses of its three servers (S0, S1, S2 in index
+// order). Data-plane requests carry a Group tag (zero in single-group
+// deployments, so the field gob-omits and old wire streams stay
+// compatible); servers reject requests tagged for another group rather
+// than silently serving shares from the wrong domain slice.
+type GroupRange struct {
+	Start   uint64 // first natural domain cell of the group
+	Count   uint64 // cells owned by the group
+	Servers []string
+}
+
+// PlacementRequest asks the announcer for the deployment's group
+// placement: how the cell domain is partitioned across server groups
+// and where each group's servers live. Owners fetch it once at startup
+// to build their routing table.
+type PlacementRequest struct{}
+
+// PlacementReply carries the placement, one entry per group in group
+// order. Empty Groups means the announcer was not configured with a
+// placement (single-group deployment announced out of band).
+type PlacementReply struct {
+	Groups []GroupRange
+}
+
+// ---- cross-group extreme reduce (multi-group max/min/median) ----
+
+// ExtremeReduceRequest is querier → announcer: reduce the retained
+// resolved values of several per-cell extreme rounds (SubQueryIDs, in
+// submission order) to one query-global outcome. Per-cell rounds run
+// entirely inside the cell's owning group; this final round is the only
+// cross-group step, and it reuses what the announcer already saw — the
+// masked values F(M)+r it reconstructed per round — so it reveals
+// nothing beyond the per-round announcements. For max/min the reply
+// names the winning round (WinnerSub indexes SubQueryIDs) and its
+// masked value; for median the announcer pools every round's values and
+// returns the middle one or two.
+type ExtremeReduceRequest struct {
+	QueryID     string
+	Kind        ExtremeKind
+	SubQueryIDs []string
+}
+
+// ExtremeReduceReply carries the reduced outcome. Values are masked
+// big.Int bytes in [0, Q): one for max/min, one or two for median.
+type ExtremeReduceReply struct {
+	Values    [][]byte
+	WinnerSub int  // index into SubQueryIDs (max/min)
+	HasWinner bool // false for median
+}
+
 // ---- query lifecycle ----
 
 // QueryDoneRequest retires every piece of per-query state a node holds
@@ -416,6 +478,8 @@ func Register() {
 		ClaimSubmitRequest{}, ClaimSubmitReply{},
 		ClaimFetchRequest{}, ClaimFetchReply{},
 		ListTablesRequest{}, ListTablesReply{}, TableStatus{},
+		GroupRange{}, PlacementRequest{}, PlacementReply{},
+		ExtremeReduceRequest{}, ExtremeReduceReply{},
 		QueryDoneRequest{}, QueryDoneReply{},
 	} {
 		gob.Register(v)

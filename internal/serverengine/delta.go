@@ -742,6 +742,7 @@ func (e *Engine) writeManifestSnapshot(name string, spec protocol.TableSpec) err
 	sort.Ints(owners)
 	return e.opts.Store.WriteManifest(name, TableManifest{
 		Version: ManifestVersion, Epoch: epoch, Spec: spec, Owners: owners, DeltaFloor: floor,
+		Group: e.opts.Group,
 	})
 }
 

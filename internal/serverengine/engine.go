@@ -99,6 +99,12 @@ type Options struct {
 	// any store-scan error) is available via RecoveryReport. Ignored
 	// unless DiskBacked with a Store.
 	AutoRecover bool
+	// Group is the server group this engine belongs to in a multi-group
+	// deployment (0 for single-group). Data-plane requests tagged for a
+	// different group are rejected, and the group id is persisted in
+	// table manifests so a restarted server cannot adopt another group's
+	// shares.
+	Group int
 }
 
 // Engine is one Prism server. All request handlers are safe for
@@ -361,6 +367,11 @@ type TableManifest struct {
 	// previous share stream). Absent for tables that never mixed deltas
 	// with a re-outsource; older manifests decode with a nil map.
 	DeltaFloor map[int]uint64 `json:",omitempty"`
+	// Group is the server group that wrote the manifest. Recovery
+	// quarantines a manifest from another group rather than serving its
+	// shares (they cover a different domain slice). Absent in manifests
+	// written by single-group deployments, which decode as group 0.
+	Group int `json:",omitempty"`
 }
 
 // ocBytes is the resident size of an in-memory column set (0 for nil or
@@ -492,8 +503,42 @@ func (e *Engine) Sessions() int {
 	return len(e.sessions)
 }
 
+// Group reports the server group this engine serves.
+func (e *Engine) Group() int { return e.opts.Group }
+
+// requestGroup extracts the group tag from data-plane requests. The
+// second return is false for messages that carry no group routing
+// (fetch polls and lifecycle cleanup follow an already-validated
+// submit, so they pass untagged).
+func requestGroup(req any) (int, bool) {
+	switch r := req.(type) {
+	case protocol.StoreRequest:
+		return r.Group, true
+	case protocol.StoreDeltaRequest:
+		return r.Group, true
+	case protocol.PSIRequest:
+		return r.Group, true
+	case protocol.PSIVerifyRequest:
+		return r.Group, true
+	case protocol.CountRequest:
+		return r.Group, true
+	case protocol.PSURequest:
+		return r.Group, true
+	case protocol.AggRequest:
+		return r.Group, true
+	case protocol.ExtremeSubmitRequest:
+		return r.Group, true
+	case protocol.ClaimSubmitRequest:
+		return r.Group, true
+	}
+	return 0, false
+}
+
 // Handle implements transport.Handler.
 func (e *Engine) Handle(ctx context.Context, req any) (any, error) {
+	if g, ok := requestGroup(req); ok && g != e.opts.Group {
+		return nil, fmt.Errorf("server %d (group %d): request targets group %d", e.view.Index, e.opts.Group, g)
+	}
 	switch r := req.(type) {
 	case protocol.StoreRequest:
 		return e.handleStore(r)

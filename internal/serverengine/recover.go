@@ -140,6 +140,11 @@ func (e *Engine) recoverTable(name string, rep *RecoveryReport) error {
 			fmt.Sprintf("manifest table has %d cells, system domain is %d", man.Spec.B, e.view.B))
 		return nil
 	}
+	if man.Group != e.opts.Group {
+		e.quarantine(rep, name, "group-mismatch",
+			fmt.Sprintf("manifest written by server group %d, this server serves group %d", man.Group, e.opts.Group))
+		return nil
+	}
 	seen := make(map[int]bool, len(man.Owners))
 	for _, j := range man.Owners {
 		if j < 0 || j >= e.view.M || seen[j] {

@@ -3,7 +3,9 @@ package prism
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"prism/internal/ownerengine"
 	"prism/internal/protocol"
 )
 
@@ -255,7 +257,18 @@ func (o *Owner) aggregate(ctx context.Context, overPSI, withCount bool, cols []s
 type ExtremeResult struct {
 	Cells   []uint64
 	PerCell map[uint64]ExtremeCell
-	Stats   QueryStats
+	// Global is the query-global extreme across all intersection cells:
+	// for max/min the winning cell's outcome, for median the median of
+	// all cells' pooled per-owner values. With more than one cell it
+	// comes from one extra announcer round that reduces the per-cell
+	// rounds' retained masked values — the round that makes a
+	// group-partitioned deployment's global answer exact without any
+	// owner comparing raw values. Nil when the intersection is empty.
+	Global *ExtremeCell
+	// GlobalCell is the cell holding the global extreme (max/min only;
+	// 0 for median, whose global answer pools across cells).
+	GlobalCell uint64
+	Stats      QueryStats
 }
 
 // ExtremeCell is the answer at one intersection value.
@@ -329,34 +342,138 @@ func (o *Owner) extreme(ctx context.Context, kind protocol.ExtremeKind, col stri
 	var stats QueryStats
 	stats.add(psi.Stats)
 
-	for _, cell := range psi.Cells {
-		cellRes, cellStats, err := s.extremeAtCell(ctx, kind, col, cell)
-		if err != nil {
-			return nil, fmt.Errorf("prism: %s at %q: %w", kind, s.cfg.Domain.Label(cell), err)
+	// The per-cell rounds are independent protocol sessions (distinct
+	// qids on the servers and the announcer), so run them pipelined with
+	// bounded in-flight depth instead of one announcer round-trip per
+	// cell. Session cleanup is deferred until after the global reduce:
+	// the announcer's retained per-round values are its input.
+	qids := make([]string, len(psi.Cells))
+	defer func() {
+		var wg sync.WaitGroup
+		for _, qid := range qids {
+			if qid == "" {
+				continue
+			}
+			wg.Add(1)
+			go func(qid string) {
+				defer wg.Done()
+				s.endQuery(ctx, qid)
+			}(qid)
 		}
-		res.PerCell[cell] = *cellRes
-		stats.ServerFetchNS += cellStats.ServerFetchNS
-		stats.ServerComputeNS += cellStats.ServerComputeNS
-		stats.OwnerNS += cellStats.OwnerNS
-		stats.WallNS += cellStats.WallNS
-		stats.Rounds += cellStats.Rounds
+		wg.Wait()
+	}()
+	cellCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, extremeCellInflight)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for k, cell := range psi.Cells {
+		wg.Add(1)
+		go func(k int, cell uint64) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-cellCtx.Done():
+				return
+			}
+			cellRes, cellStats, qid, err := s.extremeAtCell(cellCtx, kind, col, cell)
+			mu.Lock()
+			defer mu.Unlock()
+			qids[k] = qid
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("prism: %s at %q: %w", kind, s.cfg.Domain.Label(cell), err)
+					cancel()
+				}
+				return
+			}
+			res.PerCell[cell] = *cellRes
+			stats.ServerFetchNS += cellStats.ServerFetchNS
+			stats.ServerComputeNS += cellStats.ServerComputeNS
+			stats.OwnerNS += cellStats.OwnerNS
+			stats.WallNS += cellStats.WallNS
+			stats.Rounds += cellStats.Rounds
+		}(k, cell)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	switch {
+	case len(psi.Cells) == 1:
+		g := res.PerCell[psi.Cells[0]]
+		res.Global, res.GlobalCell = &g, psi.Cells[0]
+	case len(psi.Cells) > 1:
+		if err := s.reduceExtreme(ctx, q, kind, psi.Cells, qids, res, &stats); err != nil {
+			return nil, err
+		}
 	}
 	res.Stats = stats
 	return res, nil
 }
 
+// extremeCellInflight bounds how many intersection cells run their
+// extreme rounds simultaneously (the forEachShard pipelining idiom).
+const extremeCellInflight = 8
+
+// reduceExtreme runs the query-global final round: the announcer folds
+// the per-cell rounds' retained masked values into one outcome, the
+// querier unmasks it. For max/min the winning sub-round identifies the
+// winning cell (and thereby the winning owners, already resolved by
+// that cell's claims round); for median the pooled masked values yield
+// the global median directly.
+func (s *System) reduceExtreme(ctx context.Context, q *ownerengine.Owner, kind protocol.ExtremeKind, cells []uint64, qids []string, res *ExtremeResult, stats *QueryStats) error {
+	req := protocol.ExtremeReduceRequest{
+		QueryID:     fmt.Sprintf("extred-%s-%s-%d", s.table, kind, s.qidNonce.Add(1)),
+		Kind:        kind,
+		SubQueryIDs: qids,
+	}
+	rep, err := s.network.Call(ctx, "announcer", req)
+	if err != nil {
+		return fmt.Errorf("prism: global %s reduce: %w", kind, err)
+	}
+	rrep, ok := rep.(protocol.ExtremeReduceReply)
+	if !ok {
+		return fmt.Errorf("prism: unexpected reduce reply %T", rep)
+	}
+	values, err := q.DecodeReducedExtreme(kind, rrep.Values)
+	if err != nil {
+		return fmt.Errorf("prism: global %s reduce: %w", kind, err)
+	}
+	res.Global = decodeExtreme(kind, values)
+	stats.Rounds++
+	if kind == protocol.KindMedian {
+		return nil
+	}
+	if !rrep.HasWinner || rrep.WinnerSub < 0 || rrep.WinnerSub >= len(cells) {
+		return fmt.Errorf("prism: global %s reduce named no winning cell", kind)
+	}
+	res.GlobalCell = cells[rrep.WinnerSub]
+	winner := res.PerCell[res.GlobalCell]
+	if winner.Value != res.Global.Value {
+		return fmt.Errorf("%w: global %s %d disagrees with winning cell's %d", ErrVerificationFailed, kind, res.Global.Value, winner.Value)
+	}
+	res.Global.Owners = append([]int(nil), winner.Owners...)
+	return nil
+}
+
 // extremeAtCell runs the §6.3/§6.4 rounds for one intersection value.
 // It orchestrates ALL owners (each must mask and submit its local value)
-// regardless of which owner drove the query.
-func (s *System) extremeAtCell(ctx context.Context, kind protocol.ExtremeKind, col string, cell uint64) (*ExtremeCell, QueryStats, error) {
+// regardless of which owner drove the query. The round runs entirely
+// within the group owning the cell (the owner engines route by cell).
+// The returned qid identifies the round's session state; the caller
+// retires it — after the global reduce, which reads the announcer's
+// retained per-round values.
+func (s *System) extremeAtCell(ctx context.Context, kind protocol.ExtremeKind, col string, cell uint64) (*ExtremeCell, QueryStats, string, error) {
 	var stats QueryStats
 	// The nonce keeps concurrent and repeated queries from colliding in
 	// the servers' qid-keyed session state (e.g. after a re-outsource).
 	qid := fmt.Sprintf("ext-%s-%s-%d-%s-%d", s.table, col, cell, kind, s.qidNonce.Add(1))
-	// Retire the per-qid session state on the servers and the announcer
-	// once this cell's rounds are over (best-effort: a lost cleanup only
-	// leaves a dormant session behind).
-	defer s.endQuery(ctx, qid)
 
 	// Step 3: every owner masks and submits its local value.
 	locals := make([]uint64, len(s.owners))
@@ -364,16 +481,16 @@ func (s *System) extremeAtCell(ctx context.Context, kind protocol.ExtremeKind, c
 	for i, o := range s.owners {
 		v, has, err := o.eng.LocalValue(kind, col, cell)
 		if err != nil {
-			return nil, stats, err
+			return nil, stats, qid, err
 		}
 		if !has {
 			// The cell is in the intersection, so every owner must have
 			// at least one tuple there.
-			return nil, stats, fmt.Errorf("owner %d has no tuple at intersection cell %d", i, cell)
+			return nil, stats, qid, fmt.Errorf("owner %d has no tuple at intersection cell %d", i, cell)
 		}
 		locals[i], present[i] = v, true
-		if err := o.eng.SubmitExtreme(ctx, qid, kind, v); err != nil {
-			return nil, stats, err
+		if err := o.eng.SubmitExtreme(ctx, qid, kind, cell, v); err != nil {
+			return nil, stats, qid, err
 		}
 	}
 	stats.Rounds++
@@ -382,19 +499,19 @@ func (s *System) extremeAtCell(ctx context.Context, kind protocol.ExtremeKind, c
 	// Every owner fetches (each must know z for the claims round).
 	var outcome *ExtremeCell
 	for i, o := range s.owners {
-		oc, err := o.eng.FetchExtreme(ctx, qid, kind)
+		oc, err := o.eng.FetchExtreme(ctx, qid, kind, cell)
 		if err != nil {
-			return nil, stats, err
+			return nil, stats, qid, err
 		}
 		stats.OwnerNS += oc.Stats.OwnerNS
 		if err := o.eng.CheckExtremeConsistency(kind, oc.Values[0], locals[i], present[i]); err != nil {
-			return nil, stats, err
+			return nil, stats, qid, err
 		}
 		if kind == protocol.KindMin {
 			// Min consistency is against the smallest announced value.
 			last := oc.Values[len(oc.Values)-1]
 			if err := o.eng.CheckExtremeConsistency(kind, last, locals[i], present[i]); err != nil {
-				return nil, stats, err
+				return nil, stats, qid, err
 			}
 		}
 		if i == 0 {
@@ -404,19 +521,19 @@ func (s *System) extremeAtCell(ctx context.Context, kind protocol.ExtremeKind, c
 	stats.Rounds++
 
 	if kind == protocol.KindMedian {
-		return outcome, stats, nil
+		return outcome, stats, qid, nil
 	}
 
 	// Steps 5b-7: ownership claims.
 	z := outcome.Value
 	for i, o := range s.owners {
-		if err := o.eng.SubmitClaim(ctx, qid, locals[i] == z); err != nil {
-			return nil, stats, err
+		if err := o.eng.SubmitClaim(ctx, qid, cell, locals[i] == z); err != nil {
+			return nil, stats, qid, err
 		}
 	}
-	claims, err := s.owners[0].eng.FetchClaims(ctx, qid)
+	claims, err := s.owners[0].eng.FetchClaims(ctx, qid, cell)
 	if err != nil {
-		return nil, stats, err
+		return nil, stats, qid, err
 	}
 	stats.Rounds++
 	for i, holds := range claims {
@@ -426,9 +543,9 @@ func (s *System) extremeAtCell(ctx context.Context, kind protocol.ExtremeKind, c
 	}
 	if s.cfg.Verify && len(outcome.Owners) == 0 {
 		// Max verification: someone must hold the announced extreme.
-		return nil, stats, fmt.Errorf("%w: no owner claims the announced %s", ErrVerificationFailed, kind)
+		return nil, stats, qid, fmt.Errorf("%w: no owner claims the announced %s", ErrVerificationFailed, kind)
 	}
-	return outcome, stats, nil
+	return outcome, stats, qid, nil
 }
 
 func decodeExtreme(kind protocol.ExtremeKind, values []uint64) *ExtremeCell {

@@ -26,10 +26,13 @@ var ErrVerificationFailed = ownerengine.ErrVerificationFailed
 // programmatic equivalent of running cmd/prism-init, cmd/prism-server ×3,
 // cmd/prism-announcer and m owner processes.
 type System struct {
-	cfg      Config
-	sys      *params.System
-	network  *transport.Network
-	servers  [params.NumServers]*serverengine.Engine
+	cfg     Config
+	multi   *params.MultiSystem
+	sys     *params.System // group 0 (deployment-global parameters)
+	network *transport.Network
+	// servers[g][phi] is group g's server phi; group 0 is the classic
+	// triple, additional groups serve higher cell ranges.
+	servers  [][]*serverengine.Engine
 	ann      *announcer.Engine
 	owners   []*Owner
 	table    string
@@ -50,19 +53,20 @@ func NewLocalSystem(cfg Config) (*System, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	sysParams, err := params.Generate(params.Config{
+	multi, err := params.GenerateGroups(params.Config{
 		NumOwners:  cfg.Owners,
 		DomainSize: cfg.Domain.Size(),
 		Delta:      cfg.Delta,
 		MaxAgg:     cfg.MaxAggValue,
 		Seed:       cfg.seed(),
-	})
+	}, cfg.Groups)
 	if err != nil {
 		return nil, err
 	}
 	s := &System{
 		cfg:     cfg,
-		sys:     sysParams,
+		multi:   multi,
+		sys:     multi.Groups[0],
 		network: transport.NewNetwork(),
 		table:   cfg.TableName,
 		sched:   newLimiter(cfg.MaxInflight),
@@ -72,51 +76,76 @@ func NewLocalSystem(cfg Config) (*System, error) {
 	// local-mode behaviour matches a wire deployment.
 	s.network.SetPerAddrInflight(cfg.PerConnInflight)
 
-	for phi := 0; phi < params.NumServers; phi++ {
-		view, err := sysParams.ForServer(phi)
-		if err != nil {
-			return nil, err
-		}
-		opts := serverengine.Options{
-			Threads:       cfg.Threads,
-			DeltaMax:      cfg.DeltaMaxEntries,
-			CompactEvery:  cfg.CompactInterval,
-			AnnouncerAddr: "announcer",
-			Caller:        s.network,
-		}
-		if cfg.DiskDir != "" {
-			store, err := sharestore.Open(filepath.Join(cfg.DiskDir, fmt.Sprintf("server-%d", phi)))
+	placement := make([]protocol.GroupRange, len(multi.Groups))
+	for g, gsys := range multi.Groups {
+		engines := make([]*serverengine.Engine, params.NumServers)
+		gr := protocol.GroupRange{Start: gsys.Start, Count: gsys.B}
+		for phi := 0; phi < params.NumServers; phi++ {
+			view, err := gsys.ForServer(phi)
 			if err != nil {
 				return nil, err
 			}
-			store.SetChunkCells(cfg.ChunkCells)
-			opts.Store = store
-			opts.DiskBacked = true
-			opts.CacheColumns = cfg.HotColumns || cfg.HotChunks > 0
-			opts.CacheBytes = int64(cfg.HotChunks)
-			opts.AutoRecover = cfg.AutoRecover
-		}
-		opts.PendingTTL = cfg.PendingUploadTTL
-		eng := serverengine.New(view, opts)
-		if cfg.AutoRecover {
-			if _, err := eng.RecoveryReport(); err != nil {
-				return nil, fmt.Errorf("prism: server %d recovery: %w", phi, err)
+			opts := serverengine.Options{
+				Threads:       cfg.Threads,
+				DeltaMax:      cfg.DeltaMaxEntries,
+				CompactEvery:  cfg.CompactInterval,
+				AnnouncerAddr: "announcer",
+				Caller:        s.network,
+				Group:         g,
 			}
+			if cfg.DiskDir != "" {
+				store, err := sharestore.Open(filepath.Join(cfg.DiskDir, serverDiskDir(g, phi)))
+				if err != nil {
+					return nil, err
+				}
+				store.SetChunkCells(cfg.ChunkCells)
+				opts.Store = store
+				opts.DiskBacked = true
+				opts.CacheColumns = cfg.HotColumns || cfg.HotChunks > 0
+				opts.CacheBytes = int64(cfg.HotChunks)
+				opts.AutoRecover = cfg.AutoRecover
+			}
+			opts.PendingTTL = cfg.PendingUploadTTL
+			eng := serverengine.New(view, opts)
+			if cfg.AutoRecover {
+				if _, err := eng.RecoveryReport(); err != nil {
+					return nil, fmt.Errorf("prism: group %d server %d recovery: %w", g, phi, err)
+				}
+			}
+			engines[phi] = eng
+			addr := groupServerAddr(g, phi)
+			s.network.Register(addr, eng)
+			gr.Servers = append(gr.Servers, addr)
 		}
-		s.servers[phi] = eng
-		s.network.Register(serverAddr(phi), eng)
+		s.servers = append(s.servers, engines)
+		placement[g] = gr
 	}
 
-	s.ann = announcer.New(sysParams.ForAnnouncer())
+	s.ann = announcer.New(s.sys.ForAnnouncer())
+	s.ann.SetPlacement(placement)
 	s.network.Register("announcer", s.ann)
 
-	addrs := make([]string, params.NumServers)
-	for phi := range addrs {
-		addrs[phi] = serverAddr(phi)
+	// Owners learn the placement the way a wire deployment would: from
+	// the announcer's placement announcement, not from shared memory.
+	rep, err := s.network.Call(context.Background(), "announcer", protocol.PlacementRequest{})
+	if err != nil {
+		return nil, fmt.Errorf("prism: fetching group placement: %w", err)
+	}
+	prep, ok := rep.(protocol.PlacementReply)
+	if !ok || len(prep.Groups) != len(multi.Groups) {
+		return nil, fmt.Errorf("prism: bad placement announcement (%T, %d groups)", rep, len(multi.Groups))
+	}
+	groupCfgs := make([]ownerengine.GroupConfig, len(multi.Groups))
+	for g, gsys := range multi.Groups {
+		if prep.Groups[g].Start != gsys.Start || prep.Groups[g].Count != gsys.B {
+			return nil, fmt.Errorf("prism: placement group %d covers [%d,+%d), params say [%d,+%d)",
+				g, prep.Groups[g].Start, prep.Groups[g].Count, gsys.Start, gsys.B)
+		}
+		groupCfgs[g] = ownerengine.GroupConfig{View: gsys.ForOwner(), Servers: prep.Groups[g].Servers}
 	}
 	ownerSeed := cfg.seed().Derive("owners")
 	for i := 0; i < cfg.Owners; i++ {
-		eng, err := ownerengine.New(i, sysParams.ForOwner(), s.network, addrs, ownerSeed)
+		eng, err := ownerengine.NewMulti(i, groupCfgs, s.network, ownerSeed)
 		if err != nil {
 			return nil, err
 		}
@@ -128,12 +157,32 @@ func NewLocalSystem(cfg Config) (*System, error) {
 
 func serverAddr(phi int) string { return fmt.Sprintf("server/%d", phi) }
 
+// groupServerAddr is the logical address of group g's server phi. Group
+// 0 keeps the historical single-group addresses.
+func groupServerAddr(g, phi int) string {
+	if g == 0 {
+		return serverAddr(phi)
+	}
+	return fmt.Sprintf("g%d/server/%d", g, phi)
+}
+
+// serverDiskDir is the share-store directory of group g's server phi
+// under Config.DiskDir; group 0 keeps the historical layout.
+func serverDiskDir(g, phi int) string {
+	if g == 0 {
+		return fmt.Sprintf("server-%d", phi)
+	}
+	return fmt.Sprintf("g%d-server-%d", g, phi)
+}
+
 // Close stops the system's background work — the servers' compaction
 // tickers (Config.CompactInterval). Safe to call multiple times; a
 // system without tickers needs no Close but tolerates one.
 func (s *System) Close() {
-	for _, e := range s.servers {
-		e.Close()
+	for _, grp := range s.servers {
+		for _, e := range grp {
+			e.Close()
+		}
 	}
 }
 
@@ -143,9 +192,11 @@ func (s *System) Close() {
 // server's delta backlog is now empty.
 func (s *System) CompactTables() error {
 	var errs []error
-	for phi, e := range s.servers {
-		for name, err := range e.CompactAll() {
-			errs = append(errs, fmt.Errorf("prism: server %d compacting %q: %w", phi, name, err))
+	for g, grp := range s.servers {
+		for phi, e := range grp {
+			for name, err := range e.CompactAll() {
+				errs = append(errs, fmt.Errorf("prism: group %d server %d compacting %q: %w", g, phi, name, err))
+			}
 		}
 	}
 	return errors.Join(errs...)
@@ -157,7 +208,13 @@ func (s *System) Owner(i int) *Owner { return s.owners[i] }
 // ServerEngine exposes server phi's engine (advanced use: recovery
 // reports after Config.AutoRecover, held-bytes gauges, the benchmark
 // harness) — the server-side counterpart of Owner.Engine.
-func (s *System) ServerEngine(phi int) *serverengine.Engine { return s.servers[phi] }
+func (s *System) ServerEngine(phi int) *serverengine.Engine { return s.servers[0][phi] }
+
+// GroupServerEngine exposes group g's server phi.
+func (s *System) GroupServerEngine(g, phi int) *serverengine.Engine { return s.servers[g][phi] }
+
+// NumGroups reports how many server groups the deployment runs.
+func (s *System) NumGroups() int { return len(s.servers) }
 
 // Owners returns m.
 func (s *System) Owners() int { return len(s.owners) }
@@ -168,8 +225,10 @@ func (s *System) DomainLabel(cell uint64) string { return s.cfg.Domain.Label(cel
 // SetServerThreads adjusts every server's worker-pool width (thread-sweep
 // benchmarks).
 func (s *System) SetServerThreads(n int) {
-	for _, e := range s.servers {
-		e.SetThreads(n)
+	for _, grp := range s.servers {
+		for _, e := range grp {
+			e.SetThreads(n)
+		}
 	}
 }
 
@@ -200,9 +259,11 @@ func (s *System) ResetPeakFrame() { s.network.ResetPeakFrame() }
 // domain size.
 func (s *System) PeakServerHeldBytes() int64 {
 	var peak int64
-	for _, e := range s.servers {
-		if p := e.PeakHeldBytes(); p > peak {
-			peak = p
+	for _, grp := range s.servers {
+		for _, e := range grp {
+			if p := e.PeakHeldBytes(); p > peak {
+				peak = p
+			}
 		}
 	}
 	return peak
@@ -211,8 +272,10 @@ func (s *System) PeakServerHeldBytes() int64 {
 // ResetServerHeldPeaks restarts every server's peak-residency
 // measurement from its current level.
 func (s *System) ResetServerHeldPeaks() {
-	for _, e := range s.servers {
-		e.ResetHeldPeak()
+	for _, grp := range s.servers {
+		for _, e := range grp {
+			e.ResetHeldPeak()
+		}
 	}
 }
 
@@ -376,9 +439,11 @@ func (s *System) endQuery(ctx context.Context, qid string) {
 	// Clean up even when the query itself was cancelled.
 	ctx = context.WithoutCancel(ctx)
 	req := protocol.QueryDoneRequest{QueryID: qid}
-	addrs := make([]string, 0, params.NumServers+1)
-	for phi := 0; phi < params.NumServers; phi++ {
-		addrs = append(addrs, serverAddr(phi))
+	addrs := make([]string, 0, len(s.servers)*params.NumServers+1)
+	for g := range s.servers {
+		for phi := 0; phi < params.NumServers; phi++ {
+			addrs = append(addrs, groupServerAddr(g, phi))
+		}
 	}
 	addrs = append(addrs, "announcer")
 	var wg sync.WaitGroup

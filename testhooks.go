@@ -2,15 +2,26 @@ package prism
 
 import "prism/internal/transport"
 
-// interceptServer rewires server phi's logical address through a wrapper
+// interceptServer rewires group 0's server phi through a wrapper
 // handler. Tests use it to simulate malicious servers (reply tampering,
 // skipped cells, fake injections) and assert that verification catches
 // them. Not part of the public API.
 func (s *System) interceptServer(phi int, wrap func(transport.Handler) transport.Handler) {
-	s.network.Register(serverAddr(phi), wrap(s.servers[phi]))
+	s.interceptGroupServer(0, phi, wrap)
 }
 
 // restoreServer undoes interceptServer.
 func (s *System) restoreServer(phi int) {
-	s.network.Register(serverAddr(phi), s.servers[phi])
+	s.restoreGroupServer(0, phi)
+}
+
+// interceptGroupServer rewires group g's server phi through a wrapper
+// handler (multi-group failure tests).
+func (s *System) interceptGroupServer(g, phi int, wrap func(transport.Handler) transport.Handler) {
+	s.network.Register(groupServerAddr(g, phi), wrap(s.servers[g][phi]))
+}
+
+// restoreGroupServer undoes interceptGroupServer.
+func (s *System) restoreGroupServer(g, phi int) {
+	s.network.Register(groupServerAddr(g, phi), s.servers[g][phi])
 }
