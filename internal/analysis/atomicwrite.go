@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicWrite polices the sharestore's durability discipline. Every
+// live file in a store (chunks, indexes, manifests, delta segments)
+// must be produced by a write-temp-then-rename sequence so a crash at
+// any instruction leaves a complete previous version behind
+// (docs/ARCHITECTURE.md). The discipline lives in two blessed helpers
+// — atomicWriteFile (tmp + rename for single files) and
+// swapInColumnDir (move-aside swap for column directories) — and this
+// analyzer flags any other direct os.Create / os.WriteFile / os.Rename
+// call in the package, plus ignored error returns from Close, Sync or
+// Rename (a swallowed error there silently converts "durable" into
+// "probably"). Audited sites — staging writes into a not-yet-live
+// directory, best-effort rollback — carry //prism:allow atomicwrite.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "sharestore file writes must go through the blessed tmp+rename helpers, with no swallowed Close/Sync/Rename errors",
+	Run:  runAtomicWrite,
+}
+
+// blessedWriters are the sharestore functions allowed to touch
+// os.WriteFile/os.Create/os.Rename directly: they ARE the atomic-write
+// discipline.
+var blessedWriters = map[string]bool{
+	"atomicWriteFile": true,
+	"swapInColumnDir": true,
+}
+
+// rawWriteFuncs are the os entry points that create or replace file
+// contents in place.
+var rawWriteFuncs = map[string]bool{"Create": true, "WriteFile": true, "Rename": true}
+
+func runAtomicWrite(pass *Pass) error {
+	if pass.Pkg.Path != storePath {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			blessed := blessedWriters[fd.Name.Name]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						checkIgnoredDurabilityError(pass, call, "")
+					}
+				case *ast.DeferStmt:
+					checkIgnoredDurabilityError(pass, n.Call, "deferred ")
+				case *ast.GoStmt:
+					checkIgnoredDurabilityError(pass, n.Call, "spawned ")
+				case *ast.CallExpr:
+					if blessed {
+						return true
+					}
+					if obj := calleeObject(info, n); obj != nil && obj.Pkg() != nil &&
+						obj.Pkg().Path() == "os" && rawWriteFuncs[obj.Name()] {
+						pass.Reportf(n.Pos(), "direct os.%s outside the blessed atomic-write helpers; use atomicWriteFile or swapInColumnDir so a crash cannot tear the file", obj.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkIgnoredDurabilityError flags a call whose error result is
+// discarded when that error is load-bearing for durability: Close/Sync
+// on an *os.File and os.Rename/os.Remove-family calls.
+func checkIgnoredDurabilityError(pass *Pass, call *ast.CallExpr, how string) {
+	obj := calleeObject(pass.Pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	name := obj.Name()
+	switch {
+	case obj.Pkg().Path() == "os" && name == "Rename":
+		pass.Reportf(call.Pos(), "%sos.Rename with its error discarded; a failed rename means the live file was never replaced", how)
+	case (name == "Close" || name == "Sync") && isOSFileMethod(obj):
+		pass.Reportf(call.Pos(), "%s%s on an os.File with its error discarded; write errors surface at Close/Sync and dropping them forfeits durability", how, name)
+	}
+}
+
+// isOSFileMethod reports whether obj is a method of os.File.
+func isOSFileMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedStruct(sig.Recv().Type())
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}

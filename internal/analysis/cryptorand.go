@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// CryptoRand forbids math/rand in the secret-share derivation packages.
+// The paper's security argument assumes every share, mask and
+// permutation is derived from cryptographically strong randomness
+// (crypto/rand or the seeded PRG built on it); a math/rand draw
+// anywhere in these packages silently voids it. Test files are exempt
+// (the loader never parses them) — deterministic test data is fine.
+var CryptoRand = &Analyzer{
+	Name: "cryptorand",
+	Doc:  "no math/rand in the share/PRG/permutation packages; shares must come from crypto/rand or the seeded PRG",
+	Run:  runCryptoRand,
+}
+
+// cryptoRandPkgs are the module packages (under prism/internal) where
+// weak randomness would undermine the security argument.
+var cryptoRandPkgs = []string{"share", "prg", "perm", "params", "opoly", "field", "modmath"}
+
+func runCryptoRand(pass *Pass) error {
+	if !pkgUnder(pass.Pkg.Path, "prism/internal", cryptoRandPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "package %s imports %s; secret-share code must draw randomness from crypto/rand or the seeded PRG", pass.Pkg.Path, path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GobRegistry checks that every exported wire-message struct in
+// internal/protocol — any exported struct type whose name ends in
+// Request or Reply — appears in the package's registration list
+// (Messages, falling back to Register). Messages travel over the
+// transport as `any` inside the gob envelope, so an unregistered type
+// compiles fine and fails only at runtime, on the first RPC that
+// carries it. Each new RPC pair risks exactly this drift; the analyzer
+// makes it a vet error instead.
+var GobRegistry = &Analyzer{
+	Name: "gobregistry",
+	Doc:  "every protocol *Request/*Reply struct must be in the gob registration list",
+	Run:  runGobRegistry,
+}
+
+func runGobRegistry(pass *Pass) error {
+	if pass.Pkg.Path != protocolPath {
+		return nil
+	}
+
+	// The registration list: composite-literal type names inside
+	// Messages() (preferred) or Register().
+	registered := make(map[string]bool)
+	var regFunc *ast.FuncDecl
+	for _, name := range []string{"Messages", "Register"} {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+					regFunc = fd
+				}
+			}
+		}
+		if regFunc != nil {
+			break
+		}
+	}
+	if regFunc == nil {
+		for _, f := range pass.Pkg.Files {
+			pass.Reportf(f.Package, "package %s has no Messages or Register function to hold the gob registration list", pass.Pkg.Path)
+			return nil
+		}
+	}
+	ast.Inspect(regFunc, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if ident, ok := lit.Type.(*ast.Ident); ok {
+			registered[ident.Name] = true
+		}
+		return true
+	})
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					continue
+				}
+				name := ts.Name.Name
+				if !strings.HasSuffix(name, "Request") && !strings.HasSuffix(name, "Reply") {
+					continue
+				}
+				if !registered[name] {
+					pass.Reportf(ts.Pos(), "wire message %s is not in the gob registration list (%s); it will fail at runtime on its first RPC", name, regFunc.Name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

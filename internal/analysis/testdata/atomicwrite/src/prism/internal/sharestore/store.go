@@ -1,0 +1,47 @@
+// Fixture: the blessed helpers may touch os directly; everything else
+// must route through them, and durability errors must not be swallowed.
+package sharestore
+
+import "os"
+
+// atomicWriteFile is blessed: it IS the tmp+rename discipline.
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// swapInColumnDir is blessed for directory swaps, but even blessed code
+// must not discard a rename error.
+func swapInColumnDir(src, dst string) error {
+	os.Rename(dst, dst+".old") // want "os.Rename with its error discarded"
+	return os.Rename(src, dst)
+}
+
+// writeManifest bypasses the helper — the seeded violation.
+func writeManifest(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "direct os.WriteFile outside the blessed atomic-write helpers"
+}
+
+// renameRaw bypasses the helper with a rename.
+func renameRaw(from, to string) error {
+	return os.Rename(from, to) // want "direct os.Rename outside the blessed atomic-write helpers"
+}
+
+// closeQuietly drops the error that carries the write-back failure.
+func closeQuietly(f *os.File) {
+	defer f.Close() // want "Close on an os.File with its error discarded"
+}
+
+// stagedBuild is an audited exception: the directory is not live yet.
+func stagedBuild(dir string, data []byte) error {
+	//prism:allow atomicwrite staged directory, renamed into place by the caller
+	return os.WriteFile(dir+"/index", data, 0o644)
+}
+
+// readSide only reads; nothing here is a write-path call.
+func readSide(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,10 @@
+// Fixture: the seeded violation — math/rand inside a share-derivation
+// package.
+package prg
+
+import (
+	"math/rand" // want "secret-share code must draw randomness from crypto/rand"
+)
+
+// Weak draws from the forbidden source.
+func Weak() uint64 { return rand.Uint64() }

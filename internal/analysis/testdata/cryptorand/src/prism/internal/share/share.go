@@ -1,0 +1,16 @@
+// Fixture: clean file — crypto/rand is the blessed source.
+package share
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+)
+
+// Strong draws from the blessed source.
+func Strong() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

@@ -1,0 +1,8 @@
+// Fixture: math/rand outside the share-derivation packages is fine —
+// workload generators may be deterministic on purpose.
+package workload
+
+import "math/rand"
+
+// Synthetic generates reproducible test data; not share material.
+func Synthetic(seed int64) uint64 { return rand.New(rand.NewSource(seed)).Uint64() }

@@ -1,0 +1,26 @@
+// Fixture: the registration list covers PingRequest/PingReply but the
+// seeded OrphanRequest is missing, and non-message helpers are exempt.
+package protocol
+
+// PingRequest is registered — clean.
+type PingRequest struct{ A int }
+
+// PingReply is registered — clean.
+type PingReply struct{ B string }
+
+// OrphanRequest is a wire message the registry forgot.
+type OrphanRequest struct{ C uint64 } // want "not in the gob registration list"
+
+// Helper is exported but not a *Request/*Reply message; no registration
+// required.
+type Helper struct{ D int }
+
+// unexportedRequest never crosses the wire as a message.
+type unexportedRequest struct{ E int }
+
+// Messages is the registration list the analyzer reads.
+func Messages() []any {
+	return []any{
+		PingRequest{}, PingReply{},
+	}
+}

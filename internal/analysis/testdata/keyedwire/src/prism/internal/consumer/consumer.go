@@ -1,0 +1,24 @@
+// Fixture: unkeyed wire-message literals are flagged wherever they
+// appear; keyed ones and unkeyed literals of local types are clean.
+package consumer
+
+import "prism/internal/protocol"
+
+// local is not a protocol type; positional is allowed.
+type local struct{ a, b int }
+
+// Bad builds messages positionally.
+func Bad() protocol.PSIRequest {
+	inner := []protocol.Range{{1, 2}} // want "unkeyed composite literal of wire message protocol.Range"
+	_ = inner
+	return protocol.PSIRequest{"t", "q"} // want "unkeyed composite literal of wire message protocol.PSIRequest"
+}
+
+// Good keeps every field keyed.
+func Good() protocol.PSIRequest {
+	_ = protocol.Range{Offset: 1, Count: 2}
+	_ = local{1, 2}
+	_ = &protocol.PSIRequest{Table: "t"}
+	_ = protocol.PSIRequest{}
+	return protocol.PSIRequest{Table: "t", QueryID: "q"}
+}

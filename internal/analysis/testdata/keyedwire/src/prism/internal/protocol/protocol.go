@@ -1,0 +1,16 @@
+// Fixture protocol package: defines wire messages for the keyedwire
+// consumer fixture.
+package protocol
+
+// PSIRequest mimics a real wire message.
+type PSIRequest struct {
+	Table   string
+	QueryID string
+}
+
+// Range is a non-message struct that still lives in the protocol
+// package — literals of it must be keyed too.
+type Range struct {
+	Offset uint64
+	Count  uint64
+}

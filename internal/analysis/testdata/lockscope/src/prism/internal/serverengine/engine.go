@@ -1,0 +1,104 @@
+// Fixture: blocking operations under an engine mutex are flagged;
+// operations after the unlock, inside function literals, or behind an
+// audited //prism:allow are clean.
+package serverengine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"prism/internal/transport"
+)
+
+// Engine mimics a server engine guarding state with a mutex.
+type Engine struct {
+	mu     sync.RWMutex
+	client transport.Client
+	ch     chan int
+}
+
+// badCall goes to the network while holding the lock.
+func (e *Engine) badCall(ctx context.Context) {
+	e.mu.Lock()
+	e.client.Call(ctx, "s0", nil) // want "transport call Call"
+	e.mu.Unlock()
+}
+
+// badDeferred holds to the end of the function via defer.
+func (e *Engine) badDeferred() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+}
+
+// badChannel sends and receives under the read lock.
+func (e *Engine) badChannel() {
+	e.mu.RLock()
+	e.ch <- 1 // want "channel send"
+	<-e.ch    // want "channel receive"
+	e.mu.RUnlock()
+}
+
+// badSelect blocks in select while locked.
+func (e *Engine) badSelect() {
+	e.mu.Lock()
+	select { // want "select"
+	case v := <-e.ch:
+		_ = v
+	}
+	e.mu.Unlock()
+}
+
+// badBranch unlocks on the early-return path only; the fallthrough
+// path still holds the lock.
+func (e *Engine) badBranch(ctx context.Context, fast bool) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+		return
+	}
+	e.client.Call(ctx, "s0", nil) // want "transport call Call"
+	e.mu.Unlock()
+}
+
+// goodAfterUnlock releases before blocking.
+func (e *Engine) goodAfterUnlock(ctx context.Context) {
+	e.mu.Lock()
+	snapshot := e.ch
+	e.mu.Unlock()
+	e.client.Call(ctx, "s0", nil)
+	snapshot <- 1
+}
+
+// goodBranchUnlock blocks only on the path that released the lock.
+func (e *Engine) goodBranchUnlock(fast bool) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+		e.ch <- 1
+		return
+	}
+	e.mu.Unlock()
+}
+
+// goodFuncLit defines (but does not run) a closure under the lock.
+func (e *Engine) goodFuncLit() {
+	e.mu.Lock()
+	flush := func() { e.ch <- 1 }
+	e.mu.Unlock()
+	flush()
+}
+
+// auditedWait is an audited exception.
+func (e *Engine) auditedWait() {
+	e.mu.Lock()
+	//prism:allow lockscope bounded 1ms backoff, audited in PR 8
+	time.Sleep(time.Millisecond)
+	e.mu.Unlock()
+}
+
+// goodDial blocks with no lock held at all.
+func (e *Engine) goodDial() {
+	_, _ = transport.Dial("s0")
+}

@@ -1,0 +1,13 @@
+// Fixture transport package: the call targets the lockscope analyzer
+// must recognise as blocking.
+package transport
+
+import "context"
+
+// Client mimics the real transport client interface.
+type Client interface {
+	Call(ctx context.Context, addr string, req any) (any, error)
+}
+
+// Dial mimics a blocking package-level entry point.
+func Dial(addr string) (Client, error) { return nil, nil }

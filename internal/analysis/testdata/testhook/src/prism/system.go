@@ -1,0 +1,16 @@
+// Fixture: non-test production code reaching for the hooks is flagged;
+// ordinary methods are clean.
+package prism
+
+// System mimics the root-package system handle; the type itself lives
+// outside testhooks.go, like the real one.
+type System struct{ handlers map[int]func() }
+
+// Boot is production code that must not rewire handlers.
+func (s *System) Boot() {
+	s.interceptServer(0, func() {}) // want "test-only hook"
+	s.run()
+}
+
+// run is declared outside testhooks.go — clean to call.
+func (s *System) run() {}

@@ -1,0 +1,13 @@
+// Fixture testhooks.go: declares the test-only seams. References from
+// this file to itself are fine.
+package prism
+
+// interceptServer is the test-only hook.
+func (s *System) interceptServer(phi int, wrap func()) {
+	s.interceptGroupServer(0, phi, wrap)
+}
+
+// interceptGroupServer is also a hook; hooks may call each other.
+func (s *System) interceptGroupServer(g, phi int, wrap func()) {
+	s.handlers[g*3+phi] = wrap
+}

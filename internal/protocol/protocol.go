@@ -460,10 +460,16 @@ type QueryDoneRequest struct{ QueryID string }
 // QueryDoneReply acknowledges the cleanup.
 type QueryDoneReply struct{}
 
-// Register registers every message type with gob for transport.
-func Register() {
-	for _, v := range []any{
-		TableSpec{}, Stats{},
+// Messages returns one zero value of every wire message type. It is
+// the single source of truth three guards share: Register feeds it to
+// gob, the gobregistry analyzer (prism-vet) statically checks every
+// *Request/*Reply struct in this package appears in it, and the
+// round-trip test in protocol_gob_test.go encodes each entry through a
+// real gob envelope to catch what static checks cannot (unregistered
+// nested types, non-encodable fields).
+func Messages() []any {
+	return []any{
+		TableSpec{}, Stats{}, Range{},
 		StoreRequest{}, StoreReply{}, DropRequest{}, DropReply{},
 		StoreDeltaRequest{}, StoreDeltaReply{},
 		PSIRequest{}, PSIReply{},
@@ -481,7 +487,12 @@ func Register() {
 		GroupRange{}, PlacementRequest{}, PlacementReply{},
 		ExtremeReduceRequest{}, ExtremeReduceReply{},
 		QueryDoneRequest{}, QueryDoneReply{},
-	} {
+	}
+}
+
+// Register registers every message type with gob for transport.
+func Register() {
+	for _, v := range Messages() {
 		gob.Register(v)
 	}
 }

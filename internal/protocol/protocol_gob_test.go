@@ -1,0 +1,107 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// envelope mirrors the transport frame: every message crosses the wire
+// as `any`, which is exactly the shape that requires gob registration
+// of the concrete type. Encoding through it exercises the same path a
+// real RPC does.
+type envelope struct{ V any }
+
+// fill returns a value of type t with every reachable exported field
+// populated to something non-zero, so the round trip cannot pass by
+// only ever encoding gob-omitted zero fields. seed keeps sibling
+// fields distinct, catching any cross-field swap.
+func fill(t reflect.Type, seed int) reflect.Value {
+	v := reflect.New(t).Elem()
+	switch t.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(seed))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(uint64(seed))
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(float64(seed))
+	case reflect.String:
+		v.SetString(fmt.Sprintf("s%d", seed))
+	case reflect.Slice:
+		v.Set(reflect.MakeSlice(t, 2, 2))
+		for i := 0; i < 2; i++ {
+			v.Index(i).Set(fill(t.Elem(), seed+i+1))
+		}
+	case reflect.Array:
+		for i := 0; i < t.Len(); i++ {
+			v.Index(i).Set(fill(t.Elem(), seed+i+1))
+		}
+	case reflect.Map:
+		v.Set(reflect.MakeMap(t))
+		for i := 0; i < 2; i++ {
+			v.SetMapIndex(fill(t.Key(), seed+i+1), fill(t.Elem(), seed+i+3))
+		}
+	case reflect.Ptr:
+		v.Set(reflect.New(t.Elem()))
+		v.Elem().Set(fill(t.Elem(), seed+1))
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue // gob skips unexported fields
+			}
+			v.Field(i).Set(fill(f.Type, seed+i+1))
+		}
+	}
+	return v
+}
+
+// TestGobRoundTripAllMessages encodes one fully populated instance of
+// every wire message through a real gob encoder, as the `any` payload
+// of a transport-shaped envelope, and requires the decoded value to be
+// identical. This is the dynamic half of the gobregistry invariant: the
+// static analyzer proves every message is in the registration list, and
+// this test proves the registered set actually survives the wire —
+// including nested types, maps and anything gob itself would reject at
+// runtime.
+func TestGobRoundTripAllMessages(t *testing.T) {
+	seen := make(map[reflect.Type]bool)
+	for _, msg := range Messages() {
+		typ := reflect.TypeOf(msg)
+		if seen[typ] {
+			t.Errorf("Messages lists %s twice", typ)
+			continue
+		}
+		seen[typ] = true
+		t.Run(typ.Name(), func(t *testing.T) {
+			in := fill(typ, 1).Interface()
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&envelope{V: in}); err != nil {
+				t.Fatalf("encoding %s as envelope payload: %v", typ, err)
+			}
+			var out envelope
+			if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+				t.Fatalf("decoding %s: %v", typ, err)
+			}
+			if !reflect.DeepEqual(out.V, in) {
+				t.Errorf("round trip changed %s:\n got %#v\nwant %#v", typ, out.V, in)
+			}
+		})
+	}
+}
+
+// TestRegisterMatchesMessages pins Register to the Messages list so the
+// two cannot drift: registering must not panic (duplicate names would)
+// and must cover every listed type.
+func TestRegisterMatchesMessages(t *testing.T) {
+	// Register ran in init; a second run must be a no-op, not a panic
+	// (gob panics on conflicting re-registration).
+	Register()
+	if n := len(Messages()); n < 30 {
+		t.Fatalf("Messages lists only %d types; the wire protocol has more — did the list get truncated?", n)
+	}
+}

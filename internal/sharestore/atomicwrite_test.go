@@ -1,0 +1,46 @@
+package sharestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAtomicWriteFileReplaces covers the blessed single-file primitive
+// every live store file now routes through: the write lands complete,
+// replaces previous contents, and leaves no .tmp behind.
+func TestAtomicWriteFileReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	for _, contents := range []string{"first", "second longer contents"} {
+		if err := atomicWriteFile(path, []byte(contents)); err != nil {
+			t.Fatalf("atomicWriteFile: %v", err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != contents {
+			t.Fatalf("read back %q, %v; want %q", got, err, contents)
+		}
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp file left behind: %v", err)
+	}
+}
+
+// TestAtomicWriteFileRenameFailure forces the rename to fail (the
+// target is a non-empty directory) and checks the error surfaces and
+// the staged tmp file is cleaned up rather than accumulating.
+func TestAtomicWriteFileRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "col")
+	if err := os.MkdirAll(filepath.Join(target, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWriteFile(target, []byte("x")); err == nil {
+		t.Fatal("atomicWriteFile onto a non-empty directory succeeded")
+	}
+	if _, err := os.Stat(target + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("failed write left its tmp file behind: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(target, "sub")); err != nil {
+		t.Fatalf("failed write disturbed the existing target: %v", err)
+	}
+}

@@ -182,12 +182,7 @@ func (s *Store) AppendDeltaSeg(table string, seq uint64, cols []DeltaCol) error 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := deltaSegPath(dir, seq)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, encodeDeltaSeg(seq, cols), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicWriteFile(deltaSegPath(dir, seq), encodeDeltaSeg(seq, cols))
 }
 
 // DeltaSegs lists a table's delta segment sequence numbers in replay

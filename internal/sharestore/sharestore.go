@@ -117,6 +117,26 @@ type header struct {
 	CRC   uint32 // CRC32 (IEEE) of the payload bytes
 }
 
+// atomicWriteFile is the blessed single-file durability primitive:
+// every live store file (chunk, index, manifest, delta segment,
+// sidecar) must be replaced through it. It stages the contents under a
+// sibling .tmp name and renames into place, so at every crash point
+// the live path holds either the complete previous contents or the
+// complete new ones — never a torn mix. The prism-vet atomicwrite
+// analyzer enforces that no other sharestore code calls
+// os.Create/os.WriteFile/os.Rename directly.
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) // best-effort cleanup; the error to surface is the rename's
+		return err
+	}
+	return nil
+}
+
 func writeColumn(path string, width int, count int, payload []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
@@ -131,11 +151,7 @@ func writeColumn(path string, width int, count int, payload []byte) error {
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
 	buf = append(buf, crc[:]...)
 	buf = append(buf, payload...)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicWriteFile(path, buf)
 }
 
 func readColumn(path string, wantWidth int) ([]byte, int, error) {
@@ -249,11 +265,7 @@ func (s *Store) WriteManifest(table string, v any) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicWriteFile(path, data)
 }
 
 // ReadManifest loads table metadata into v.

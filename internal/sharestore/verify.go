@@ -131,6 +131,7 @@ func (s *Store) QuarantineTable(table, reason, detail string) error {
 		}
 		dst = filepath.Join(qroot, fmt.Sprintf("%s-%d", sanitize(table), i))
 	}
+	//prism:allow atomicwrite moving the whole table directory aside is the quarantine operation itself
 	if err := os.Rename(src, dst); err != nil {
 		return err
 	}
@@ -139,7 +140,7 @@ func (s *Store) QuarantineTable(table, reason, detail string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dst, "quarantine.json"), raw, 0o644)
+	return atomicWriteFile(filepath.Join(dst, "quarantine.json"), raw)
 }
 
 // Quarantined lists the store's quarantined tables, oldest first.
