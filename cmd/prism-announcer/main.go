@@ -30,6 +30,7 @@ import (
 	"prism/internal/announcer"
 	"prism/internal/params"
 	"prism/internal/protocol"
+	"prism/internal/telemetry"
 	"prism/internal/transport"
 	"prism/internal/viewio"
 )
@@ -40,6 +41,7 @@ func main() {
 		listen    = flag.String("listen", ":7000", "listen address")
 		inflight  = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 		placement = flag.String("placement", "", "group placement announced to owners: 'start:count:addr,addr,addr' per group, ';'-separated, in group order")
+		metrics   = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9100); empty disables the endpoint")
 	)
 	flag.Parse()
 	if *viewPath == "" {
@@ -60,6 +62,11 @@ func main() {
 			fmt.Printf("prism-announcer: group %d serves cells [%d, %d) at %v\n",
 				g, r.Start, r.Start+r.Count, r.Servers)
 		}
+	}
+	if *metrics != "" {
+		mux := telemetry.AdminMux()
+		telemetry.Default.RegisterVar("announcer_sessions", func() any { return engine.Sessions() })
+		telemetry.ServeAdmin(*metrics, mux, log.Printf)
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -11,7 +11,7 @@
 //
 // Experiments: exp1 table12 exp2 exp3 exp4 sharegen table13 fanout
 // diskablation throughput tcpthroughput domainscale memscale
-// streamscale groupscale all. The
+// streamscale groupscale telemetryoverhead all. The
 // tcpthroughput experiment runs the query mix over real loopback TCP
 // twice — with the serialised one-RPC-per-connection baseline and with
 // the multiplexed client — so the transport win is measured, not
@@ -31,7 +31,10 @@
 // group a full S0/S1/S2 triple serving a contiguous cell range,
 // reporting mixed-query throughput, the peak wire frame (which must not
 // grow with groups) and the owner-side merge cost; multi-group result
-// fingerprints must match the single-group baseline.
+// fingerprints must match the single-group baseline. The
+// telemetryoverhead experiment runs one query mix with metrics and
+// tracing disabled and again with both enabled, reporting queries/sec
+// for each mode and the relative overhead, which must stay small.
 package main
 
 import (
@@ -44,11 +47,13 @@ import (
 
 	"prism/internal/benchx"
 	"prism/internal/report"
+	"prism/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|memscale|streamscale|groupscale|all")
+		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|memscale|streamscale|groupscale|telemetryoverhead|all")
+		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run (e.g. :9103); empty disables the endpoint")
 		paper   = flag.Bool("paper", false, "use the paper's full sizes (5M/20M domains; needs ~16GB RAM)")
 		domain  = flag.Uint64("domain", 0, "override: single domain size")
 		owners  = flag.Int("owners", 0, "override: owner count for exp1/exp3/table12/sharegen")
@@ -58,6 +63,12 @@ func main() {
 		shard   = flag.Uint64("shard", 0, "domainscale: shard size in cells for the sharded wire mode (0 = 65536)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		telemetry.ServeAdmin(*metrics, telemetry.AdminMux(), func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "prism-bench: "+format+"\n", args...)
+		})
+	}
 
 	sc := benchx.QuickScale()
 	if *paper {
@@ -172,6 +183,10 @@ func main() {
 	if want("groupscale") {
 		matched = true
 		run("groupscale", func() ([]*report.Table, error) { return benchx.GroupScale(ctx, sc) })
+	}
+	if want("telemetryoverhead") {
+		matched = true
+		run("telemetryoverhead", func() ([]*report.Table, error) { return benchx.TelemetryOverhead(ctx, sc) })
 	}
 	if !matched {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -75,6 +75,7 @@ import (
 	"prism/internal/ownerengine"
 	"prism/internal/params"
 	"prism/internal/protocol"
+	"prism/internal/telemetry"
 	"prism/internal/transport"
 	"prism/internal/viewio"
 )
@@ -94,6 +95,7 @@ func main() {
 		verify    = flag.Bool("verify", false, "outsource verification columns / verify query results")
 		inflight  = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 		shard     = flag.Uint64("shard", 0, "shard size in cells for uploads and query vectors (0 = one frame per exchange)")
+		metrics   = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9102); empty disables the endpoint")
 	)
 	flag.Parse()
 	if (*viewPath == "" && *viewPaths == "") || *servers == "" || *op == "" {
@@ -132,6 +134,11 @@ func main() {
 	}
 	client := transport.NewTCPClientOpts(book, transport.ClientOptions{PerConnInflight: *inflight})
 	defer client.Close()
+	if *metrics != "" {
+		telemetry.ServeAdmin(*metrics, telemetry.AdminMux(), func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "prism-owner: "+format+"\n", args...)
+		})
+	}
 
 	owner, err := ownerengine.NewMulti(*index, cfgs, client, [32]byte{})
 	if err != nil {

@@ -15,17 +15,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"prism/internal/params"
+	"prism/internal/protocol"
 	"prism/internal/serverengine"
 	"prism/internal/sharestore"
+	"prism/internal/telemetry"
 	"prism/internal/transport"
 	"prism/internal/viewio"
 )
@@ -46,6 +50,7 @@ func main() {
 		threads    = flag.Int("threads", 0, "worker pool width (0 = GOMAXPROCS)")
 		inflight   = flag.Int("inflight", 0, "per-connection RPC pipelining depth (0 = transport default)")
 		recoverTab = flag.Bool("recover", false, "with -disk: reload outsourced tables from the store's manifests at startup (corrupt tables are quarantined, crashed uploads reclaimed) instead of booting empty")
+		metrics    = flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/tables and /debug/pprof on this address (e.g. :9101); empty disables the endpoint")
 	)
 	flag.Parse()
 	if *viewPath == "" {
@@ -105,6 +110,13 @@ func main() {
 		}
 	}
 
+	if *metrics != "" {
+		mux := telemetry.AdminMux()
+		mux.HandleFunc("/debug/tables", tablesHandler(engine, opts.Store))
+		registerServerVars(engine, opts.Store)
+		telemetry.ServeAdmin(*metrics, mux, log.Printf)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
@@ -119,6 +131,61 @@ func main() {
 	}
 	if err := transport.Serve(ctx, ln, engine, serveOpts...); err != nil {
 		fatal(err)
+	}
+}
+
+// tablesHandler serves /debug/tables: the server's ListTables answer
+// plus the share store's quarantine entries with their reasons — one
+// stop for "what is this server serving, and what did recovery set
+// aside?".
+func tablesHandler(engine *serverengine.Engine, store *sharestore.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rep, err := engine.Handle(r.Context(), protocol.ListTablesRequest{})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		lrep, _ := rep.(protocol.ListTablesReply)
+		out := struct {
+			Tables      []protocol.TableStatus      `json:"tables"`
+			Quarantined []sharestore.QuarantineInfo `json:"quarantined,omitempty"`
+		}{Tables: lrep.Tables}
+		if store != nil {
+			if q, err := store.Quarantined(); err == nil {
+				out.Quarantined = q
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	}
+}
+
+// registerServerVars exposes the server's table inventory and
+// quarantine state under /debug/vars, alongside the numeric metric
+// snapshot.
+func registerServerVars(engine *serverengine.Engine, store *sharestore.Store) {
+	telemetry.Default.RegisterVar("served_tables", func() any {
+		rep, err := engine.Handle(context.Background(), protocol.ListTablesRequest{})
+		if err != nil {
+			return err.Error()
+		}
+		lrep, _ := rep.(protocol.ListTablesReply)
+		names := make([]string, 0, len(lrep.Tables))
+		for _, t := range lrep.Tables {
+			names = append(names, t.Spec.Name)
+		}
+		return names
+	})
+	if store != nil {
+		telemetry.Default.RegisterVar("quarantined_tables", func() any {
+			q, err := store.Quarantined()
+			if err != nil {
+				return err.Error()
+			}
+			return q
+		})
 	}
 }
 

@@ -247,6 +247,13 @@ type Config struct {
 	// EncodeWire forces gob round-trips on the in-process transport,
 	// exercising exactly what the TCP transport sends.
 	EncodeWire bool
+	// Trace records a per-phase timeline for every query: the system
+	// mints one trace id per query, the engines stamp it onto the wire
+	// requests, and every site (owner exchange, server fetch/patch/
+	// compute, announcer rounds) annotates spans the system assembles
+	// into a System.QueryTrace(id) timeline. Off by default — traced
+	// queries pay a few spans per request on the wire.
+	Trace bool
 	// Delta overrides the additive-group prime δ (0 → 113, the paper's).
 	Delta uint64
 	// TableName names the outsourced table (default "main").

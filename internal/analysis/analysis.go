@@ -159,6 +159,7 @@ func Analyzers() []*Analyzer {
 		AtomicWrite,
 		LockScope,
 		TestHook,
+		MetricNames,
 	}
 }
 

@@ -1,0 +1,33 @@
+// Fixture telemetry package: the name table and the constructors the
+// metricnames analyzer audits call sites of. The analyzer skips this
+// package itself.
+package telemetry
+
+// The name table — the only legal sources for a series name.
+const (
+	MetricRPCSeconds = "prism_rpc_seconds"
+	MetricCacheHits  = "prism_cache_hits_total"
+	MetricHeldBytes  = "prism_held_bytes"
+)
+
+// LatencyBuckets mimics the shared bucket table.
+var LatencyBuckets = []float64{0.001, 0.01, 0.1, 1}
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Histogram struct{}
+
+type HistogramVec struct{}
+
+func (h *HistogramVec) Observe(label string, v float64) {}
+
+type GaugeVec struct{}
+
+func NewCounter(name string) *Counter                               { return nil }
+func NewGauge(name string) *GaugeVec                                { return nil }
+func NewHistogram(name string, buckets []float64) *Histogram        { return nil }
+func NewCounterVec(name, label string) *Counter                     { return nil }
+func NewGaugeVec(name, label string) *GaugeVec                      { return nil }
+func NewHistogramVec(name, label string, b []float64) *HistogramVec { return nil }

@@ -10,9 +10,11 @@ import (
 // trees under testdata mirror the same layout, so these work for both
 // the real module and the test fixtures.
 const (
-	protocolPath  = "prism/internal/protocol"
-	transportPath = "prism/internal/transport"
-	storePath     = "prism/internal/sharestore"
+	protocolPath     = "prism/internal/protocol"
+	transportPath    = "prism/internal/transport"
+	storePath        = "prism/internal/sharestore"
+	telemetryPath    = "prism/internal/telemetry"
+	serverEnginePath = "prism/internal/serverengine"
 )
 
 // calleeObject resolves the object a call expression invokes: a

@@ -17,6 +17,7 @@ import (
 	"math/big"
 	"sort"
 	"sync"
+	"time"
 
 	"prism/internal/params"
 	"prism/internal/protocol"
@@ -111,9 +112,12 @@ func (e *Engine) handleAnnounce(r protocol.AnnounceRequest) (any, error) {
 		st.have[r.ServerIdx] = true
 	}
 	if st.have[0] && st.have[1] && st.results[0] == nil {
+		start := time.Now()
 		if err := e.resolve(st); err != nil {
 			return nil, err
 		}
+		mResolves.Inc()
+		mResolveSeconds.Observe(time.Since(start).Seconds())
 	}
 	have := 0
 	for _, h := range st.have {
@@ -203,6 +207,8 @@ func (e *Engine) handleReduce(r protocol.ExtremeReduceRequest) (any, error) {
 	if len(r.SubQueryIDs) == 0 {
 		return nil, fmt.Errorf("announcer: reduce %q: no sub-queries", r.QueryID)
 	}
+	start := time.Now()
+	defer func() { mReduceSeconds.Observe(time.Since(start).Seconds()) }()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	rounds := make([][]*big.Int, len(r.SubQueryIDs))
@@ -250,6 +256,7 @@ func (e *Engine) handleReduce(r protocol.ExtremeReduceRequest) (any, error) {
 	default:
 		return nil, fmt.Errorf("announcer: reduce %q: unknown kind %v", r.QueryID, r.Kind)
 	}
+	rep.Spans = reduceSpan(r.TraceID, start)
 	return rep, nil
 }
 

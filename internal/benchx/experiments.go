@@ -556,7 +556,7 @@ func MemScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
 	tb := report.New(
 		fmt.Sprintf("Memory scale — %d owners, %d mixed queries per point, %d in flight, shard/chunk %s cells, cache budget %s",
 			sc.Owners, nq, inflight, human(shard), humanBytes(int64(budget))),
-		"domain", "mode", "outsource peak resident", "query peak resident", "queries/sec", "wall(s)", "results")
+		"domain", "mode", "outsource peak resident", "query peak resident", "queries/sec", "cells/sec", "wall(s)", "results")
 
 	for _, domain := range sc.Domains {
 		var baseline []string
@@ -586,9 +586,11 @@ func MemScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
 			for i := range reqs {
 				reqs[i] = memScaleMix[i%len(memScaleMix)]
 			}
+			cells0 := cellsProcessed.Value()
 			start := time.Now()
 			resps := sys.QueryBatch(ctx, reqs)
 			wall := time.Since(start)
+			cellsSeen := cellsProcessed.Value() - cells0
 			fps := make([]string, len(resps))
 			for i, r := range resps {
 				if r.Err != nil {
@@ -608,7 +610,8 @@ func MemScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
 				}
 			}
 			tb.Add(human(domain), mode.name, humanBytes(outPeak), humanBytes(sys.PeakServerHeldBytes()),
-				fmt.Sprintf("%.1f", float64(nq)/wall.Seconds()), report.Seconds(wall.Nanoseconds()), result)
+				fmt.Sprintf("%.1f", float64(nq)/wall.Seconds()), cellsRate(cellsSeen, wall),
+				report.Seconds(wall.Nanoseconds()), result)
 		}
 	}
 	return []*report.Table{tb}, nil
@@ -891,7 +894,7 @@ func GroupScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
 	tb := report.New(
 		fmt.Sprintf("Group scale — %d owners, %s-cell domain, %d mixed queries per point, %d in flight, 1 thread per server",
 			sc.Owners, human(domain), nq, inflight),
-		"groups", "queries/sec", "speedup", "peak frame", "owner merge(ms/query)", "results")
+		"groups", "queries/sec", "cells/sec", "speedup", "peak frame", "owner merge(ms/query)", "results")
 
 	var baseline []string
 	var baseQPS float64
@@ -916,9 +919,11 @@ func GroupScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
 		for i := range reqs {
 			reqs[i] = memScaleMix[i%len(memScaleMix)]
 		}
+		cells0 := cellsProcessed.Value()
 		start := time.Now()
 		resps := sys.QueryBatch(ctx, reqs)
 		wall := time.Since(start)
+		cellsSeen := cellsProcessed.Value() - cells0
 
 		fps := make([]string, len(resps))
 		var ownerNS int64
@@ -958,6 +963,7 @@ func GroupScale(ctx context.Context, sc Scale) ([]*report.Table, error) {
 		}
 		tb.Add(fmt.Sprint(groups),
 			fmt.Sprintf("%.1f", qps),
+			cellsRate(cellsSeen, wall),
 			speedup,
 			humanBytes(peak),
 			fmt.Sprintf("%.2f", float64(ownerNS)/float64(nq)/1e6),

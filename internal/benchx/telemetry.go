@@ -1,0 +1,120 @@
+package benchx
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"prism"
+	"prism/internal/report"
+	"prism/internal/telemetry"
+)
+
+// cellsProcessed is the server engines' cells-processed counter; the
+// registry dedupes by name, so this is the same counter the engines
+// bump and benchx can read throughput deltas off it.
+var cellsProcessed = telemetry.NewCounter(telemetry.MetricCellsProcessed)
+
+// cellsRate formats a cells/sec figure from a counter delta over one
+// measured batch.
+func cellsRate(delta int64, wall time.Duration) string {
+	if delta <= 0 {
+		return "-"
+	}
+	r := float64(delta) / wall.Seconds()
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fK", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}
+
+// telemetryOverheadRounds is how many times each mode's batch runs.
+// Off and on rounds interleave and the median wall per mode is kept,
+// so scheduler noise and thermal drift hit both modes equally instead
+// of biasing whichever mode ran second; the median (unlike the min)
+// also shrugs off a single anomalously quiet round.
+const telemetryOverheadRounds = 7
+
+// TelemetryOverhead measures the cost of the observability plane: one
+// system runs the same mixed query batch with metrics and tracing
+// disabled (telemetry.SetEnabled(false)) and again with both enabled
+// (tracing minting a phase timeline per query), reporting queries/sec
+// for each mode and the relative slowdown. The instrumentation is
+// atomic counters plus a handful of span records per query, so the
+// overhead must stay in the low single digits; the CI smoke enforces a
+// 2% budget.
+func TelemetryOverhead(ctx context.Context, sc Scale) ([]*report.Table, error) {
+	domain := sc.Domains[0]
+	nq := sc.ThroughputQueries
+	if nq <= 0 {
+		nq = 24
+	}
+	const inflight = 8
+	sys, _, _, err := Build(SystemSpec{
+		Owners: sc.Owners, Domain: domain, Trace: true, Seed: "telemetryoverhead",
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.SetMaxInflight(inflight)
+	reqs := make([]prism.Request, nq)
+	for i := range reqs {
+		reqs[i] = memScaleMix[i%len(memScaleMix)]
+	}
+	batch := func(enabled bool) (time.Duration, error) {
+		// Level the allocation debt from the previous batch so GC pauses
+		// land between measurements, not inside whichever mode runs next.
+		runtime.GC()
+		telemetry.SetEnabled(enabled)
+		start := time.Now()
+		resps := sys.QueryBatch(ctx, reqs)
+		wall := time.Since(start)
+		for i, r := range resps {
+			if r.Err != nil {
+				return 0, fmt.Errorf("benchx: telemetryoverhead: query %d failed: %v", i, r.Err)
+			}
+		}
+		return wall, nil
+	}
+	defer telemetry.SetEnabled(true)
+	// Warm every cache and code path before the measured rounds.
+	if _, err := batch(true); err != nil {
+		return nil, err
+	}
+	offWalls := make([]time.Duration, 0, telemetryOverheadRounds)
+	onWalls := make([]time.Duration, 0, telemetryOverheadRounds)
+	for round := 0; round < telemetryOverheadRounds; round++ {
+		off, err := batch(false)
+		if err != nil {
+			return nil, err
+		}
+		on, err := batch(true)
+		if err != nil {
+			return nil, err
+		}
+		offWalls = append(offWalls, off)
+		onWalls = append(onWalls, on)
+	}
+	median := func(ws []time.Duration) time.Duration {
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		return ws[len(ws)/2]
+	}
+	offWall, onWall := median(offWalls), median(onWalls)
+	offQPS := float64(nq) / offWall.Seconds()
+	onQPS := float64(nq) / onWall.Seconds()
+	overhead := (offQPS - onQPS) / offQPS * 100
+	tb := report.New(
+		fmt.Sprintf("Telemetry overhead — %s OK domain, %d owners, %d mixed queries per point, %d in flight, median of %d rounds",
+			human(domain), sc.Owners, nq, inflight, telemetryOverheadRounds),
+		"mode", "queries/sec", "wall(s)", "overhead")
+	tb.Add("metrics+tracing off", fmt.Sprintf("%.1f", offQPS), report.Seconds(offWall.Nanoseconds()), "-")
+	tb.Add("metrics+tracing on", fmt.Sprintf("%.1f", onQPS), report.Seconds(onWall.Nanoseconds()),
+		fmt.Sprintf("%+.2f%%", overhead))
+	return []*report.Table{tb}, nil
+}

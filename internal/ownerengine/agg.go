@@ -9,6 +9,7 @@ import (
 	"prism/internal/perm"
 	"prism/internal/protocol"
 	"prism/internal/share"
+	"prism/internal/telemetry"
 )
 
 // AggResult is the outcome of a summary aggregation (sum/avg/count-
@@ -50,6 +51,7 @@ func (r *AggResult) Avg(col string, cell uint64) (float64, bool) {
 // column instead of three servers' worth of reply vectors.
 func (o *engine) Aggregate(ctx context.Context, table string, selected []uint64, cols []string, withCount, verify bool) (*AggResult, error) {
 	wall := time.Now()
+	tid := telemetry.TraceID(ctx)
 	b := o.view.B
 	sess := o.newSession("agg")
 
@@ -100,6 +102,7 @@ func (o *engine) Aggregate(ctx context.Context, table string, selected []uint64,
 			Cols:      cols,
 			WithCount: withCount,
 			Z:         zShares[phi][rg.Offset:rg.End()],
+			TraceID:   tid,
 		}
 		if p.wire {
 			req.Shard = rg
@@ -185,6 +188,7 @@ func (o *engine) Aggregate(ctx context.Context, table string, selected []uint64,
 	}
 	stats.OwnerNS = ownerNS + stats.OwnerNS + time.Since(start).Nanoseconds()
 	stats.WallNS = time.Since(wall).Nanoseconds()
+	o.finishTrace(&stats, tid, qid, wall)
 	res.Stats = stats
 	return res, nil
 }

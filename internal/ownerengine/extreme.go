@@ -9,6 +9,7 @@ import (
 
 	"prism/internal/protocol"
 	"prism/internal/share"
+	"prism/internal/telemetry"
 )
 
 // LocalValue computes this owner's private per-cell statistic for an
@@ -64,6 +65,7 @@ func (o *engine) SubmitExtreme(ctx context.Context, qid string, kind protocol.Ex
 	if err != nil {
 		return err
 	}
+	tid := telemetry.TraceID(ctx)
 	_, err = o.call2(ctx, func(phi int) any {
 		return protocol.ExtremeSubmitRequest{
 			QueryID: qid,
@@ -71,6 +73,7 @@ func (o *engine) SubmitExtreme(ctx context.Context, qid string, kind protocol.Ex
 			Owner:   o.Index,
 			Group:   o.view.Group,
 			VShare:  shares[phi].Bytes(),
+			TraceID: tid,
 		}
 	})
 	return err
@@ -92,8 +95,9 @@ type ExtremeOutcome struct {
 // F(z) ≤ v < F(z+1) (§6.3 Step 5a).
 func (o *engine) FetchExtreme(ctx context.Context, qid string, kind protocol.ExtremeKind) (*ExtremeOutcome, error) {
 	wall := time.Now()
+	tid := telemetry.TraceID(ctx)
 	replies, err := o.call2(ctx, func(int) any {
-		return protocol.ExtremeFetchRequest{QueryID: qid}
+		return protocol.ExtremeFetchRequest{QueryID: qid, TraceID: tid}
 	})
 	if err != nil {
 		return nil, err
@@ -108,6 +112,10 @@ func (o *engine) FetchExtreme(ctx context.Context, qid string, kind protocol.Ext
 			return nil, fmt.Errorf("ownerengine: extreme query %q not ready", qid)
 		}
 		reps[phi] = rep
+	}
+	var spans []protocol.Span
+	for _, rep := range reps {
+		spans = append(spans, rep.Spans...)
 	}
 	if len(reps[0].ValueShares) != len(reps[1].ValueShares) {
 		return nil, fmt.Errorf("ownerengine: extreme share count mismatch")
@@ -143,6 +151,8 @@ func (o *engine) FetchExtreme(ctx context.Context, qid string, kind protocol.Ext
 	out.Stats.OwnerNS = time.Since(start).Nanoseconds()
 	out.Stats.WallNS = time.Since(wall).Nanoseconds()
 	out.Stats.Rounds = 1
+	out.Stats.Server.Spans = append(out.Stats.Server.Spans, spans...)
+	o.finishTrace(&out.Stats, tid, qid, wall)
 	return out, nil
 }
 

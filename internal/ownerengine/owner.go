@@ -78,6 +78,10 @@ type QueryStats struct {
 	OwnerNS int64          // owner-side result construction (Table 14)
 	WallNS  int64
 	Rounds  int
+	// TraceID is set when the query ran under a telemetry trace
+	// (telemetry.WithTraceID on the context); Server.Spans then carries
+	// the per-phase timeline the sites annotated.
+	TraceID string
 }
 
 // engine is one DB owner's per-group protocol engine: it speaks the

@@ -8,6 +8,7 @@ import (
 	"prism/internal/modmath"
 	"prism/internal/perm"
 	"prism/internal/protocol"
+	"prism/internal/telemetry"
 )
 
 // SetResult is the outcome of a PSI or PSU query: the natural-order cell
@@ -25,6 +26,7 @@ type SetResult struct {
 // of replies arrives, so no whole-domain reply frame ever exists.
 func (o *engine) PSI(ctx context.Context, table string) (*SetResult, error) {
 	wall := time.Now()
+	tid := telemetry.TraceID(ctx)
 	qid := o.newSession("psi").qid
 	b := o.view.B
 	eta := o.view.Eta
@@ -33,7 +35,7 @@ func (o *engine) PSI(ctx context.Context, table string) (*SetResult, error) {
 	stats.Rounds = 1
 	fopStored := make([]uint64, b)
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.PSIRequest{Table: table, QueryID: qid, Group: o.view.Group}
+		req := protocol.PSIRequest{Table: table, QueryID: qid, Group: o.view.Group, TraceID: tid}
 		if p.wire {
 			req.Shard = rg
 		}
@@ -65,6 +67,7 @@ func (o *engine) PSI(ctx context.Context, table string) (*SetResult, error) {
 	}
 	stats.OwnerNS += time.Since(start).Nanoseconds()
 	stats.WallNS = time.Since(wall).Nanoseconds()
+	o.finishTrace(&stats, tid, qid, wall)
 	return &SetResult{Cells: cells, fop: fop, Stats: stats}, nil
 }
 
@@ -92,13 +95,15 @@ func (o *engine) VerifyPSI(ctx context.Context, table string, res *SetResult) er
 	if res == nil || uint64(len(res.fop)) != o.view.B {
 		return fmt.Errorf("ownerengine: VerifyPSI needs the PSI result vector")
 	}
+	wall := time.Now()
+	tid := telemetry.TraceID(ctx)
 	qid := o.newSession("psiv").qid
 	b := o.view.B
 	eta := o.view.Eta
 	p := o.plan(b)
 	r2Stored := make([]uint64, b)
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.PSIVerifyRequest{Table: table, QueryID: qid, Group: o.view.Group}
+		req := protocol.PSIVerifyRequest{Table: table, QueryID: qid, Group: o.view.Group, TraceID: tid}
 		if p.wire {
 			req.Shard = rg
 		}
@@ -135,12 +140,14 @@ func (o *engine) VerifyPSI(ctx context.Context, table string, res *SetResult) er
 	}
 	res.Stats.OwnerNS += time.Since(start).Nanoseconds()
 	res.Stats.Rounds++
+	o.finishTrace(&res.Stats, tid, qid, wall)
 	return nil
 }
 
 // PSU runs the §7 protocol and returns the union cells.
 func (o *engine) PSU(ctx context.Context, table string) (*SetResult, error) {
 	wall := time.Now()
+	tid := telemetry.TraceID(ctx)
 	qid := o.newSession("psu").qid
 	b := o.view.B
 	delta := o.view.Delta
@@ -149,7 +156,7 @@ func (o *engine) PSU(ctx context.Context, table string) (*SetResult, error) {
 	stats.Rounds = 1
 	fopStored := make([]uint64, b)
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.PSURequest{Table: table, QueryID: qid, Group: o.view.Group}
+		req := protocol.PSURequest{Table: table, QueryID: qid, Group: o.view.Group, TraceID: tid}
 		if p.wire {
 			req.Shard = rg
 		}
@@ -179,6 +186,7 @@ func (o *engine) PSU(ctx context.Context, table string) (*SetResult, error) {
 	}
 	stats.OwnerNS += time.Since(start).Nanoseconds()
 	stats.WallNS = time.Since(wall).Nanoseconds()
+	o.finishTrace(&stats, tid, qid, wall)
 	return &SetResult{Cells: cells, fop: fop, Stats: stats}, nil
 }
 
@@ -214,6 +222,7 @@ type CountResult struct {
 // materialises a whole-domain vector on either side of the wire.
 func (o *engine) Count(ctx context.Context, table string, verify bool) (*CountResult, error) {
 	wall := time.Now()
+	tid := telemetry.TraceID(ctx)
 	qid := o.newSession("count").qid
 	b := o.view.B
 	eta := o.view.Eta
@@ -222,7 +231,7 @@ func (o *engine) Count(ctx context.Context, table string, verify bool) (*CountRe
 	stats.Rounds = 1
 	count := 0
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.CountRequest{Table: table, QueryID: qid, Group: o.view.Group, Verify: verify}
+		req := protocol.CountRequest{Table: table, QueryID: qid, Group: o.view.Group, Verify: verify, TraceID: tid}
 		if p.wire {
 			req.Shard = rg
 		}
@@ -268,6 +277,7 @@ func (o *engine) Count(ctx context.Context, table string, verify bool) (*CountRe
 		stats.Rounds++
 	}
 	stats.WallNS = time.Since(wall).Nanoseconds()
+	o.finishTrace(&stats, tid, qid, wall)
 	return &CountResult{Count: count, Stats: stats}, nil
 }
 
@@ -275,6 +285,7 @@ func (o *engine) Count(ctx context.Context, table string, verify bool) (*CountRe
 // nonzero entries, folding each permuted window in as it arrives.
 func (o *engine) PSUCount(ctx context.Context, table string) (*CountResult, error) {
 	wall := time.Now()
+	tid := telemetry.TraceID(ctx)
 	qid := o.newSession("psucount").qid
 	b := o.view.B
 	delta := o.view.Delta
@@ -283,7 +294,7 @@ func (o *engine) PSUCount(ctx context.Context, table string) (*CountResult, erro
 	stats.Rounds = 1
 	count := 0
 	err := o.forEachShard(ctx, p, 2, func(phi int, rg protocol.Range) any {
-		req := protocol.PSURequest{Table: table, QueryID: qid, Group: o.view.Group, Permute: true}
+		req := protocol.PSURequest{Table: table, QueryID: qid, Group: o.view.Group, Permute: true, TraceID: tid}
 		if p.wire {
 			req.Shard = rg
 		}
@@ -306,5 +317,6 @@ func (o *engine) PSUCount(ctx context.Context, table string) (*CountResult, erro
 		return nil, err
 	}
 	stats.WallNS = time.Since(wall).Nanoseconds()
+	o.finishTrace(&stats, tid, qid, wall)
 	return &CountResult{Count: count, Stats: stats}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"prism/internal/bucket"
 	"prism/internal/params"
@@ -133,8 +134,12 @@ func (o *Owner) groupErr(g int, err error) error {
 }
 
 // eachGroup runs fn for every listed group concurrently and joins the
-// group-tagged errors.
-func (o *Owner) eachGroup(sel []int, fn func(g int) error) error {
+// group-tagged errors. op labels the fan-out latency series: the
+// recorded duration is the slowest group's, since the groups run
+// concurrently.
+func (o *Owner) eachGroup(op string, sel []int, fn func(g int) error) error {
+	start := time.Now()
+	defer func() { mFanoutSeconds.Observe(op, time.Since(start).Seconds()) }()
 	if len(sel) == 1 {
 		return o.groupErr(sel[0], fn(sel[0]))
 	}
@@ -247,7 +252,7 @@ func (o *Owner) Outsource(ctx context.Context, spec OutsourceSpec) (ShareGenStat
 	}
 	var mu sync.Mutex
 	var total ShareGenStats
-	err := o.eachGroup(o.allGroups(), func(g int) error {
+	err := o.eachGroup("outsource", o.allGroups(), func(g int) error {
 		st, err := o.groups[g].Outsource(ctx, spec)
 		mu.Lock()
 		total.BuildNS += st.BuildNS
@@ -290,18 +295,21 @@ func mergeQueryStats(dst *QueryStats, src QueryStats) {
 	if src.Rounds > dst.Rounds {
 		dst.Rounds = src.Rounds
 	}
+	if dst.TraceID == "" {
+		dst.TraceID = src.TraceID
+	}
 }
 
 // setQuery fans one set-result query (PSI or PSU) out to every group
 // and reassembles the global result: per-group fop vectors concatenate
 // into the global natural-order vector (group slices are contiguous and
 // ascending) and result cells shift by their group's start.
-func (o *Owner) setQuery(ctx context.Context, run func(e *engine) (*SetResult, error)) (*SetResult, error) {
+func (o *Owner) setQuery(ctx context.Context, op string, run func(e *engine) (*SetResult, error)) (*SetResult, error) {
 	if len(o.groups) == 1 {
 		return run(o.groups[0])
 	}
 	subs := make([]*SetResult, len(o.groups))
-	err := o.eachGroup(o.allGroups(), func(g int) error {
+	err := o.eachGroup(op, o.allGroups(), func(g int) error {
 		res, err := run(o.groups[g])
 		subs[g] = res
 		return err
@@ -325,12 +333,12 @@ func (o *Owner) setQuery(ctx context.Context, run func(e *engine) (*SetResult, e
 
 // PSI runs the intersection query across all groups.
 func (o *Owner) PSI(ctx context.Context, table string) (*SetResult, error) {
-	return o.setQuery(ctx, func(e *engine) (*SetResult, error) { return e.PSI(ctx, table) })
+	return o.setQuery(ctx, "psi", func(e *engine) (*SetResult, error) { return e.PSI(ctx, table) })
 }
 
 // PSU runs the union query across all groups.
 func (o *Owner) PSU(ctx context.Context, table string) (*SetResult, error) {
-	return o.setQuery(ctx, func(e *engine) (*SetResult, error) { return e.PSU(ctx, table) })
+	return o.setQuery(ctx, "psu", func(e *engine) (*SetResult, error) { return e.PSU(ctx, table) })
 }
 
 // VerifyPSI runs the verification round in every group against the
@@ -343,7 +351,7 @@ func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) err
 		return fmt.Errorf("ownerengine: VerifyPSI needs the PSI result vector")
 	}
 	subs := make([]*SetResult, len(o.groups))
-	err := o.eachGroup(o.allGroups(), func(g int) error {
+	err := o.eachGroup("verifypsi", o.allGroups(), func(g int) error {
 		e := o.groups[g]
 		sub := &SetResult{fop: res.fop[o.starts[g] : o.starts[g]+e.view.B]}
 		subs[g] = sub
@@ -361,12 +369,12 @@ func (o *Owner) VerifyPSI(ctx context.Context, table string, res *SetResult) err
 }
 
 // countQuery fans a scalar-count query out to every group and sums.
-func (o *Owner) countQuery(ctx context.Context, run func(e *engine) (*CountResult, error)) (*CountResult, error) {
+func (o *Owner) countQuery(ctx context.Context, op string, run func(e *engine) (*CountResult, error)) (*CountResult, error) {
 	if len(o.groups) == 1 {
 		return run(o.groups[0])
 	}
 	subs := make([]*CountResult, len(o.groups))
-	err := o.eachGroup(o.allGroups(), func(g int) error {
+	err := o.eachGroup(op, o.allGroups(), func(g int) error {
 		res, err := run(o.groups[g])
 		subs[g] = res
 		return err
@@ -387,12 +395,12 @@ func (o *Owner) countQuery(ctx context.Context, run func(e *engine) (*CountResul
 
 // Count runs PSI count across all groups and sums the cardinalities.
 func (o *Owner) Count(ctx context.Context, table string, verify bool) (*CountResult, error) {
-	return o.countQuery(ctx, func(e *engine) (*CountResult, error) { return e.Count(ctx, table, verify) })
+	return o.countQuery(ctx, "count", func(e *engine) (*CountResult, error) { return e.Count(ctx, table, verify) })
 }
 
 // PSUCount runs PSU count across all groups and sums the cardinalities.
 func (o *Owner) PSUCount(ctx context.Context, table string) (*CountResult, error) {
-	return o.countQuery(ctx, func(e *engine) (*CountResult, error) { return e.PSUCount(ctx, table) })
+	return o.countQuery(ctx, "psucount", func(e *engine) (*CountResult, error) { return e.PSUCount(ctx, table) })
 }
 
 // Aggregate splits the selected cells by owning group, runs the
@@ -422,7 +430,7 @@ func (o *Owner) Aggregate(ctx context.Context, table string, selected []uint64, 
 		sel = []int{0}
 	}
 	subs := make([]*AggResult, len(o.groups))
-	err := o.eachGroup(sel, func(g int) error {
+	err := o.eachGroup("aggregate", sel, func(g int) error {
 		res, err := o.groups[g].Aggregate(ctx, table, perGroup[g], cols, withCount, verify)
 		subs[g] = res
 		return err
@@ -489,7 +497,7 @@ func (o *Owner) Update(ctx context.Context, table string, add, remove *Data) (Up
 	var mu sync.Mutex
 	var total UpdateStats
 	total.FastPath = true
-	err = o.eachGroup(sel, func(g int) error {
+	err = o.eachGroup("update", sel, func(g int) error {
 		st, err := o.groups[g].Update(ctx, table, addParts[g], remParts[g])
 		mu.Lock()
 		total.BuildNS += st.BuildNS

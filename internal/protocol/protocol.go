@@ -62,16 +62,39 @@ func (r Range) Validate(b uint64) error {
 type Stats struct {
 	FetchNS   int64 // time reading shares from the share store
 	ComputeNS int64 // time in the oblivious compute loop
+	PatchNS   int64 // time merging the delta overlay into fetched windows
 	Cells     int   // cells processed
 	CacheHits int   // column reads served by the hot-column cache
+	// Spans carries the per-phase trace annotations of a traced request
+	// (the request carried a non-empty TraceID). nil — and therefore
+	// absent from the gob stream — for untraced queries. Because every
+	// Stats merge goes through Add, spans from sharded multi-window
+	// fan-outs and multi-group exchanges accumulate into the querier's
+	// timeline without any extra wiring.
+	Spans []Span
 }
 
 // Add accumulates s2 into s.
 func (s *Stats) Add(s2 Stats) {
 	s.FetchNS += s2.FetchNS
 	s.ComputeNS += s2.ComputeNS
+	s.PatchNS += s2.PatchNS
 	s.Cells += s2.Cells
 	s.CacheHits += s2.CacheHits
+	s.Spans = append(s.Spans, s2.Spans...)
+}
+
+// Span is one timed phase of a traced query: which phase ran (Name,
+// e.g. "server:fetch"), where it ran (Site, e.g. "g1/s0", "owner/2",
+// "announcer"), and when. StartNS is Unix nanoseconds so spans from
+// different processes order on one timeline (clock skew between real
+// hosts applies; within one process the ordering is exact).
+type Span struct {
+	Name    string
+	Site    string
+	StartNS int64
+	DurNS   int64
+	Note    string // free-form annotation, e.g. the sub-query id
 }
 
 // ---- Phase 1: data outsourcing (owner → server) ----
@@ -173,6 +196,7 @@ type DropReply struct{}
 type PSIRequest struct {
 	Table   string
 	QueryID string
+	TraceID string   // non-empty → annotate the reply Stats with Spans
 	Group   int      // target server group
 	Shard   Range    // zero → all cells in one frame
 	Cells   []uint32 // nil → all cells; else the bucket-tree frontier (§6.6)
@@ -190,8 +214,9 @@ type PSIReply struct {
 type PSIVerifyRequest struct {
 	Table   string
 	QueryID string
-	Group   int   // target server group
-	Shard   Range // zero → all cells in one frame
+	TraceID string // non-empty → annotate the reply Stats with Spans
+	Group   int    // target server group
+	Shard   Range  // zero → all cells in one frame
 }
 
 // PSIVerifyReply carries Vout_i = g^(Σ_j A(x̄_i)_j mod δ) mod η'.
@@ -210,8 +235,9 @@ type PSIVerifyReply struct {
 type CountRequest struct {
 	Table   string
 	QueryID string
-	Group   int   // target server group
-	Shard   Range // zero → whole permuted vector in one frame
+	TraceID string // non-empty → annotate the reply Stats with Spans
+	Group   int    // target server group
+	Shard   Range  // zero → whole permuted vector in one frame
 	Verify  bool
 }
 
@@ -233,9 +259,10 @@ type CountReply struct {
 type PSURequest struct {
 	Table   string
 	QueryID string
-	Group   int   // target server group
-	Shard   Range // zero → whole vector in one frame
-	Permute bool  // true → PF_s1-permuted output (PSU count mode)
+	TraceID string // non-empty → annotate the reply Stats with Spans
+	Group   int    // target server group
+	Shard   Range  // zero → whole vector in one frame
+	Permute bool   // true → PF_s1-permuted output (PSU count mode)
 }
 
 // PSUReply carries out_i = ((Σ_j A(x_i)_j) · rand_i) mod δ.
@@ -254,8 +281,9 @@ type PSUReply struct {
 type AggRequest struct {
 	Table     string
 	QueryID   string
-	Group     int   // target server group
-	Shard     Range // zero → whole-domain selector in one frame
+	TraceID   string // non-empty → annotate the reply Stats with Spans
+	Group     int    // target server group
+	Shard     Range  // zero → whole-domain selector in one frame
 	Cols      []string
 	WithCount bool     // also aggregate the count column (average queries)
 	Z         []uint64 // this server's share of z, χ (PF_db1) order
@@ -299,6 +327,7 @@ func (k ExtremeKind) String() string {
 // to one server (§6.3 Step 3).
 type ExtremeSubmitRequest struct {
 	QueryID string
+	TraceID string // non-empty → trace the announcer round
 	Kind    ExtremeKind
 	Owner   int
 	Group   int    // target server group
@@ -309,7 +338,10 @@ type ExtremeSubmitRequest struct {
 type ExtremeSubmitReply struct{ Forwarded bool }
 
 // ExtremeFetchRequest polls a server for the announcer's result shares.
-type ExtremeFetchRequest struct{ QueryID string }
+type ExtremeFetchRequest struct {
+	QueryID string
+	TraceID string // non-empty → annotate the reply with Spans
+}
 
 // ExtremeFetchReply carries this server's additive shares of the result
 // value(s) and, for max/min, of the winning (PF-permuted) slot index.
@@ -318,6 +350,7 @@ type ExtremeFetchReply struct {
 	ValueShares [][]byte // 1 value for max/min; 1 or 2 for median
 	IndexShare  uint16   // share of index mod δ
 	HasIndex    bool
+	Spans       []Span // traced polls: the server's announcer-round wait
 }
 
 // AnnounceRequest is server φ → announcer: the PF-permuted slot array of
@@ -436,6 +469,7 @@ type PlacementReply struct {
 // returns the middle one or two.
 type ExtremeReduceRequest struct {
 	QueryID     string
+	TraceID     string // non-empty → annotate the reply with Spans
 	Kind        ExtremeKind
 	SubQueryIDs []string
 }
@@ -444,8 +478,9 @@ type ExtremeReduceRequest struct {
 // big.Int bytes in [0, Q): one for max/min, one or two for median.
 type ExtremeReduceReply struct {
 	Values    [][]byte
-	WinnerSub int  // index into SubQueryIDs (max/min)
-	HasWinner bool // false for median
+	WinnerSub int    // index into SubQueryIDs (max/min)
+	HasWinner bool   // false for median
+	Spans     []Span // traced reduces: the announcer's cross-group round
 }
 
 // ---- query lifecycle ----
@@ -469,7 +504,7 @@ type QueryDoneReply struct{}
 // nested types, non-encodable fields).
 func Messages() []any {
 	return []any{
-		TableSpec{}, Stats{}, Range{},
+		TableSpec{}, Stats{}, Range{}, Span{},
 		StoreRequest{}, StoreReply{}, DropRequest{}, DropReply{},
 		StoreDeltaRequest{}, StoreDeltaReply{},
 		PSIRequest{}, PSIReply{},

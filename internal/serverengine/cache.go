@@ -181,6 +181,7 @@ func (c *chunkCache) evictLocked() {
 		if c.track != nil {
 			c.track(-victim.size)
 		}
+		mCacheEvictions.Inc()
 	}
 }
 

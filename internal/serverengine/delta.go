@@ -278,6 +278,7 @@ func (d *deltaOverlay) patchGatherU16(key string, idx []uint64, out []uint16) {
 // ---- StoreDelta ----
 
 func (e *Engine) handleStoreDelta(r protocol.StoreDeltaRequest) (any, error) {
+	defer e.observeRPC("storedelta")()
 	if r.Owner < 0 || r.Owner >= e.view.M {
 		return nil, fmt.Errorf("server %d: owner index %d out of range [0,%d)", e.view.Index, r.Owner, e.view.M)
 	}
@@ -347,6 +348,7 @@ func (e *Engine) handleStoreDelta(r protocol.StoreDeltaRequest) (any, error) {
 	entries := t.delta.entryCount()
 	compacting := t.compacting
 	e.mu.Unlock()
+	mDeltaBacklog.Set(r.Table, int64(entries))
 
 	if e.opts.DeltaMax > 0 && entries >= e.opts.DeltaMax && !compacting {
 		go e.Compact(r.Table)
@@ -518,6 +520,7 @@ func (e *Engine) Compact(name string) (CompactStats, error) {
 	}
 	t0.compactMu.Lock()
 	defer t0.compactMu.Unlock()
+	passStart := time.Now()
 
 	e.mu.Lock()
 	t, ok := e.tables[name]
@@ -630,6 +633,18 @@ func (e *Engine) Compact(name string) (CompactStats, error) {
 			st.Segments++
 		}
 	}
+	mCompactions.Inc()
+	mCompactionSeconds.Observe(time.Since(passStart).Seconds())
+	mCompactionEntries.Add(int64(st.Entries))
+	e.mu.RLock()
+	if cur, ok := e.tables[name]; ok {
+		backlog := 0
+		if cur.delta != nil {
+			backlog = cur.delta.entryCount()
+		}
+		mDeltaBacklog.Set(name, int64(backlog))
+	}
+	e.mu.RUnlock()
 	return st, nil
 }
 

@@ -397,9 +397,12 @@ func (e *Engine) trackHeld(delta int64) {
 	for {
 		peak := e.peakHeld.Load()
 		if cur <= peak || e.peakHeld.CompareAndSwap(peak, cur) {
-			return
+			break
 		}
 	}
+	site := e.site()
+	mHeldBytes.Set(site, cur)
+	mPeakHeldBytes.Set(site, e.peakHeld.Load())
 }
 
 // HeldBytes reports the column bytes currently resident (pending
@@ -577,6 +580,7 @@ func (e *Engine) Handle(ctx context.Context, req any) (any, error) {
 // ---- storage ----
 
 func (e *Engine) handleStore(r protocol.StoreRequest) (any, error) {
+	defer e.observeRPC("store")()
 	if e.opts.PendingTTL > 0 {
 		e.sweepPending(time.Now())
 	}
@@ -876,6 +880,7 @@ func (e *Engine) sweepPending(now time.Time) int {
 	if ttl <= 0 {
 		return 0
 	}
+	mPendingSweeps.Inc()
 	type victim struct {
 		table string
 		owner int
@@ -923,6 +928,7 @@ func (e *Engine) sweepPending(now time.Time) int {
 		}
 		mu.Unlock()
 	}
+	mPendingReclaimed.Add(int64(swept))
 	return swept
 }
 
@@ -1071,6 +1077,8 @@ func (e *Engine) handleListTables() protocol.ListTablesReply {
 }
 
 func (e *Engine) handleDrop(r protocol.DropRequest) (any, error) {
+	defer e.observeRPC("drop")()
+	mDeltaBacklog.Set(r.Table, 0)
 	e.mu.Lock()
 	if t, ok := e.tables[r.Table]; ok {
 		for _, oc := range t.owners {
@@ -1236,6 +1244,9 @@ func (e *Engine) chunkSpanU16(t *tableView, key string, k uint64, stats *protoco
 		v, hit, err := t.cache.getU16(key, k, load)
 		if hit {
 			stats.CacheHits++
+			mCacheHits.Inc()
+		} else {
+			mCacheMisses.Inc()
 		}
 		return v, err
 	}
@@ -1254,6 +1265,9 @@ func (e *Engine) chunkSpanU64(t *tableView, key string, k uint64, stats *protoco
 		v, hit, err := t.cache.getU64(key, k, load)
 		if hit {
 			stats.CacheHits++
+			mCacheHits.Inc()
+		} else {
+			mCacheMisses.Inc()
 		}
 		return v, err
 	}
@@ -1270,7 +1284,10 @@ func (e *Engine) fetchU16Window(t *tableView, owner int, col string, rg protocol
 	if err != nil || t.delta == nil {
 		return v, err
 	}
-	return t.delta.patchU16(colKey(owner, col), rg, v, owned), nil
+	start := time.Now()
+	v = t.delta.patchU16(colKey(owner, col), rg, v, owned)
+	stats.PatchNS += time.Since(start).Nanoseconds()
+	return v, nil
 }
 
 // fetchU16WindowRaw is the overlay-free window fetch: a zero-copy slice
@@ -1324,6 +1341,9 @@ func (e *Engine) fetchU16WindowRaw(t *tableView, owner int, col string, rg proto
 		v, hit, err := t.cache.getU16(key, fullColumnChunk, load)
 		if hit {
 			stats.CacheHits++
+			mCacheHits.Inc()
+		} else {
+			mCacheMisses.Inc()
 		}
 		return v, false, err
 	}
@@ -1349,7 +1369,10 @@ func (e *Engine) fetchU64Window(t *tableView, owner int, col string, rg protocol
 	if err != nil || t.delta == nil {
 		return v, err
 	}
-	return t.delta.patchU64(colKey(owner, col), rg, v, owned), nil
+	start := time.Now()
+	v = t.delta.patchU64(colKey(owner, col), rg, v, owned)
+	stats.PatchNS += time.Since(start).Nanoseconds()
+	return v, nil
 }
 
 // fetchU64WindowRaw is fetchU16WindowRaw for uint64 columns.
@@ -1397,6 +1420,9 @@ func (e *Engine) fetchU64WindowRaw(t *tableView, owner int, col string, rg proto
 		v, hit, err := t.cache.getU64(key, fullColumnChunk, load)
 		if hit {
 			stats.CacheHits++
+			mCacheHits.Inc()
+		} else {
+			mCacheMisses.Inc()
 		}
 		return v, false, err
 	}
@@ -1476,7 +1502,9 @@ func (e *Engine) fetchU16Gather(t *tableView, owner int, col string, idx []uint6
 	if err == nil && t.delta != nil {
 		// The gathered slice is always freshly built, so the overlay
 		// patches it in place.
+		start := time.Now()
 		t.delta.patchGatherU16(colKey(owner, col), idx, out)
+		stats.PatchNS += time.Since(start).Nanoseconds()
 	}
 	return out, err
 }
@@ -1656,6 +1684,8 @@ func (e *Engine) psiVector(shares [][]uint16, subtractM bool, stats *protocol.St
 }
 
 func (e *Engine) handlePSI(r protocol.PSIRequest) (any, error) {
+	defer e.observeRPC("psi")()
+	rpcStart := time.Now()
 	if e.view.Index >= 2 {
 		return nil, fmt.Errorf("server %d: holds no additive shares", e.view.Index)
 	}
@@ -1675,7 +1705,9 @@ func (e *Engine) handlePSI(r protocol.PSIRequest) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return protocol.PSIReply{Out: e.psiVector(shares, true, &stats), Stats: stats}, nil
+		out := e.psiVector(shares, true, &stats)
+		e.finishQuery("psi", r.TraceID, rpcStart, &stats)
+		return protocol.PSIReply{Out: out, Stats: stats}, nil
 	}
 	if r.Cells != nil {
 		// Bucket-tree frontier (§6.6): scattered cells, gathered so only
@@ -1691,18 +1723,24 @@ func (e *Engine) handlePSI(r protocol.PSIRequest) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return protocol.PSIReply{Out: e.psiVector(shares, true, &stats), Stats: stats}, nil
+		out := e.psiVector(shares, true, &stats)
+		e.finishQuery("psi", r.TraceID, rpcStart, &stats)
+		return protocol.PSIReply{Out: out, Stats: stats}, nil
 	}
 	shares, err := e.chiWindows(t, false, protocol.Range{Offset: 0, Count: t.spec.B}, &stats)
 	if err != nil {
 		return nil, err
 	}
-	return protocol.PSIReply{Out: e.psiVector(shares, true, &stats), Stats: stats}, nil
+	out := e.psiVector(shares, true, &stats)
+	e.finishQuery("psi", r.TraceID, rpcStart, &stats)
+	return protocol.PSIReply{Out: out, Stats: stats}, nil
 }
 
 // ---- PSI verification (§5.2 Step 2, Equation 7) ----
 
 func (e *Engine) handlePSIVerify(r protocol.PSIVerifyRequest) (any, error) {
+	defer e.observeRPC("psiverify")()
+	rpcStart := time.Now()
 	if e.view.Index >= 2 {
 		return nil, fmt.Errorf("server %d: holds no additive shares", e.view.Index)
 	}
@@ -1727,12 +1765,15 @@ func (e *Engine) handlePSIVerify(r protocol.PSIVerifyRequest) (any, error) {
 	}
 	// No ⊖A(m) on the verification side (Equation 7).
 	out := e.psiVector(shares, false, &stats)
+	e.finishQuery("psiverify", r.TraceID, rpcStart, &stats)
 	return protocol.PSIVerifyReply{Vout: out, Stats: stats}, nil
 }
 
 // ---- PSI count (§6.5) ----
 
 func (e *Engine) handleCount(r protocol.CountRequest) (any, error) {
+	defer e.observeRPC("count")()
+	rpcStart := time.Now()
 	if e.view.Index >= 2 {
 		return nil, fmt.Errorf("server %d: holds no additive shares", e.view.Index)
 	}
@@ -1767,6 +1808,7 @@ func (e *Engine) handleCount(r protocol.CountRequest) (any, error) {
 			}
 			reply.Vout = e.psiVector(vshares, false, &stats)
 		}
+		e.finishQuery("count", r.TraceID, rpcStart, &stats)
 		reply.Stats = stats
 		return reply, nil
 	}
@@ -1794,6 +1836,7 @@ func (e *Engine) handleCount(r protocol.CountRequest) (any, error) {
 		reply.Vout = perm.Apply(e.view.S2, vraw, nil) // aligned under PF_i (Eq. 1)
 		stats.ComputeNS += time.Since(start).Nanoseconds()
 	}
+	e.finishQuery("count", r.TraceID, rpcStart, &stats)
 	reply.Stats = stats
 	return reply, nil
 }
@@ -1801,6 +1844,8 @@ func (e *Engine) handleCount(r protocol.CountRequest) (any, error) {
 // ---- PSU (§7, Equation 18) ----
 
 func (e *Engine) handlePSU(r protocol.PSURequest) (any, error) {
+	defer e.observeRPC("psu")()
+	rpcStart := time.Now()
 	if e.view.Index >= 2 {
 		return nil, fmt.Errorf("server %d: holds no additive shares", e.view.Index)
 	}
@@ -1830,7 +1875,9 @@ func (e *Engine) handlePSU(r protocol.PSURequest) (any, error) {
 		if r.Permute {
 			label = "psup"
 		}
-		return protocol.PSUReply{Out: e.psuMasked(shares, r.Shard, r.QueryID, label, &stats), Stats: stats}, nil
+		out := e.psuMasked(shares, r.Shard, r.QueryID, label, &stats)
+		e.finishQuery("psu", r.TraceID, rpcStart, &stats)
+		return protocol.PSUReply{Out: out, Stats: stats}, nil
 	}
 	full := protocol.Range{Offset: 0, Count: t.spec.B}
 	shares, err := e.chiWindows(t, false, full, &stats)
@@ -1843,6 +1890,7 @@ func (e *Engine) handlePSU(r protocol.PSURequest) (any, error) {
 		out = perm.Apply(e.view.S1, out, nil)
 		stats.ComputeNS += time.Since(start).Nanoseconds()
 	}
+	e.finishQuery("psu", r.TraceID, rpcStart, &stats)
 	return protocol.PSUReply{Out: out, Stats: stats}, nil
 }
 
@@ -1896,6 +1944,8 @@ func (e *Engine) psuMasked(shares [][]uint16, rg protocol.Range, qid, label stri
 // ---- aggregation round 2 (§6.1 Step 4, Equation 11) ----
 
 func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
+	defer e.observeRPC("agg")()
+	rpcStart := time.Now()
 	t, err := e.lookup(r.Table)
 	if err != nil {
 		return nil, err
@@ -1956,6 +2006,7 @@ func (e *Engine) handleAgg(r protocol.AggRequest) (any, error) {
 			reply.VCounts = vacc
 		}
 	}
+	e.finishQuery("agg", r.TraceID, rpcStart, &stats)
 	reply.Stats = stats
 	return reply, nil
 }
@@ -1994,6 +2045,7 @@ func (e *Engine) sumColumn(t *tableView, col string, z []uint64, rg protocol.Ran
 // ---- max/min/median transport (§6.3 Step 4) ----
 
 func (e *Engine) handleExtremeSubmit(ctx context.Context, r protocol.ExtremeSubmitRequest) (any, error) {
+	defer e.observeRPC("extremesubmit")()
 	if e.view.Index >= 2 {
 		return nil, fmt.Errorf("server %d: not an additive-share server", e.view.Index)
 	}
@@ -2047,6 +2099,8 @@ func (e *Engine) handleExtremeSubmit(ctx context.Context, r protocol.ExtremeSubm
 }
 
 func (e *Engine) handleExtremeFetch(ctx context.Context, r protocol.ExtremeFetchRequest) (any, error) {
+	defer e.observeRPC("extremefetch")()
+	rpcStart := time.Now()
 	sess, ok := e.peekSession(r.QueryID)
 	if !ok {
 		return nil, fmt.Errorf("server %d: unknown extreme query %q", e.view.Index, r.QueryID)
@@ -2062,10 +2116,12 @@ func (e *Engine) handleExtremeFetch(ctx context.Context, r protocol.ExtremeFetch
 	if st == nil {
 		return nil, fmt.Errorf("server %d: unknown extreme query %q", e.view.Index, r.QueryID)
 	}
+	var spans []protocol.Span
 	if !cached {
 		reply, err := e.opts.Caller.Call(ctx, e.opts.AnnouncerAddr, protocol.AnnounceFetchRequest{
 			QueryID: r.QueryID, ServerIdx: e.view.Index,
 		})
+		spans = e.announcerWaitSpan(r.TraceID, rpcStart)
 		if err != nil {
 			return nil, err
 		}
@@ -2086,12 +2142,14 @@ func (e *Engine) handleExtremeFetch(ctx context.Context, r protocol.ExtremeFetch
 		ValueShares: res.ValueShares,
 		IndexShare:  res.IndexShare,
 		HasIndex:    res.HasIndex,
+		Spans:       spans,
 	}, nil
 }
 
 // ---- identity round (§6.3 Steps 5b-6) ----
 
 func (e *Engine) handleClaimSubmit(r protocol.ClaimSubmitRequest) (any, error) {
+	defer e.observeRPC("claimsubmit")()
 	if e.view.Index >= 2 {
 		return nil, fmt.Errorf("server %d: not an additive-share server", e.view.Index)
 	}
@@ -2113,6 +2171,7 @@ func (e *Engine) handleClaimSubmit(r protocol.ClaimSubmitRequest) (any, error) {
 }
 
 func (e *Engine) handleClaimFetch(r protocol.ClaimFetchRequest) (any, error) {
+	defer e.observeRPC("claimfetch")()
 	sess, ok := e.peekSession(r.QueryID)
 	if !ok {
 		return protocol.ClaimFetchReply{Ready: false}, nil

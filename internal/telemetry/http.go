@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux builds the admin endpoint every binary's -metrics flag
+// serves: /metrics (Prometheus text exposition of the Default
+// registry), /debug/vars (JSON snapshot incl. registered callback
+// vars) and net/http/pprof under /debug/pprof/. Callers add
+// binary-specific handlers (e.g. the server's /debug/tables) before
+// passing the mux to http.ListenAndServe.
+func AdminMux() *http.ServeMux {
+	return adminMux(Default)
+}
+
+func adminMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin starts the admin endpoint on addr in a background
+// goroutine and returns immediately; listen/serve failures go to logf
+// (when non-nil) instead of killing the process — an operator losing
+// the metrics port should not take the data plane down with it.
+func ServeAdmin(addr string, mux *http.ServeMux, logf func(format string, args ...any)) {
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil && logf != nil {
+			logf("telemetry: admin endpoint %s: %v", addr, err)
+		}
+	}()
+}

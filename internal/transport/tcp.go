@@ -69,6 +69,7 @@ var errClientClosed = errors.New("transport: client closed")
 // shared connection encode first and take the write lock only for the
 // byte copy, so a large frame never blocks other senders' cheap ones.
 func encodeFrame(env *envelope) ([]byte, error) {
+	start := time.Now()
 	var buf bytes.Buffer
 	buf.Write(make([]byte, 4)) // length placeholder
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
@@ -80,6 +81,7 @@ func encodeFrame(env *envelope) ([]byte, error) {
 	}
 	b := buf.Bytes()
 	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	observeFrame(env.Payload, int64(n), time.Since(start))
 	return b, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Handler processes one request and produces a reply.
@@ -164,6 +165,7 @@ func (n *Network) ResetPeakFrame() { n.peakFrame.Store(0) }
 // roundTrip encodes and decodes v through gob, as the TCP transport
 // would, enforcing the same frame cap and recording the peak size.
 func (n *Network) roundTrip(v any) (any, error) {
+	start := time.Now()
 	var buf bytes.Buffer
 	env := envelope{Payload: v}
 	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
@@ -173,6 +175,7 @@ func (n *Network) roundTrip(v any) (any, error) {
 	if size > FrameLimit() {
 		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, size)
 	}
+	observeFrame(v, size, time.Since(start))
 	for {
 		prev := n.peakFrame.Load()
 		if size <= prev || n.peakFrame.CompareAndSwap(prev, size) {

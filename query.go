@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"prism/internal/ownerengine"
 	"prism/internal/protocol"
+	"prism/internal/telemetry"
 )
 
 // SetResult is a PSI or PSU answer.
@@ -34,6 +36,7 @@ func (s *System) PSI(ctx context.Context) (*SetResult, error) {
 // query. Safe to call concurrently with any other query.
 func (o *Owner) PSI(ctx context.Context) (*SetResult, error) {
 	s, q := o.sys, o.eng
+	ctx, tid := s.traceContext(ctx, "psi")
 	res, err := q.PSI(ctx, s.table)
 	if err != nil {
 		return nil, err
@@ -43,7 +46,9 @@ func (o *Owner) PSI(ctx context.Context) (*SetResult, error) {
 			return nil, err
 		}
 	}
-	return s.setResult(res.Cells, fromEngineStats(res.Stats)), nil
+	stats := fromEngineStats(res.Stats)
+	s.recordTrace(tid, stats.spans)
+	return s.setResult(res.Cells, stats), nil
 }
 
 // PSU computes the private set union (paper §7). The paper defines
@@ -60,11 +65,14 @@ func (s *System) PSU(ctx context.Context) (*SetResult, error) {
 // PSU computes the private set union with this owner driving the query.
 func (o *Owner) PSU(ctx context.Context) (*SetResult, error) {
 	s, q := o.sys, o.eng
+	ctx, tid := s.traceContext(ctx, "psu")
 	res, err := q.PSU(ctx, s.table)
 	if err != nil {
 		return nil, err
 	}
-	return s.setResult(res.Cells, fromEngineStats(res.Stats)), nil
+	stats := fromEngineStats(res.Stats)
+	s.recordTrace(tid, stats.spans)
+	return s.setResult(res.Cells, stats), nil
 }
 
 func (s *System) setResult(cells []uint64, stats QueryStats) *SetResult {
@@ -94,11 +102,14 @@ func (s *System) PSICount(ctx context.Context) (*CountResult, error) {
 // PSICount reveals only |intersection|, driven by this owner.
 func (o *Owner) PSICount(ctx context.Context) (*CountResult, error) {
 	s, q := o.sys, o.eng
+	ctx, tid := s.traceContext(ctx, "psicount")
 	res, err := q.Count(ctx, s.table, s.cfg.Verify)
 	if err != nil {
 		return nil, err
 	}
-	return &CountResult{Count: res.Count, Stats: fromEngineStats(res.Stats)}, nil
+	stats := fromEngineStats(res.Stats)
+	s.recordTrace(tid, stats.spans)
+	return &CountResult{Count: res.Count, Stats: stats}, nil
 }
 
 // PSUCount reveals only |union|.
@@ -113,11 +124,14 @@ func (s *System) PSUCount(ctx context.Context) (*CountResult, error) {
 // PSUCount reveals only |union|, driven by this owner.
 func (o *Owner) PSUCount(ctx context.Context) (*CountResult, error) {
 	s, q := o.sys, o.eng
+	ctx, tid := s.traceContext(ctx, "psucount")
 	res, err := q.PSUCount(ctx, s.table)
 	if err != nil {
 		return nil, err
 	}
-	return &CountResult{Count: res.Count, Stats: fromEngineStats(res.Stats)}, nil
+	stats := fromEngineStats(res.Stats)
+	s.recordTrace(tid, stats.spans)
+	return &CountResult{Count: res.Count, Stats: stats}, nil
 }
 
 // AggregateResult is a summary aggregation over PSI or PSU (§6.1-§6.2):
@@ -215,6 +229,7 @@ func (o *Owner) aggregate(ctx context.Context, overPSI, withCount bool, cols []s
 		return nil, fmt.Errorf("prism: aggregation needs at least one column")
 	}
 	s, q := o.sys, o.eng
+	ctx, tid := s.traceContext(ctx, "aggregate")
 	// Round 1: find the result set (§6.1 Steps 1-3).
 	var cells []uint64
 	var stats QueryStats
@@ -244,6 +259,7 @@ func (o *Owner) aggregate(ctx context.Context, overPSI, withCount bool, cols []s
 		return nil, err
 	}
 	stats.add(agg.Stats)
+	s.recordTrace(tid, stats.spans)
 	return &AggregateResult{
 		Cells:  cells,
 		Sums:   agg.Sums,
@@ -328,6 +344,8 @@ func (o *Owner) PSIMedian(ctx context.Context, col string) (*ExtremeResult, erro
 
 func (o *Owner) extreme(ctx context.Context, kind protocol.ExtremeKind, col string) (*ExtremeResult, error) {
 	s, q := o.sys, o.eng
+	wall := time.Now()
+	ctx, tid := s.traceContext(ctx, "extreme")
 	// Round 1: PSI (§6.3 Steps 1-2). Every owner learns the common cells.
 	psi, err := q.PSI(ctx, s.table)
 	if err != nil {
@@ -395,8 +413,8 @@ func (o *Owner) extreme(ctx context.Context, kind protocol.ExtremeKind, col stri
 			stats.ServerFetchNS += cellStats.ServerFetchNS
 			stats.ServerComputeNS += cellStats.ServerComputeNS
 			stats.OwnerNS += cellStats.OwnerNS
-			stats.WallNS += cellStats.WallNS
 			stats.Rounds += cellStats.Rounds
+			stats.spans = append(stats.spans, cellStats.spans...)
 		}(k, cell)
 	}
 	wg.Wait()
@@ -412,6 +430,14 @@ func (o *Owner) extreme(ctx context.Context, kind protocol.ExtremeKind, col stri
 		if err := s.reduceExtreme(ctx, q, kind, psi.Cells, qids, res, &stats); err != nil {
 			return nil, err
 		}
+	}
+	// The per-cell rounds run pipelined, so the query's wall time is the
+	// elapsed time of the whole operation — not the per-cell sum, which
+	// would overstate it by the pipelining factor.
+	stats.WallNS = time.Since(wall).Nanoseconds()
+	if tid != "" {
+		stats.TraceID = tid
+		s.recordTrace(tid, stats.spans)
 	}
 	res.Stats = stats
 	return res, nil
@@ -432,6 +458,7 @@ func (s *System) reduceExtreme(ctx context.Context, q *ownerengine.Owner, kind p
 		QueryID:     fmt.Sprintf("extred-%s-%s-%d", s.table, kind, s.qidNonce.Add(1)),
 		Kind:        kind,
 		SubQueryIDs: qids,
+		TraceID:     telemetry.TraceID(ctx),
 	}
 	rep, err := s.network.Call(ctx, "announcer", req)
 	if err != nil {
@@ -441,6 +468,7 @@ func (s *System) reduceExtreme(ctx context.Context, q *ownerengine.Owner, kind p
 	if !ok {
 		return fmt.Errorf("prism: unexpected reduce reply %T", rep)
 	}
+	stats.spans = append(stats.spans, rrep.Spans...)
 	values, err := q.DecodeReducedExtreme(kind, rrep.Values)
 	if err != nil {
 		return fmt.Errorf("prism: global %s reduce: %w", kind, err)
@@ -504,6 +532,7 @@ func (s *System) extremeAtCell(ctx context.Context, kind protocol.ExtremeKind, c
 			return nil, stats, qid, err
 		}
 		stats.OwnerNS += oc.Stats.OwnerNS
+		stats.spans = append(stats.spans, oc.Stats.Server.Spans...)
 		if err := o.eng.CheckExtremeConsistency(kind, oc.Values[0], locals[i], present[i]); err != nil {
 			return nil, stats, qid, err
 		}

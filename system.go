@@ -14,6 +14,7 @@ import (
 	"prism/internal/protocol"
 	"prism/internal/serverengine"
 	"prism/internal/sharestore"
+	"prism/internal/telemetry"
 	"prism/internal/transport"
 )
 
@@ -39,6 +40,7 @@ type System struct {
 	qidNonce atomic.Uint64
 	rr       atomic.Uint64 // round-robin cursor over querying owners
 	sched    *limiter      // bounds concurrently executing queries
+	tracer   *telemetry.Tracer
 }
 
 // Owner is one DB owner's handle within a System.
@@ -70,6 +72,7 @@ func NewLocalSystem(cfg Config) (*System, error) {
 		network: transport.NewNetwork(),
 		table:   cfg.TableName,
 		sched:   newLimiter(cfg.MaxInflight),
+		tracer:  telemetry.NewTracer(0),
 	}
 	s.network.EncodeWire = cfg.EncodeWire
 	// Mirror the TCP transport's per-connection pipelining bound so
@@ -415,6 +418,37 @@ func (s *System) OutsourceAll(ctx context.Context) (ShareGenStats, error) {
 	return total, nil
 }
 
+// traceContext mints a per-query trace id when Config.Trace is on and
+// telemetry recording is enabled, and threads it through ctx for the
+// owner engines to stamp onto the wire requests. Untraced queries get
+// ctx back unchanged and an empty id.
+func (s *System) traceContext(ctx context.Context, op string) (context.Context, string) {
+	if !s.cfg.Trace || !telemetry.Enabled() {
+		return ctx, ""
+	}
+	tid := fmt.Sprintf("trace-%s-%d", op, s.qidNonce.Add(1))
+	return telemetry.WithTraceID(ctx, tid), tid
+}
+
+// recordTrace files a finished traced query's assembled spans under its
+// trace id. No-op for untraced queries.
+func (s *System) recordTrace(tid string, spans []protocol.Span) {
+	if tid == "" {
+		return
+	}
+	s.tracer.Record(tid, spans...)
+}
+
+// QueryTrace returns the per-phase timeline of a traced query
+// (QueryStats.TraceID names it). Spans come back sorted by start time;
+// Trace.JSON dumps the timeline and Trace.Phases lists the distinct
+// phase names. The system retains the most recent traces (bounded FIFO),
+// so fetch timelines promptly under sustained traffic.
+func (s *System) QueryTrace(id string) (*telemetry.Trace, bool) { return s.tracer.Get(id) }
+
+// QueryTraceIDs lists the retained trace ids, oldest first.
+func (s *System) QueryTraceIDs() []string { return s.tracer.IDs() }
+
 // nextQuerier returns the owner that drives the next query. The paper
 // picks a random owner; we rotate round-robin so sustained traffic
 // spreads result-construction work evenly across owners (results are
@@ -480,6 +514,13 @@ type QueryStats struct {
 	// ServerCacheHits counts column reads served by the servers'
 	// hot-column cache (Config.HotColumns) instead of the share store.
 	ServerCacheHits int
+	// TraceID names the query's timeline in System.QueryTrace when the
+	// system runs with Config.Trace; empty otherwise.
+	TraceID string
+
+	// spans carries the assembled per-phase timeline until the query
+	// wrapper files it with the system's tracer.
+	spans []protocol.Span
 }
 
 func fromEngineStats(q ownerengine.QueryStats) QueryStats {
@@ -491,6 +532,8 @@ func fromEngineStats(q ownerengine.QueryStats) QueryStats {
 		Rounds:          q.Rounds,
 		Cells:           q.Server.Cells,
 		ServerCacheHits: q.Server.CacheHits,
+		TraceID:         q.TraceID,
+		spans:           q.Server.Spans,
 	}
 }
 
@@ -502,4 +545,8 @@ func (q *QueryStats) add(o ownerengine.QueryStats) {
 	q.Rounds += o.Rounds
 	q.Cells += o.Server.Cells
 	q.ServerCacheHits += o.Server.CacheHits
+	if q.TraceID == "" {
+		q.TraceID = o.TraceID
+	}
+	q.spans = append(q.spans, o.Server.Spans...)
 }
