@@ -11,7 +11,7 @@
 //
 // Experiments: exp1 table12 exp2 exp3 exp4 sharegen table13 fanout
 // diskablation throughput tcpthroughput domainscale memscale
-// streamscale groupscale telemetryoverhead all. The
+// streamscale groupscale gatewayscale telemetryoverhead all. The
 // tcpthroughput experiment runs the query mix over real loopback TCP
 // twice — with the serialised one-RPC-per-connection baseline and with
 // the multiplexed client — so the transport win is measured, not
@@ -31,7 +31,13 @@
 // group a full S0/S1/S2 triple serving a contiguous cell range,
 // reporting mixed-query throughput, the peak wire frame (which must not
 // grow with groups) and the owner-side merge cost; multi-group result
-// fingerprints must match the single-group baseline. The
+// fingerprints must match the single-group baseline. The gatewayscale
+// experiment measures the stateless query front tier: queries/sec and
+// latency percentiles at increasing concurrent front-protocol client
+// counts against the direct-owner baseline (every gateway answer
+// fingerprint-checked against the direct path), plus an overload run
+// at 2× the admission capacity that must surface as typed load-shed
+// errors rather than hangs. The
 // telemetryoverhead experiment runs one query mix with metrics and
 // tracing disabled and again with both enabled, reporting queries/sec
 // for each mode and the relative overhead, which must stay small.
@@ -52,7 +58,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|memscale|streamscale|groupscale|telemetryoverhead|all")
+		exp     = flag.String("exp", "all", "experiment: exp1|table12|exp2|exp3|exp4|sharegen|table13|fanout|diskablation|throughput|tcpthroughput|domainscale|memscale|streamscale|groupscale|gatewayscale|telemetryoverhead|all")
 		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run (e.g. :9103); empty disables the endpoint")
 		paper   = flag.Bool("paper", false, "use the paper's full sizes (5M/20M domains; needs ~16GB RAM)")
 		domain  = flag.Uint64("domain", 0, "override: single domain size")
@@ -183,6 +189,10 @@ func main() {
 	if want("groupscale") {
 		matched = true
 		run("groupscale", func() ([]*report.Table, error) { return benchx.GroupScale(ctx, sc) })
+	}
+	if want("gatewayscale") {
+		matched = true
+		run("gatewayscale", func() ([]*report.Table, error) { return benchx.GatewayScale(ctx, sc) })
 	}
 	if want("telemetryoverhead") {
 		matched = true

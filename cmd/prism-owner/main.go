@@ -302,7 +302,17 @@ func listTables(ctx context.Context, owner *ownerengine.Owner, table string, m i
 		}
 		return inv[name]
 	}
+	dead := make([]bool, ng)
 	for g := 0; g < ng; g++ {
+		// Liveness before inventory: a dead server should print as
+		// UNREACHABLE with its address, not abort the whole sweep — the
+		// healthy groups' inventories are exactly what an operator
+		// diagnosing a partial outage needs to see.
+		if err := owner.PingGroup(ctx, g); err != nil {
+			fmt.Printf("group %d: UNREACHABLE — %v\n", g, err)
+			dead[g] = true
+			continue
+		}
 		lists, err := owner.ListTablesGroup(ctx, g)
 		if err != nil {
 			fatal(err)
@@ -353,6 +363,8 @@ func listTables(ctx context.Context, owner *ownerengine.Owner, table string, m i
 				}
 			}
 			switch {
+			case dead[g]:
+				problems = append(problems, fmt.Sprintf("group %d is unreachable", g))
 			case served == 0:
 				problems = append(problems, fmt.Sprintf("group %d does not serve it", g))
 			case served < params.NumServers:

@@ -1,0 +1,178 @@
+package prism
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"prism/internal/gateway"
+)
+
+// startSystemGateway serves a gateway over sys's full-system backends
+// on a loopback listener, torn down when the test ends.
+func startSystemGateway(t *testing.T, sys *System, cfg gateway.Config) string {
+	t.Helper()
+	cfg.Backends = sys.GatewayBackends()
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- gw.Serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("gateway Serve: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func sortedCells(cells []uint64) []uint64 {
+	s := append([]uint64(nil), cells...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// TestGatewaySystemParity runs every front-protocol query kind through
+// a gateway over the full local system and requires each answer to be
+// identical to the direct-path result — including the coordinated
+// extremes, which the full-system backend (unlike a pooled owner
+// engine) can serve. All sessions must be retired afterwards.
+func TestGatewaySystemParity(t *testing.T) {
+	sys := concSystem(t)
+	addr := startSystemGateway(t, sys, gateway.Config{})
+	cl, err := gateway.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	dPSI, err := sys.PSI(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gPSI, err := cl.Query("psi", nil, "t0", 30*time.Second)
+	if err != nil {
+		t.Fatalf("gateway psi: %v", err)
+	}
+	if !reflect.DeepEqual(sortedCells(gPSI.Cells), sortedCells(dPSI.Cells)) {
+		t.Errorf("psi cells diverged: gateway %v, direct %v", gPSI.Cells, dPSI.Cells)
+	}
+
+	dCount, err := sys.PSICount(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gCount, err := cl.Query("count", nil, "t0", 30*time.Second)
+	if err != nil {
+		t.Fatalf("gateway count: %v", err)
+	}
+	if gCount.Count != dCount.Count {
+		t.Errorf("count diverged: gateway %d, direct %d", gCount.Count, dCount.Count)
+	}
+
+	dSum, err := sys.PSISum(ctx, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSum, err := cl.Query("sum", []string{"v"}, "t0", 30*time.Second)
+	if err != nil {
+		t.Fatalf("gateway sum: %v", err)
+	}
+	if !reflect.DeepEqual(gSum.Sums["v"], dSum.Sums["v"]) {
+		t.Errorf("sum diverged: gateway %v, direct %v", gSum.Sums["v"], dSum.Sums["v"])
+	}
+
+	dMax, err := sys.PSIMax(ctx, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gMax, err := cl.Query("max", []string{"v"}, "t0", 30*time.Second)
+	if err != nil {
+		t.Fatalf("gateway max: %v", err)
+	}
+	for cell, pc := range dMax.PerCell {
+		if gMax.Extreme[cell] != pc.Value {
+			t.Errorf("max at cell %d diverged: gateway %d, direct %d", cell, gMax.Extreme[cell], pc.Value)
+		}
+	}
+	if len(gMax.Extreme) != len(dMax.PerCell) {
+		t.Errorf("max cells: gateway %d, direct %d", len(gMax.Extreme), len(dMax.PerCell))
+	}
+	if dMax.Global != nil && (gMax.Global == nil || *gMax.Global != dMax.Global.Value) {
+		t.Errorf("global max diverged: gateway %v, direct %d", gMax.Global, dMax.Global.Value)
+	}
+
+	assertNoSessions(t, sys)
+}
+
+// TestGatewayMidQueryDisconnect is the session-cleanup fault injection:
+// front clients vanish at staggered points inside in-flight extreme
+// queries — the only operator class that opens announcer and server
+// query sessions — and every session must still be retired. The root
+// extreme flow ends its query under a cancellation-immune context
+// precisely so an abandoned gateway query cannot leak announcer state;
+// this test holds that end to end through the front tier.
+func TestGatewayMidQueryDisconnect(t *testing.T) {
+	sys := concSystem(t)
+	addr := startSystemGateway(t, sys, gateway.Config{DefaultTimeout: 10 * time.Second})
+
+	// Baseline: one clean max query, timed, to scale the disconnect
+	// points to this machine.
+	cl, err := gateway.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := cl.Query("max", []string{"v"}, "t0", 10*time.Second); err != nil {
+		t.Fatalf("baseline max: %v", err)
+	}
+	lat := time.Since(start)
+	cl.Close()
+
+	// Disconnect mid-flight at points spread across the query's
+	// lifetime (including before execution starts).
+	delays := []time.Duration{0, lat / 8, lat / 4, lat / 2, 3 * lat / 4}
+	for i, d := range delays {
+		cl, err := gateway.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Submit("max", []string{"v"}, fmt.Sprintf("t%d", i), 10*time.Second); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		time.Sleep(d)
+		cl.Close() // the ticket dies with the connection; the query is cancelled
+	}
+
+	// Whatever mix of interrupted and completed queries that produced,
+	// every server and announcer session must drain.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		live := sys.ann.Sessions()
+		for _, grp := range sys.servers {
+			for _, e := range grp {
+				live += e.Sessions()
+			}
+		}
+		if live == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d query sessions still live 15s after all clients disconnected", live)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	assertNoSessions(t, sys)
+}

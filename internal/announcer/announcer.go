@@ -80,6 +80,8 @@ func (e *Engine) Handle(_ context.Context, req any) (any, error) {
 		return protocol.PlacementReply{Groups: e.placement}, nil
 	case protocol.ExtremeReduceRequest:
 		return e.handleReduce(r)
+	case protocol.PingRequest:
+		return protocol.PingReply{Site: "announcer"}, nil
 	case protocol.QueryDoneRequest:
 		e.mu.Lock()
 		delete(e.pending, r.QueryID)

@@ -505,3 +505,49 @@ func TestTelemetryOverheadSmoke(t *testing.T) {
 	}
 	t.Errorf("telemetry overhead %.2f%% after %d attempts, budget is 2%%", overhead, attempts)
 }
+
+// TestGatewayScaleSmoke runs the front-tier experiment at a reduced
+// (but still concurrent) client sweep: the gateway rows must report a
+// p99, answer bit-identically to the direct path, and the overload
+// table must show typed sheds rather than a hang.
+func TestGatewayScaleSmoke(t *testing.T) {
+	sc := tinyScale(t)
+	sc.Domains = []uint64{2048}
+	sc.GatewayClients = []int{25, 100}
+	tables, err := GatewayScale(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (scale + overload)", len(tables))
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("scale rows = %d, want 3 (direct + 2 client points)", len(rows))
+	}
+	if rows[0][0] != "direct" || rows[0][8] != "baseline" {
+		t.Errorf("first row = %v, want the direct-path baseline", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if row[0] != "gateway" || row[8] != "match" {
+			t.Errorf("gateway row = %v, want fingerprint match", row)
+		}
+		if row[5] == "-" {
+			t.Errorf("clients=%s reported no p99", row[1])
+		}
+		if row[7] != "0" {
+			t.Errorf("clients=%s shed %s queries with admission unlimited", row[1], row[7])
+		}
+	}
+	over := tables[1].Rows
+	if len(over) != 1 {
+		t.Fatalf("overload rows = %d, want 1", len(over))
+	}
+	var shed int
+	if _, err := fmt.Sscanf(over[0][2], "%d", &shed); err != nil || shed == 0 {
+		t.Errorf("overload row = %v, want a non-zero typed shed count", over[0])
+	}
+	if over[0][6] != "shed, not hung" {
+		t.Errorf("overload verdict = %q", over[0][6])
+	}
+}

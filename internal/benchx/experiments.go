@@ -46,6 +46,9 @@ type Scale struct {
 	// ShardCells is the shard size the domainscale experiment compares
 	// against the monolithic wire mode (0 → 65536 cells).
 	ShardCells uint64
+	// GatewayClients is the concurrent front-client sweep for the
+	// gatewayscale experiment.
+	GatewayClients []int
 }
 
 // QuickScale is a laptop-friendly default; PaperScale matches §8.1.
@@ -61,6 +64,7 @@ func QuickScale() Scale {
 		Inflight:          []int{1, 2, 4, 8, 16},
 		ThroughputQueries: 48,
 		LinkRTT:           2 * time.Millisecond, // intra-DC owner↔server link
+		GatewayClients:    []int{250, 1000},
 	}
 }
 
@@ -70,6 +74,7 @@ func PaperScale() Scale {
 	s := QuickScale()
 	s.Domains = []uint64{5_000_000, 20_000_000}
 	s.Table13Keys = 16384
+	s.GatewayClients = []int{1000, 4000, 10000}
 	return s
 }
 

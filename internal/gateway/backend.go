@@ -1,0 +1,87 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+
+	"prism/internal/ownerengine"
+)
+
+// EngineBackend adapts one ownerengine.Owner into a pool Backend: the
+// deployment shape cmd/prism-gateway runs, where each pool member is an
+// independent owner engine speaking to the server fabric over its own
+// TCP client (so one member's dead connections do not poison another's
+// health).
+//
+// A pooled owner engine serves the single-session query kinds: psi,
+// psu, count, psucount, sum, avg. The exemplary aggregations
+// (max/min/median) need every data owner online in one coordinated
+// flow — a gateway fronting one owner's engine cannot impersonate the
+// other m−1 owners — so those return ErrUnsupported here; deployments
+// that want them through the gateway run it over a full local system
+// (see prism.System.GatewayBackends).
+type EngineBackend struct {
+	Owner  *ownerengine.Owner
+	Table  string
+	Verify bool // run PSI result verification before answering
+}
+
+// Exec implements Backend.
+func (b *EngineBackend) Exec(ctx context.Context, q Query) (*Result, error) {
+	switch q.Kind {
+	case "psi", "psu":
+		var res *ownerengine.SetResult
+		var err error
+		if q.Kind == "psi" {
+			res, err = b.Owner.PSI(ctx, b.Table)
+			if err == nil && b.Verify {
+				err = b.Owner.VerifyPSI(ctx, b.Table, res)
+			}
+		} else {
+			res, err = b.Owner.PSU(ctx, b.Table)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cells: res.Cells}, nil
+	case "count", "psucount":
+		var res *ownerengine.CountResult
+		var err error
+		if q.Kind == "count" {
+			res, err = b.Owner.Count(ctx, b.Table, b.Verify)
+		} else {
+			res, err = b.Owner.PSUCount(ctx, b.Table)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Count: res.Count}, nil
+	case "sum", "avg":
+		if len(q.Cols) == 0 {
+			return nil, fmt.Errorf("%w: %s needs at least one column", ErrUnsupported, q.Kind)
+		}
+		psi, err := b.Owner.PSI(ctx, b.Table)
+		if err != nil {
+			return nil, err
+		}
+		if b.Verify {
+			if err := b.Owner.VerifyPSI(ctx, b.Table, psi); err != nil {
+				return nil, err
+			}
+		}
+		agg, err := b.Owner.Aggregate(ctx, b.Table, psi.Cells, q.Cols, q.Kind == "avg", b.Verify)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cells: psi.Cells, Sums: agg.Sums, Counts: agg.Counts}, nil
+	case "max", "min", "median":
+		return nil, fmt.Errorf("%w: %s needs the coordinated all-owner flow (see examples/federated); pooled owner engines serve psi|psu|count|psucount|sum|avg", ErrUnsupported, q.Kind)
+	default:
+		return nil, fmt.Errorf("%w: unknown query kind %q", ErrUnsupported, q.Kind)
+	}
+}
+
+// Ping implements Backend: the owner's full-fabric liveness probe.
+func (b *EngineBackend) Ping(ctx context.Context) error {
+	return b.Owner.Ping(ctx)
+}

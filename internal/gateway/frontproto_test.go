@@ -1,0 +1,176 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func frameOf(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, body, MaxReplyFrame); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, body := range [][]byte{
+		[]byte("{}"),
+		[]byte(`{"op":"ping"}`),
+		bytes.Repeat([]byte("x"), MaxFrontFrame),
+	} {
+		got, err := ReadFrame(bytes.NewReader(frameOf(t, body)), MaxFrontFrame)
+		if err != nil {
+			t.Fatalf("round trip %d bytes: %v", len(body), err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("round trip %d bytes: body mangled", len(body))
+		}
+	}
+}
+
+// TestReadFrameHostileLength holds the decoder to its no-over-allocate
+// contract: a length prefix past the cap is rejected from the 4 header
+// bytes alone, before any body allocation — including prefixes that
+// would overflow int on 32-bit platforms.
+func TestReadFrameHostileLength(t *testing.T) {
+	for _, n := range []uint32{MaxFrontFrame + 1, 1 << 30, ^uint32(0)} {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		// No body follows the header: if the decoder tried to read (or
+		// allocate) n bytes it would fail differently or hang.
+		_, err := ReadFrame(bytes.NewReader(hdr[:]), MaxFrontFrame)
+		if !errors.Is(err, ErrFrameTooBig) {
+			t.Errorf("length %d: err = %v, want ErrFrameTooBig", n, err)
+		}
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full := frameOf(t, []byte(`{"op":"ping"}`))
+	for cut := 0; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]), MaxFrontFrame)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes read a full frame", cut, len(full))
+		}
+		if cut > 4 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("truncation at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestReadFrameEmpty(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), MaxFrontFrame); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+func TestWriteFrameOversize(t *testing.T) {
+	err := WriteFrame(io.Discard, make([]byte, MaxFrontFrame+1), MaxFrontFrame)
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestDecodeRequestValid(t *testing.T) {
+	for _, src := range []string{
+		`{"op":"ping"}`,
+		`{"v":1,"op":"ping","id":"abc"}`,
+		`{"op":"submit","query":"psi"}`,
+		`{"op":"submit","query":"sum","cols":["DT"],"tenant":"t0","timeout_ms":5000}`,
+		`{"op":"poll","ticket":"q1","wait_ms":100}`,
+	} {
+		if _, err := DecodeRequest([]byte(src)); err != nil {
+			t.Errorf("DecodeRequest(%s) = %v, want nil", src, err)
+		}
+	}
+}
+
+func TestDecodeRequestRejects(t *testing.T) {
+	long := strings.Repeat("x", 300)
+	for name, src := range map[string]string{
+		"junk":            `garbage`,
+		"empty object":    `{}`,
+		"unknown op":      `{"op":"drop"}`,
+		"bad version":     `{"v":2,"op":"ping"}`,
+		"long id":         `{"op":"ping","id":"` + long + `"}`,
+		"submit no query": `{"op":"submit"}`,
+		"long query":      `{"op":"submit","query":"` + long + `"}`,
+		"long tenant":     `{"op":"submit","query":"psi","tenant":"` + long + `"}`,
+		"empty col":       `{"op":"submit","query":"sum","cols":[""]}`,
+		"long col":        `{"op":"submit","query":"sum","cols":["` + long + `"]}`,
+		"neg timeout":     `{"op":"submit","query":"psi","timeout_ms":-1}`,
+		"poll no ticket":  `{"op":"poll"}`,
+		"long ticket":     `{"op":"poll","ticket":"` + long + `"}`,
+		"neg wait":        `{"op":"poll","ticket":"q1","wait_ms":-1}`,
+	} {
+		if _, err := DecodeRequest([]byte(src)); err == nil {
+			t.Errorf("%s: DecodeRequest accepted %s", name, src)
+		}
+	}
+	manyCols := `{"op":"submit","query":"sum","cols":[` +
+		strings.TrimSuffix(strings.Repeat(`"c",`, maxCols+1), ",") + `]}`
+	if _, err := DecodeRequest([]byte(manyCols)); err == nil {
+		t.Errorf("DecodeRequest accepted %d columns", maxCols+1)
+	}
+}
+
+// FuzzFrontProtocol drives junk, truncations and hostile length
+// prefixes through the wire decoder: whatever the bytes, it must return
+// an error or a validated request — never panic, and never hand back a
+// frame larger than the cap it was given.
+func FuzzFrontProtocol(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	for _, src := range []string{
+		`{"op":"ping"}`,
+		`{"op":"submit","query":"psi","tenant":"t0","timeout_ms":100}`,
+		`{"op":"submit","query":"sum","cols":["DT","Amount"]}`,
+		`{"op":"poll","ticket":"q1","wait_ms":50}`,
+		`{"v":9,"op":"ping"}`,
+		`garbage`,
+		`[1,2,3]`,
+	} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, []byte(src), MaxFrontFrame); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		frame, err := ReadFrame(r, MaxFrontFrame)
+		if err != nil {
+			return
+		}
+		if len(frame) == 0 || len(frame) > MaxFrontFrame {
+			t.Fatalf("ReadFrame returned %d bytes (cap %d)", len(frame), MaxFrontFrame)
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			return
+		}
+		// A request that survives validation must satisfy the documented
+		// shape invariants — handlers rely on them without re-checking.
+		if req.Op != OpPing && req.Op != OpSubmit && req.Op != OpPoll {
+			t.Fatalf("validated request has op %q", req.Op)
+		}
+		if req.Op == OpSubmit && (req.Query == "" || req.TimeoutMS < 0) {
+			t.Fatalf("validated submit is malformed: %+v", req)
+		}
+		if req.Op == OpPoll && (req.Ticket == "" || req.WaitMS < 0) {
+			t.Fatalf("validated poll is malformed: %+v", req)
+		}
+		// And it must re-encode: replies travel the same codec.
+		if _, err := json.Marshal(req); err != nil {
+			t.Fatalf("validated request does not re-encode: %v", err)
+		}
+	})
+}

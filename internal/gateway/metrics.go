@@ -1,0 +1,22 @@
+package gateway
+
+import "prism/internal/telemetry"
+
+// Package-level metric handles, registered once in the process-global
+// telemetry registry under names from the telemetry name table (the
+// metricnames prism-vet analyzer enforces the const-only discipline),
+// so a gateway binary's full series inventory is auditable from
+// internal/telemetry/names.go.
+var (
+	mAccepted     = telemetry.NewCounterVec(telemetry.MetricGatewayAccepted, "op")
+	mShed         = telemetry.NewCounterVec(telemetry.MetricGatewayShed, "reason")
+	mQueued       = telemetry.NewCounter(telemetry.MetricGatewayQueued)
+	mQueueDepth   = telemetry.NewGauge(telemetry.MetricGatewayQueueDepth)
+	mConnections  = telemetry.NewGauge(telemetry.MetricGatewayConnections)
+	mPoolHealthy  = telemetry.NewGauge(telemetry.MetricGatewayPoolHealthy)
+	mReroutes     = telemetry.NewCounter(telemetry.MetricGatewayReroutes)
+	mFrontSeconds = telemetry.NewHistogramVec(telemetry.MetricGatewayFrontSeconds, "op", telemetry.LatencyBuckets)
+	mQueueSeconds = telemetry.NewHistogram(telemetry.MetricGatewayQueueSeconds, telemetry.LatencyBuckets)
+	mFrameBytes   = telemetry.NewHistogram(telemetry.MetricGatewayFrameBytes, telemetry.SizeBuckets)
+	mBadFrames    = telemetry.NewCounter(telemetry.MetricGatewayBadFrames)
+)

@@ -589,6 +589,25 @@ func (o *Owner) DecodeReducedExtreme(kind protocol.ExtremeKind, values [][]byte)
 	return out, nil
 }
 
+// Ping probes every server of every group concurrently. A nil return
+// means the full serving fabric behind this owner answered; failures
+// come back joined, tagged with group and logical server address, so a
+// health checker can name the dead process rather than just "owner
+// unhealthy". The probe is qid-free and touches no table state.
+func (o *Owner) Ping(ctx context.Context) error {
+	return o.eachGroup("ping", o.allGroups(), func(g int) error {
+		return o.groups[g].Ping(ctx)
+	})
+}
+
+// PingGroup probes group g's three servers only.
+func (o *Owner) PingGroup(ctx context.Context, g int) error {
+	if g < 0 || g >= len(o.groups) {
+		return fmt.Errorf("ownerengine: no group %d (have %d)", g, len(o.groups))
+	}
+	return o.groupErr(g, o.groups[g].Ping(ctx))
+}
+
 // ListTables asks group 0's servers for their table inventories.
 func (o *Owner) ListTables(ctx context.Context) ([][]protocol.TableStatus, error) {
 	return o.groups[0].ListTables(ctx)

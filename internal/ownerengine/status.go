@@ -42,6 +42,32 @@ func (o *engine) ListTables(ctx context.Context) ([][]protocol.TableStatus, erro
 	return out, errors.Join(errs...)
 }
 
+// Ping probes every server of this engine's group concurrently and
+// joins the failures, each tagged with the unreachable server's logical
+// address. A nil return means all three servers answered — the group
+// can take traffic. Unlike ListTables it moves no inventory, so health
+// checkers can run it at high frequency against loaded servers.
+func (o *engine) Ping(ctx context.Context) error {
+	errs := make([]error, params.NumServers)
+	var wg sync.WaitGroup
+	for phi := 0; phi < params.NumServers; phi++ {
+		wg.Add(1)
+		go func(phi int) {
+			defer wg.Done()
+			reply, err := o.caller.Call(ctx, o.servers[phi], protocol.PingRequest{})
+			if err != nil {
+				errs[phi] = fmt.Errorf("%s: %w", o.servers[phi], err)
+				return
+			}
+			if _, ok := reply.(protocol.PingReply); !ok {
+				errs[phi] = fmt.Errorf("%s: unexpected ping reply %T", o.servers[phi], reply)
+			}
+		}(phi)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // TableServed reports whether every server serves the named table with
 // all m owners registered — the cheap "can I query right now?" probe.
 // It returns the table's status per server (nil entries for servers not

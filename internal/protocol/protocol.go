@@ -485,6 +485,22 @@ type ExtremeReduceReply struct {
 
 // ---- query lifecycle ----
 
+// PingRequest is the universal liveness probe: every node (server,
+// announcer) answers it without touching any table or session state, so
+// health checkers — the gateway's owner-pool prober, prism-owner
+// -op list — can distinguish "process reachable" from "table served"
+// cheaply. It deliberately carries no group tag: a ping asks "are you
+// alive?", not "do you own my cells?", so it must succeed against any
+// healthy node regardless of routing.
+type PingRequest struct{}
+
+// PingReply answers a ping. Site names the responder the way its
+// metrics do ("g0/s1" for group 0's server 1, "announcer"), so a probe
+// sweeping an address book can report which process answered from where.
+type PingReply struct {
+	Site string
+}
+
 // QueryDoneRequest retires every piece of per-query state a node holds
 // for the given query id (extreme-submission slots, claim vectors,
 // announcer results). Queriers send it best-effort once a max/min/median
@@ -521,6 +537,7 @@ func Messages() []any {
 		ListTablesRequest{}, ListTablesReply{}, TableStatus{},
 		GroupRange{}, PlacementRequest{}, PlacementReply{},
 		ExtremeReduceRequest{}, ExtremeReduceReply{},
+		PingRequest{}, PingReply{},
 		QueryDoneRequest{}, QueryDoneReply{},
 	}
 }

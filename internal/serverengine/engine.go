@@ -569,12 +569,22 @@ func (e *Engine) Handle(ctx context.Context, req any) (any, error) {
 		return e.handleClaimFetch(r)
 	case protocol.ListTablesRequest:
 		return e.handleListTables(), nil
+	case protocol.PingRequest:
+		return e.handlePing(r)
 	case protocol.QueryDoneRequest:
 		e.endSession(r.QueryID)
 		return protocol.QueryDoneReply{}, nil
 	default:
 		return nil, fmt.Errorf("server %d: unknown request type %T", e.view.Index, req)
 	}
+}
+
+// handlePing answers the liveness probe. It deliberately reads no table
+// or session state: a ping must stay cheap and side-effect-free under
+// overload, when health checkers probe hardest.
+func (e *Engine) handlePing(protocol.PingRequest) (any, error) {
+	defer e.observeRPC("ping")()
+	return protocol.PingReply{Site: e.site()}, nil
 }
 
 // ---- storage ----

@@ -39,6 +39,19 @@ const (
 	// Owner plane.
 	MetricFanoutSeconds = "prism_fanout_seconds" // histogram, label op: per-group fan-out latency of one owner exchange
 
+	// Gateway plane (the stateless query front tier).
+	MetricGatewayAccepted     = "prism_gateway_accepted_total"   // counter, label op: queries admitted past admission control
+	MetricGatewayShed         = "prism_gateway_shed_total"       // counter, label reason: queries refused (queue-full, deadline, closed)
+	MetricGatewayQueued       = "prism_gateway_queued_total"     // counter: admitted queries that waited for a rate token
+	MetricGatewayQueueDepth   = "prism_gateway_queue_depth"      // gauge: queries currently waiting in the admission queue
+	MetricGatewayConnections  = "prism_gateway_connections"      // gauge: live front-protocol client connections
+	MetricGatewayPoolHealthy  = "prism_gateway_pool_healthy"     // gauge: owner-pool members currently passing the liveness probe
+	MetricGatewayReroutes     = "prism_gateway_reroutes_total"   // counter: queries re-leased to another owner after a member failure
+	MetricGatewayFrontSeconds = "prism_gateway_front_seconds"    // histogram, label op: submit-to-result latency through the front tier
+	MetricGatewayQueueSeconds = "prism_gateway_queue_seconds"    // histogram: time admitted queries spent waiting for a rate token
+	MetricGatewayFrameBytes   = "prism_gateway_frame_bytes"      // histogram: decoded front-protocol request frame sizes
+	MetricGatewayBadFrames    = "prism_gateway_bad_frames_total" // counter: front-protocol frames rejected by the decoder
+
 	// Announcer plane.
 	MetricAnnounceResolves = "prism_announce_resolves_total"  // counter: extreme rounds resolved (Eq 13-14 + re-share)
 	MetricAnnounceSeconds  = "prism_announce_resolve_seconds" // histogram: duration of one resolve
